@@ -1,0 +1,97 @@
+//! Criterion microbenches for the performance-critical kernels: codec
+//! decode paths (full / ROI / early-stop), preprocessing operators (fused
+//! vs unfused), the DAG optimizer, and Huffman coding.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use smol_codec::{sjpg, spng, SjpgEncoder};
+use smol_data::{still_catalog, throughput_images};
+use smol_imgproc::dag::{DagOptimizer, PreprocPlan};
+use smol_imgproc::ops::fused::fused_convert_normalize_split;
+use smol_imgproc::ops::layout::{hwc_to_chw, to_f32};
+use smol_imgproc::ops::normalize::{normalize_chw, Normalization};
+use smol_imgproc::ops::{center_crop_u8, resize_short_edge_u8};
+use smol_imgproc::Rect;
+
+fn test_image() -> smol_imgproc::ImageU8 {
+    let spec = &still_catalog()[3];
+    throughput_images(spec, 1, 1).pop().expect("one image")
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let img = test_image();
+    let pixels = (img.width() * img.height()) as u64;
+    let jpg = SjpgEncoder::new(85).encode(&img).unwrap();
+    let png = spng::encode(&img).unwrap();
+    let roi = Rect::centered(img.width(), img.height(), 224, 224);
+
+    let mut g = c.benchmark_group("codec_decode");
+    g.throughput(Throughput::Elements(pixels));
+    g.bench_function("sjpg_full", |b| {
+        b.iter(|| sjpg::decode(std::hint::black_box(&jpg)).unwrap())
+    });
+    g.bench_function("sjpg_roi_224", |b| {
+        b.iter(|| sjpg::decode_roi(std::hint::black_box(&jpg), roi).unwrap())
+    });
+    g.bench_function("sjpg_early_stop_64_rows", |b| {
+        b.iter(|| sjpg::decode_rows(std::hint::black_box(&jpg), 64).unwrap())
+    });
+    g.bench_function("spng_full", |b| {
+        b.iter(|| spng::decode(std::hint::black_box(&png)).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("codec_encode");
+    g.throughput(Throughput::Elements(pixels));
+    g.bench_function("sjpg_q85", |b| {
+        b.iter(|| SjpgEncoder::new(85).encode(std::hint::black_box(&img)).unwrap())
+    });
+    g.bench_function("spng", |b| {
+        b.iter(|| spng::encode(std::hint::black_box(&img)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_preproc(c: &mut Criterion) {
+    let img = test_image();
+    let resized = resize_short_edge_u8(&img, 256).unwrap();
+    let cropped = center_crop_u8(&resized, 224, 224).unwrap();
+    let norm = Normalization::IMAGENET;
+
+    let mut g = c.benchmark_group("preproc_ops");
+    g.throughput(Throughput::Elements((224 * 224 * 3) as u64));
+    g.bench_function("resize_short_edge_256", |b| {
+        b.iter(|| resize_short_edge_u8(std::hint::black_box(&img), 256).unwrap())
+    });
+    g.bench_function("unfused_convert_normalize_split", |b| {
+        b.iter_batched(
+            || cropped.clone(),
+            |img| {
+                let t = to_f32(&img);
+                let mut chw = hwc_to_chw(&t);
+                normalize_chw(&mut chw, &norm).unwrap();
+                chw
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("fused_convert_normalize_split", |b| {
+        b.iter(|| fused_convert_normalize_split(std::hint::black_box(&cropped), &norm).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag_optimizer");
+    let plan = PreprocPlan::standard(256, 224, 224);
+    g.bench_function("optimize_standard_plan", |b| {
+        b.iter(|| DagOptimizer::default().optimize(std::hint::black_box(&plan), 640, 480))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codecs, bench_preproc, bench_planner
+}
+criterion_main!(benches);

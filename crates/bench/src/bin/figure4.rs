@@ -1,0 +1,87 @@
+//! Figure 4: accuracy vs throughput for the naive baseline, Tahoma, and
+//! Smol on the four image datasets (Pareto frontiers), plus the headline
+//! speedups at fixed accuracy (paper: up to 5.9× vs ResNet-18, 2.2× vs
+//! ResNet-50).
+
+use smol_bench::imagexp::{
+    naive_points, pareto, smol_points, speedup_at_fixed_accuracy, tahoma_points, PreprocProfile,
+    Toggles,
+};
+use smol_bench::{fmt_pct, fmt_ratio, fmt_tput, quick_mode, scaled, ModelZoo, Table, VariantSet};
+use smol_data::still_catalog;
+
+fn main() {
+    let n_images = scaled(192);
+    let mut global_best_rn18 = 0.0f64;
+    let mut global_best_rn50 = 0.0f64;
+    for spec in still_catalog() {
+        println!("\n=== {} ===", spec.name);
+        println!("training model zoo (3 tiers x 2 procedures)...");
+        let zoo = ModelZoo::train(&spec, 42);
+        println!("encoding + profiling {n_images} throughput-track images...");
+        let set = VariantSet::build(&spec, n_images, 13);
+        let profile = PreprocProfile::measure(&set);
+
+        let naive = naive_points(&zoo, &profile);
+        let tahoma = tahoma_points(&zoo, &profile, quick_mode(), 77);
+        let smol = smol_points(&zoo, &profile, Toggles::all());
+
+        let mut table = Table::new(
+            format!("Figure 4 — {} (all points)", spec.name),
+            &["System", "Config", "Accuracy", "Throughput (im/s)", "Pareto"],
+        );
+        for (points, frontier) in [
+            (&naive, pareto(&naive)),
+            (&tahoma, pareto(&tahoma)),
+            (&smol, pareto(&smol)),
+        ] {
+            for p in points.iter() {
+                let on_frontier = frontier
+                    .iter()
+                    .any(|f| f.config == p.config && (f.throughput - p.throughput).abs() < 1e-9);
+                table.row(&[
+                    p.system.to_string(),
+                    p.config.clone(),
+                    fmt_pct(p.accuracy),
+                    fmt_tput(p.throughput),
+                    if on_frontier { "*".into() } else { "".into() },
+                ]);
+            }
+        }
+        table.print();
+        table.write_csv(&format!("figure4_{}", spec.name));
+
+        let speedups = speedup_at_fixed_accuracy(&smol, &naive);
+        for (config, base, best, ratio) in &speedups {
+            println!(
+                "  speedup at {config} accuracy: {} -> {} = {}",
+                fmt_tput(*base),
+                fmt_tput(*best),
+                fmt_ratio(*ratio)
+            );
+            if config.contains("18") {
+                global_best_rn18 = global_best_rn18.max(*ratio);
+            }
+            if config.contains("50") {
+                global_best_rn50 = global_best_rn50.max(*ratio);
+            }
+        }
+        // Shape checks for this dataset.
+        let naive_best_tput = naive.iter().map(|p| p.throughput).fold(0.0f64, f64::max);
+        let smol_best_tput = smol.iter().map(|p| p.throughput).fold(0.0f64, f64::max);
+        println!(
+            "  shape: Smol extends the frontier rightward: {} ({} vs {})",
+            smol_best_tput > naive_best_tput,
+            fmt_tput(smol_best_tput),
+            fmt_tput(naive_best_tput)
+        );
+    }
+    println!(
+        "\nHeadline: max speedup at ResNet-18-fixed accuracy: {} (paper: up to 5.9x)",
+        fmt_ratio(global_best_rn18)
+    );
+    println!(
+        "Headline: max speedup at ResNet-50-fixed accuracy: {} (paper: up to 2.2x)",
+        fmt_ratio(global_best_rn50)
+    );
+}

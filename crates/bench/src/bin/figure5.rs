@@ -1,0 +1,68 @@
+//! Figure 5: lesion study — remove (1) low-resolution data and
+//! (2) preprocessing optimizations from Smol individually; both must shift
+//! the Pareto frontier down/left on every dataset.
+
+use smol_bench::imagexp::{pareto, smol_points, PreprocProfile, Toggles};
+use smol_bench::{fmt_pct, fmt_tput, scaled, ModelZoo, Table, VariantSet};
+use smol_data::still_catalog;
+
+fn main() {
+    let n_images = scaled(192);
+    for spec in still_catalog() {
+        println!("\n=== {} ===", spec.name);
+        let zoo = ModelZoo::train(&spec, 42);
+        let set = VariantSet::build(&spec, n_images, 13);
+        let profile = PreprocProfile::measure(&set);
+
+        let configs = [
+            ("SMOL", Toggles::all()),
+            (
+                "-Low res",
+                Toggles {
+                    low_res: false,
+                    preproc_opt: true,
+                },
+            ),
+            (
+                "-Preproc opt",
+                Toggles {
+                    low_res: true,
+                    preproc_opt: false,
+                },
+            ),
+        ];
+        let mut table = Table::new(
+            format!("Figure 5 — lesion study, {} (Pareto frontiers)", spec.name),
+            &["Variant", "Config", "Accuracy", "Throughput (im/s)"],
+        );
+        let mut best: Vec<(&str, f64)> = Vec::new();
+        for (name, toggles) in configs {
+            let points = smol_points(&zoo, &profile, toggles);
+            let frontier = pareto(&points);
+            best.push((name, frontier.iter().map(|p| p.throughput).fold(0.0, f64::max)));
+            for p in frontier {
+                table.row(&[
+                    name.to_string(),
+                    p.config,
+                    fmt_pct(p.accuracy),
+                    fmt_tput(p.throughput),
+                ]);
+            }
+        }
+        table.print();
+        table.write_csv(&format!("figure5_{}", spec.name));
+        let full = best[0].1;
+        println!(
+            "  shape: removing low-res hurts peak throughput: {} ({} vs {});",
+            best[1].1 < full,
+            fmt_tput(best[1].1),
+            fmt_tput(full)
+        );
+        println!(
+            "  shape: removing preproc opts hurts peak throughput: {} ({} vs {})",
+            best[2].1 < full,
+            fmt_tput(best[2].1),
+            fmt_tput(full)
+        );
+    }
+}

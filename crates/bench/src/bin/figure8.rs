@@ -1,0 +1,9 @@
+//! Figure 8: factor analysis of the systems optimizations — the cumulative
+//! counterpart of Figure 7's lesion study. Shares its implementation.
+
+#[path = "figure7.rs"]
+mod figure7;
+
+fn main() {
+    figure7::run(true);
+}

@@ -1,0 +1,53 @@
+//! Table 1: ResNet-50 throughput on the T4 under three execution
+//! environments (Keras / PyTorch / TensorRT), each at its optimal batch.
+//!
+//! Measured by timing back-to-back batches on the virtual device (whose
+//! service rates are calibrated to the paper's anchors); the point of the
+//! table is the ~17× software gap between Keras and TensorRT.
+
+use smol_accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
+use smol_bench::{fmt_tput, Table};
+use smol_runtime::measure_exec_throughput;
+
+fn main() {
+    let paper = [243.0, 424.0, 4513.0];
+    let mut table = Table::new(
+        "Table 1 — ResNet-50 throughput on the T4 by execution environment",
+        &[
+            "Environment",
+            "Batch",
+            "Paper (im/s)",
+            "Measured (im/s)",
+            "Error",
+        ],
+    );
+    let mut keras = 0.0;
+    let mut trt = 0.0;
+    for (env, paper_tput) in ExecutionEnv::all().into_iter().zip(paper) {
+        let device = VirtualDevice::new(GpuModel::T4, env, 1.0);
+        let batch = env.table1_batch();
+        // Enough batches for ≥1 s of simulated time per environment.
+        let n_batches = ((paper_tput * 1.2 / batch as f64).ceil() as usize).clamp(4, 100);
+        let measured = measure_exec_throughput(&device, ModelKind::ResNet50, batch, n_batches);
+        if env == ExecutionEnv::Keras {
+            keras = measured;
+        }
+        if env == ExecutionEnv::TensorRt {
+            trt = measured;
+        }
+        table.row(&[
+            env.name().to_string(),
+            batch.to_string(),
+            fmt_tput(paper_tput),
+            fmt_tput(measured),
+            format!("{:.1}%", (measured - paper_tput).abs() / paper_tput * 100.0),
+        ]);
+    }
+    table.print();
+    table.write_csv("table1");
+    println!(
+        "\nTensorRT / Keras ratio: measured {:.1}x (paper: {:.1}x — \"over a 17x improvement\")",
+        trt / keras,
+        4513.0 / 243.0
+    );
+}

@@ -1,0 +1,67 @@
+//! Table 2: throughput and top-1 accuracy across ResNet depths — the
+//! accuracy/throughput trade-off that motivates cost-based model selection.
+//!
+//! Throughput comes from the calibrated virtual device; accuracy comes from
+//! the empirical track: SmolNet capacity tiers trained from scratch on
+//! imagenet-sim (paper accuracies shown for reference).
+
+use smol_accel::ModelKind;
+use smol_bench::{fmt_pct, fmt_tput, t4_device, tier_model, Table};
+use smol_data::still_catalog;
+use smol_nn::{ClassifierConfig, InputFormat, SmolClassifier, Tier};
+use smol_runtime::measure_exec_throughput;
+
+fn main() {
+    let spec = still_catalog()
+        .into_iter()
+        .find(|s| s.name == "imagenet-sim")
+        .expect("catalog has imagenet-sim");
+    println!("training SmolNet ladder on {} (this takes ~1 min)...", spec.name);
+    let ds = smol_data::generate_stills(&spec, 42);
+
+    let mut table = Table::new(
+        "Table 2 — throughput and top-1 accuracy by model depth",
+        &[
+            "Model (ours)",
+            "Stand-in for",
+            "Paper tput",
+            "Measured tput",
+            "Paper acc (ImageNet)",
+            "Measured acc (imagenet-sim)",
+        ],
+    );
+    let mut rows: Vec<(f64, f64)> = Vec::new();
+    for tier in Tier::ladder() {
+        let model: ModelKind = tier_model(tier);
+        let mspec = model.spec();
+        let device = t4_device();
+        let n_batches = ((mspec.t4_tensorrt_throughput / 64.0).ceil() as usize).clamp(4, 100);
+        let tput = measure_exec_throughput(&device, model, 64, n_batches);
+        let clf = SmolClassifier::train(
+            &ClassifierConfig::new(tier),
+            &ds.train,
+            &ds.train_labels,
+            ds.n_classes,
+        );
+        let acc = clf.evaluate(&ds.test, &ds.test_labels, InputFormat::FullRes);
+        rows.push((tput, acc));
+        table.row(&[
+            tier.name().to_string(),
+            mspec.name.to_string(),
+            fmt_tput(mspec.t4_tensorrt_throughput),
+            fmt_tput(tput),
+            format!("{:.2}%", mspec.paper_top1_accuracy.unwrap_or(f64::NAN)),
+            fmt_pct(acc),
+        ]);
+    }
+    table.print();
+    table.write_csv("table2");
+
+    let monotone_tput = rows.windows(2).all(|w| w[0].0 > w[1].0);
+    let acc_gain = rows.last().unwrap().1 - rows.first().unwrap().1;
+    println!(
+        "\nShape check: throughput strictly decreases with depth: {monotone_tput}; \
+         accuracy gain T18→T50: {:+.1} pts (paper: +6.1 pts)",
+        acc_gain * 100.0
+    );
+}

@@ -1,0 +1,49 @@
+//! Table 5: ResNet-50 throughput across GPU generations (K80 → RTX),
+//! batch 64 — "throughput has improved by over 94×".
+
+use smol_accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
+use smol_bench::{fmt_tput, Table};
+use smol_runtime::measure_exec_throughput;
+
+fn main() {
+    let mut table = Table::new(
+        "Table 5 — ResNet-50 throughput by GPU generation (batch 64, TensorRT)",
+        &[
+            "GPU",
+            "Release",
+            "Paper (im/s)",
+            "Measured (im/s)",
+            "Error",
+        ],
+    );
+    let mut first = f64::NAN;
+    let mut last = f64::NAN;
+    for gpu in GpuModel::table5_order() {
+        let spec = gpu.spec();
+        let device = VirtualDevice::new(gpu, ExecutionEnv::TensorRt, 1.0);
+        let n_batches = ((spec.resnet50_batch64 / 64.0).ceil() as usize).clamp(3, 80);
+        let measured = measure_exec_throughput(&device, ModelKind::ResNet50, 64, n_batches);
+        if gpu == GpuModel::K80 {
+            first = measured;
+        }
+        if gpu == GpuModel::Rtx {
+            last = measured;
+        }
+        table.row(&[
+            spec.name.to_string(),
+            spec.release_year.to_string(),
+            fmt_tput(spec.resnet50_batch64),
+            fmt_tput(measured),
+            format!(
+                "{:.1}%",
+                (measured - spec.resnet50_batch64).abs() / spec.resnet50_batch64 * 100.0
+            ),
+        ]);
+    }
+    table.print();
+    table.write_csv("table5");
+    println!(
+        "\nK80 → RTX improvement: measured {:.0}x (paper: 94x)",
+        last / first
+    );
+}

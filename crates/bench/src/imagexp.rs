@@ -1,0 +1,209 @@
+//! Shared engine for the image-analytics experiments (Figures 4–6):
+//! builds (accuracy, throughput) points for the naive baseline, Tahoma, and
+//! Smol, under configurable optimization toggles.
+//!
+//! Accuracy comes from really-trained models ([`ModelZoo`], cascades);
+//! throughput combines pipelined-profiled preprocessing rates with the
+//! calibrated device execution rates through the validated `min` cost model
+//! (Table 3 / §8.2 validate that model against full pipeline runs).
+
+use crate::context::{tier_model, ModelZoo, VariantKind, VariantSet, VCPUS};
+use smol_accel::{throughput as model_throughput, ExecutionEnv, GpuModel, ModelKind};
+use smol_core::{cascade_exec_throughput, CascadeStage, Planner, PlannerConfig};
+use smol_nn::{InputFormat, Tier};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One (accuracy, throughput) point in a Figure-4-style plot.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub system: &'static str,
+    pub config: String,
+    pub accuracy: f64,
+    pub throughput: f64,
+}
+
+/// Which Smol optimizations are active (the Figure 5/6 toggles).
+#[derive(Debug, Clone, Copy)]
+pub struct Toggles {
+    pub low_res: bool,
+    pub preproc_opt: bool,
+}
+
+impl Toggles {
+    pub fn all() -> Self {
+        Toggles {
+            low_res: true,
+            preproc_opt: true,
+        }
+    }
+}
+
+fn planner(preproc_opt: bool) -> Planner {
+    Planner::new(PlannerConfig {
+        enable_dag_opt: preproc_opt,
+        ..Default::default()
+    })
+}
+
+/// Profiled preprocessing throughputs for every (variant, opt) pair.
+pub struct PreprocProfile {
+    rates: HashMap<(VariantKind, bool), f64>,
+}
+
+impl PreprocProfile {
+    /// Profiles all variants under both optimized and unoptimized planners.
+    pub fn measure(set: &VariantSet) -> Self {
+        let mut rates = HashMap::new();
+        for opt in [true, false] {
+            let p = planner(opt);
+            for kind in VariantKind::all() {
+                let (_, tput) = set.plan_and_profile(&p, ModelKind::ResNet50, kind, VCPUS);
+                rates.insert((kind, opt), tput);
+            }
+        }
+        PreprocProfile { rates }
+    }
+
+    pub fn rate(&self, kind: VariantKind, opt: bool) -> f64 {
+        *self.rates.get(&(kind, opt)).expect("profiled")
+    }
+}
+
+fn exec_rate(tier: Tier) -> f64 {
+    model_throughput(tier_model(tier), GpuModel::T4, ExecutionEnv::TensorRt, 64)
+}
+
+/// The naive baseline: standard ResNets on full-resolution data, standard
+/// (unoptimized) preprocessing.
+pub fn naive_points(zoo: &ModelZoo, profile: &PreprocProfile) -> Vec<Point> {
+    let preproc = profile.rate(VariantKind::FullRes, false);
+    Tier::ladder()
+        .into_iter()
+        .map(|tier| Point {
+            system: "naive",
+            config: tier.name().to_string(),
+            accuracy: zoo.accuracy(tier, VariantKind::FullRes, false),
+            throughput: preproc.min(exec_rate(tier)),
+        })
+        .collect()
+}
+
+/// Smol: the D × F product under the given toggles; augmented models on
+/// thumbnails, ROI/DAG-optimized preprocessing when enabled.
+pub fn smol_points(zoo: &ModelZoo, profile: &PreprocProfile, toggles: Toggles) -> Vec<Point> {
+    let mut points = Vec::new();
+    for kind in VariantKind::all() {
+        if kind.is_thumbnail() && !toggles.low_res {
+            continue;
+        }
+        let preproc = profile.rate(kind, toggles.preproc_opt);
+        for tier in Tier::ladder() {
+            points.push(Point {
+                system: "SMOL",
+                config: format!("{} @ {}", tier.name(), kind.label()),
+                accuracy: zoo.accuracy(tier, kind, true),
+                throughput: preproc.min(exec_rate(tier)),
+            });
+        }
+    }
+    points
+}
+
+/// Tahoma: eight specialized-CNN cascades into the target model, on
+/// full-resolution data with standard preprocessing. Cascade overheads
+/// (extra resize + copy per passed image, Appendix/§8.3) are charged on the
+/// CPU side.
+pub fn tahoma_points(
+    zoo: &ModelZoo,
+    profile: &PreprocProfile,
+    quick: bool,
+    seed: u64,
+) -> Vec<Point> {
+    let target = Arc::new(zoo.model(Tier::T50, false).clone());
+    let variants = smol_analytics::tahoma_variants();
+    let take = if quick { 4 } else { variants.len() };
+    let preproc = profile.rate(VariantKind::FullRes, false);
+    let target_rate = exec_rate(Tier::T50);
+    let spec_rate =
+        model_throughput(ModelKind::TahomaSmall, GpuModel::T4, ExecutionEnv::TensorRt, 256);
+    variants
+        .into_iter()
+        .take(take)
+        .enumerate()
+        .map(|(i, variant)| {
+            let cascade = smol_analytics::Cascade::train(
+                variant,
+                target.clone(),
+                &zoo.dataset.train,
+                &zoo.dataset.train_labels,
+                zoo.dataset.n_classes,
+                seed + i as u64,
+            );
+            let eval = cascade.evaluate(
+                &zoo.dataset.test,
+                &zoo.dataset.test_labels,
+                InputFormat::FullRes,
+            );
+            let stages = vec![
+                CascadeStage::new(spec_rate, 1.0),
+                CascadeStage::new(target_rate, eval.pass_rate),
+            ];
+            let exec = cascade_exec_throughput(&stages);
+            // Passed images are re-preprocessed for the target's input
+            // resolution and copied again (§8.3's "coalescing and further
+            // preprocessing operations").
+            let cascade_cpu = 1.0 / (1.0 / preproc * (1.0 + 0.5 * eval.pass_rate));
+            Point {
+                system: "Tahoma",
+                config: format!(
+                    "{}@{}px thr {:.2}",
+                    variant.tier.name(),
+                    variant.input_size,
+                    variant.threshold
+                ),
+                accuracy: eval.accuracy,
+                throughput: cascade_cpu.min(exec),
+            }
+        })
+        .collect()
+}
+
+/// Pareto frontier over points (max throughput per accuracy level).
+pub fn pareto(points: &[Point]) -> Vec<Point> {
+    let mut sorted: Vec<Point> = points.to_vec();
+    sorted.sort_by(|a, b| {
+        b.throughput
+            .partial_cmp(&a.throughput)
+            .expect("finite")
+            .then(b.accuracy.partial_cmp(&a.accuracy).expect("finite"))
+    });
+    let mut out: Vec<Point> = Vec::new();
+    let mut best = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.accuracy > best {
+            best = p.accuracy;
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Max speedup of `ours` over each `baseline` point at no accuracy loss:
+/// returns (baseline config, baseline tput, best tput, speedup).
+pub fn speedup_at_fixed_accuracy(
+    ours: &[Point],
+    baseline: &[Point],
+) -> Vec<(String, f64, f64, f64)> {
+    baseline
+        .iter()
+        .map(|b| {
+            let best = ours
+                .iter()
+                .filter(|p| p.accuracy >= b.accuracy - 1e-9)
+                .map(|p| p.throughput)
+                .fold(0.0f64, f64::max);
+            (b.config.clone(), b.throughput, best, best / b.throughput)
+        })
+        .collect()
+}

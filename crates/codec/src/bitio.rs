@@ -1,0 +1,213 @@
+//! MSB-first bit-level I/O used by both codecs' entropy coders.
+
+use crate::error::{Error, Result};
+
+/// MSB-first bit writer over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits accumulated in `acc`, most-significant side filled first.
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            buf: Vec::with_capacity(bytes),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Writes the low `n` bits of `value`, MSB first. `n` must be ≤ 32.
+    #[inline]
+    pub fn put(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || value < (1u32 << n));
+        self.acc = (self.acc << n) | value as u64;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.buf.push((self.acc >> self.nbits) as u8);
+        }
+    }
+
+    /// Current position in bits (including unflushed bits).
+    pub fn bit_pos(&self) -> u64 {
+        self.buf.len() as u64 * 8 + self.nbits as u64
+    }
+
+    /// Pads to a byte boundary with zero bits.
+    pub fn align_byte(&mut self) {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put(0, pad);
+        }
+    }
+
+    /// Pads to a byte boundary and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.buf
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Absolute bit cursor.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Total number of bits available.
+    pub fn len_bits(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Moves the cursor to an absolute bit position (used to seek to MCU-row
+    /// restart points for partial decoding).
+    pub fn seek_bits(&mut self, pos: u64) -> Result<()> {
+        if pos > self.len_bits() {
+            return Err(Error::Truncated {
+                context: "BitReader::seek_bits",
+            });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn bit(&mut self) -> Result<u32> {
+        if self.pos >= self.len_bits() {
+            return Err(Error::Truncated {
+                context: "BitReader::bit",
+            });
+        }
+        let byte = self.data[(self.pos >> 3) as usize];
+        let bit = (byte >> (7 - (self.pos & 7))) & 1;
+        self.pos += 1;
+        Ok(bit as u32)
+    }
+
+    /// Reads `n` bits (≤ 32), MSB first.
+    #[inline]
+    pub fn bits(&mut self, n: u32) -> Result<u32> {
+        debug_assert!(n <= 32);
+        if self.pos + n as u64 > self.len_bits() {
+            return Err(Error::Truncated {
+                context: "BitReader::bits",
+            });
+        }
+        let mut v: u32 = 0;
+        let mut remaining = n;
+        // Fast path: pull whole bytes when aligned enough.
+        while remaining > 0 {
+            let byte_idx = (self.pos >> 3) as usize;
+            let bit_off = (self.pos & 7) as u32;
+            let avail = 8 - bit_off;
+            let take = avail.min(remaining);
+            let byte = self.data[byte_idx] as u32;
+            let chunk = (byte >> (avail - take)) & ((1u32 << take) - 1);
+            v = (v << take) | chunk;
+            self.pos += take as u64;
+            remaining -= take;
+        }
+        Ok(v)
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.pos = (self.pos + 7) & !7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.put(0b1, 1);
+        w.put(0b1011, 4);
+        w.put(0xABCD, 16);
+        w.put(0, 3);
+        w.put(0x7FFF_FFFF, 31);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(1).unwrap(), 0b1);
+        assert_eq!(r.bits(4).unwrap(), 0b1011);
+        assert_eq!(r.bits(16).unwrap(), 0xABCD);
+        assert_eq!(r.bits(3).unwrap(), 0);
+        assert_eq!(r.bits(31).unwrap(), 0x7FFF_FFFF);
+    }
+
+    #[test]
+    fn align_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.align_byte();
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn bit_pos_tracks_written_bits() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_pos(), 0);
+        w.put(0, 5);
+        assert_eq!(w.bit_pos(), 5);
+        w.put(0, 11);
+        assert_eq!(w.bit_pos(), 16);
+    }
+
+    #[test]
+    fn reader_detects_truncation() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert!(r.bits(8).is_ok());
+        assert!(r.bit().is_err());
+    }
+
+    #[test]
+    fn seek_enables_random_access() {
+        let mut w = BitWriter::new();
+        for i in 0..16u32 {
+            w.put(i, 4);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        r.seek_bits(4 * 7).unwrap();
+        assert_eq!(r.bits(4).unwrap(), 7);
+        assert!(r.seek_bits(bytes.len() as u64 * 8 + 1).is_err());
+    }
+
+    #[test]
+    fn single_bits_match_multibit_read() {
+        let mut w = BitWriter::new();
+        w.put(0b1101_0010_1100_0111, 16);
+        let bytes = w.finish();
+        let mut r1 = BitReader::new(&bytes);
+        let mut v = 0u32;
+        for _ in 0..16 {
+            v = (v << 1) | r1.bit().unwrap();
+        }
+        assert_eq!(v, 0b1101_0010_1100_0111);
+    }
+}

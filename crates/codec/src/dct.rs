@@ -1,0 +1,126 @@
+//! 8×8 forward and inverse DCT-II (separable, precomputed basis).
+//!
+//! The IDCT is the compute-heavy, vectorizable part of block decoding —
+//! the counterpart to entropy decoding's branchy sequential cost (§6.4).
+
+/// Block edge length used throughout the codec.
+pub const BLOCK: usize = 8;
+
+/// Precomputed `cos((2x+1)uπ/16) * scale(u)` basis, row-major `[u][x]`.
+fn basis() -> &'static [[f32; BLOCK]; BLOCK] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; BLOCK]; BLOCK]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0.0f32; BLOCK]; BLOCK];
+        for (u, row) in b.iter_mut().enumerate() {
+            let scale = if u == 0 {
+                (1.0f64 / BLOCK as f64).sqrt()
+            } else {
+                (2.0f64 / BLOCK as f64).sqrt()
+            };
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = (scale
+                    * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI
+                        / (2.0 * BLOCK as f64))
+                        .cos()) as f32;
+            }
+        }
+        b
+    })
+}
+
+/// Forward 8×8 DCT-II of a level-shifted block (`input` in [-128, 127]).
+pub fn forward_dct(input: &[f32; BLOCK * BLOCK], output: &mut [f32; BLOCK * BLOCK]) {
+    let b = basis();
+    // Rows then columns (separable).
+    let mut tmp = [0.0f32; BLOCK * BLOCK];
+    for y in 0..BLOCK {
+        for (u, bu) in b.iter().enumerate() {
+            let mut acc = 0.0;
+            for (x, &bux) in bu.iter().enumerate() {
+                acc += input[y * BLOCK + x] * bux;
+            }
+            tmp[y * BLOCK + u] = acc;
+        }
+    }
+    for u in 0..BLOCK {
+        for (v, bv) in b.iter().enumerate() {
+            let mut acc = 0.0;
+            for (y, &bvy) in bv.iter().enumerate() {
+                acc += tmp[y * BLOCK + u] * bvy;
+            }
+            output[v * BLOCK + u] = acc;
+        }
+    }
+}
+
+/// Inverse 8×8 DCT (DCT-III), producing a level-shifted block.
+pub fn inverse_dct(input: &[f32; BLOCK * BLOCK], output: &mut [f32; BLOCK * BLOCK]) {
+    let b = basis();
+    let mut tmp = [0.0f32; BLOCK * BLOCK];
+    // Columns first: tmp[y][u] = sum_v input[v][u] * basis[v][y]
+    for u in 0..BLOCK {
+        for y in 0..BLOCK {
+            let mut acc = 0.0;
+            for (v, bv) in b.iter().enumerate() {
+                acc += input[v * BLOCK + u] * bv[y];
+            }
+            tmp[y * BLOCK + u] = acc;
+        }
+    }
+    // Rows: out[y][x] = sum_u tmp[y][u] * basis[u][x]
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let mut acc = 0.0;
+            for (u, bu) in b.iter().enumerate() {
+                acc += tmp[y * BLOCK + u] * bu[x];
+            }
+            output[y * BLOCK + x] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let input = [64.0f32; BLOCK * BLOCK];
+        let mut out = [0.0f32; BLOCK * BLOCK];
+        forward_dct(&input, &mut out);
+        // DC = 64 * 8 (sum * 1/sqrt(8) per axis → 64*8).
+        assert!((out[0] - 64.0 * 8.0).abs() < 1e-3, "dc={}", out[0]);
+        for (i, &v) in out.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-3, "ac[{i}]={v}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let mut input = [0.0f32; BLOCK * BLOCK];
+        for (i, v) in input.iter_mut().enumerate() {
+            *v = ((i * 37 % 255) as f32) - 128.0;
+        }
+        let mut freq = [0.0f32; BLOCK * BLOCK];
+        let mut back = [0.0f32; BLOCK * BLOCK];
+        forward_dct(&input, &mut freq);
+        inverse_dct(&freq, &mut back);
+        for i in 0..BLOCK * BLOCK {
+            assert!((input[i] - back[i]).abs() < 1e-2, "i={i}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut input = [0.0f32; BLOCK * BLOCK];
+        for (i, v) in input.iter_mut().enumerate() {
+            *v = (i as f32 * 0.7).sin() * 100.0;
+        }
+        let mut freq = [0.0f32; BLOCK * BLOCK];
+        forward_dct(&input, &mut freq);
+        let e_in: f32 = input.iter().map(|v| v * v).sum();
+        let e_out: f32 = freq.iter().map(|v| v * v).sum();
+        assert!((e_in - e_out).abs() / e_in < 1e-4);
+    }
+}

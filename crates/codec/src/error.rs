@@ -1,0 +1,56 @@
+//! Error type for codec operations.
+
+use std::fmt;
+
+/// Errors raised by the sjpg/spng codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Bitstream ended before the expected data.
+    Truncated { context: &'static str },
+    /// The header magic or version did not match.
+    BadMagic { expected: &'static str },
+    /// A header field held an invalid value.
+    BadHeader(String),
+    /// A Huffman code in the stream does not map to any symbol.
+    BadCode { context: &'static str },
+    /// Attempted to build a Huffman table from unusable inputs.
+    BadTable(String),
+    /// The requested region is invalid for this image.
+    BadRegion(String),
+    /// An image-level error bubbled up from imgproc.
+    Image(smol_imgproc::Error),
+    /// Quality parameter out of the accepted 1..=100 range.
+    BadQuality(u8),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated { context } => write!(f, "truncated bitstream in {context}"),
+            Error::BadMagic { expected } => write!(f, "bad magic, expected {expected}"),
+            Error::BadHeader(msg) => write!(f, "bad header: {msg}"),
+            Error::BadCode { context } => write!(f, "invalid entropy code in {context}"),
+            Error::BadTable(msg) => write!(f, "bad Huffman table: {msg}"),
+            Error::BadRegion(msg) => write!(f, "bad region: {msg}"),
+            Error::Image(e) => write!(f, "image error: {e}"),
+            Error::BadQuality(q) => write!(f, "quality {q} outside 1..=100"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Image(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<smol_imgproc::Error> for Error {
+    fn from(e: smol_imgproc::Error) -> Self {
+        Error::Image(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,182 @@
+//! # smol-codec
+//!
+//! From-scratch image codecs whose decode cost structure mirrors the formats
+//! the paper studies (§2, §6.4):
+//!
+//! * [`sjpg`] — a DCT block codec (JPEG anatomy): branchy sequential Huffman
+//!   entropy decoding + vectorizable IDCT, with **ROI/partial decoding** via
+//!   an MCU-row index and **early stopping**;
+//! * [`spng`] — a lossless codec (PNG anatomy): predictive scanline filters +
+//!   LZ77/Huffman, strictly sequential, with **early stopping**;
+//! * [`registry`] — the Table-4 format/feature matrix.
+//!
+//! [`EncodedImage`] is the uniform container the rest of the system passes
+//! around: cheaply cloneable bytes (`bytes::Bytes`) tagged with their format.
+
+pub mod bitio;
+pub mod dct;
+pub mod error;
+pub mod huffman;
+pub mod quant;
+pub mod registry;
+pub mod sjpg;
+pub mod spng;
+
+pub use error::{Error, Result};
+pub use sjpg::{DecodeStats, SjpgEncoder};
+
+use bytes::Bytes;
+use smol_imgproc::{ImageU8, Rect};
+
+/// The encodings understood end to end by the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Lossy DCT block codec; `quality` ∈ 1..=100.
+    Sjpg { quality: u8 },
+    /// Lossless predictive+LZ codec.
+    Spng,
+}
+
+impl Format {
+    pub fn name(&self) -> String {
+        match self {
+            Format::Sjpg { quality } => format!("sjpg(q={quality})"),
+            Format::Spng => "spng".to_string(),
+        }
+    }
+
+    pub fn is_lossless(&self) -> bool {
+        matches!(self, Format::Spng)
+    }
+}
+
+/// An encoded image: format tag + shared bytes + cached dimensions.
+#[derive(Debug, Clone)]
+pub struct EncodedImage {
+    pub format: Format,
+    pub width: usize,
+    pub height: usize,
+    pub bytes: Bytes,
+}
+
+impl EncodedImage {
+    /// Encodes `img` in the requested format.
+    pub fn encode(img: &ImageU8, format: Format) -> Result<Self> {
+        let bytes = match format {
+            Format::Sjpg { quality } => SjpgEncoder::new(quality).encode(img)?,
+            Format::Spng => spng::encode(img)?,
+        };
+        Ok(EncodedImage {
+            format,
+            width: img.width(),
+            height: img.height(),
+            bytes,
+        })
+    }
+
+    /// Fully decodes.
+    pub fn decode(&self) -> Result<ImageU8> {
+        match self.format {
+            Format::Sjpg { .. } => sjpg::decode(&self.bytes),
+            Format::Spng => spng::decode(&self.bytes),
+        }
+    }
+
+    /// Decodes only what is needed to cover `roi`, exploiting whatever
+    /// low-fidelity feature the format offers:
+    ///
+    /// * sjpg: macroblock-aligned ROI decode (rows skipped via the index,
+    ///   off-ROI columns skip IDCT);
+    /// * spng: raster-order early stopping after the ROI's bottom row (the
+    ///   stream is sequential, so rows above the ROI must still be decoded).
+    ///
+    /// Returns the decoded pixels and the region of the source they cover.
+    pub fn decode_roi(&self, roi: Rect) -> Result<(ImageU8, Rect)> {
+        match self.format {
+            Format::Sjpg { .. } => {
+                let (img, aligned, _) = sjpg::decode_roi(&self.bytes, roi)?;
+                Ok((img, aligned))
+            }
+            Format::Spng => {
+                if !roi.fits_in(self.width, self.height) || roi.w == 0 || roi.h == 0 {
+                    return Err(Error::BadRegion(format!(
+                        "roi {roi:?} invalid for {}x{}",
+                        self.width, self.height
+                    )));
+                }
+                let rows = roi.y_end();
+                let (img, _) = spng::decode_rows(&self.bytes, rows)?;
+                Ok((img, Rect::new(0, 0, self.width, rows)))
+            }
+        }
+    }
+
+    /// Compressed size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Compression ratio relative to raw RGB.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.width * self.height * 3) as f64 / self.bytes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize) -> ImageU8 {
+        let mut img = ImageU8::zeros(w, h, 3);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, 0, ((x * 3 + y) % 256) as u8);
+                img.set(x, y, 1, ((x + y * 5) % 256) as u8);
+                img.set(x, y, 2, ((x * y) % 256) as u8);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn encoded_image_roundtrips_both_formats() {
+        let img = textured(48, 40);
+        for fmt in [Format::Sjpg { quality: 90 }, Format::Spng] {
+            let enc = EncodedImage::encode(&img, fmt).unwrap();
+            assert_eq!((enc.width, enc.height), (48, 40));
+            let dec = enc.decode().unwrap();
+            assert_eq!((dec.width(), dec.height()), (48, 40));
+            if fmt.is_lossless() {
+                assert_eq!(dec, img);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_roi_covers_requested_region_for_both_formats() {
+        let img = textured(96, 96);
+        let roi = Rect::new(30, 30, 40, 40);
+        for fmt in [Format::Sjpg { quality: 90 }, Format::Spng] {
+            let enc = EncodedImage::encode(&img, fmt).unwrap();
+            let (decoded, covered) = enc.decode_roi(roi).unwrap();
+            // The covered region must contain the ROI rows/cols it claims.
+            assert!(covered.x <= roi.x && covered.y <= roi.y);
+            assert!(covered.y_end() >= roi.y_end());
+            assert_eq!(decoded.width(), covered.w);
+            assert_eq!(decoded.height(), covered.h);
+        }
+    }
+
+    #[test]
+    fn compression_ratio_sane() {
+        let img = textured(64, 64);
+        let enc = EncodedImage::encode(&img, Format::Sjpg { quality: 75 }).unwrap();
+        assert!(enc.compression_ratio() > 2.0);
+    }
+
+    #[test]
+    fn format_names_stable() {
+        assert_eq!(Format::Sjpg { quality: 75 }.name(), "sjpg(q=75)");
+        assert_eq!(Format::Spng.name(), "spng");
+    }
+}

@@ -1,0 +1,135 @@
+//! Quantization tables and zig-zag coefficient ordering.
+//!
+//! The base tables are the ITU-T T.81 (JPEG) Annex K luminance/chrominance
+//! tables; quality scaling follows the libjpeg convention so that sjpg's
+//! `q=75` / `q=95` settings degrade fidelity comparably to JPEG's.
+
+use crate::dct::BLOCK;
+use crate::error::{Error, Result};
+
+/// Annex K.1 luminance quantization table (raster order).
+pub const BASE_LUMA: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Annex K.2 chrominance quantization table (raster order).
+pub const BASE_CHROMA: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Scales a base table for a quality setting in 1..=100 (libjpeg rule).
+pub fn scale_table(base: &[u16; 64], quality: u8) -> Result<[u16; 64]> {
+    if quality == 0 || quality > 100 {
+        return Err(Error::BadQuality(quality));
+    }
+    let q = quality as i32;
+    let scale = if q < 50 { 5000 / q } else { 200 - q * 2 };
+    let mut out = [0u16; 64];
+    for (o, &b) in out.iter_mut().zip(base.iter()) {
+        let v = (b as i32 * scale + 50) / 100;
+        *o = v.clamp(1, 255) as u16;
+    }
+    Ok(out)
+}
+
+/// Zig-zag scan order: `ZIGZAG[k]` is the raster index of the k-th
+/// coefficient in zig-zag order.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Quantizes a frequency-domain block into zig-zag-ordered integers.
+pub fn quantize_zigzag(freq: &[f32; BLOCK * BLOCK], table: &[u16; 64], out: &mut [i16; 64]) {
+    for (k, &raster) in ZIGZAG.iter().enumerate() {
+        let q = table[raster] as f32;
+        out[k] = (freq[raster] / q).round() as i16;
+    }
+}
+
+/// Dequantizes zig-zag coefficients back into a raster frequency block.
+pub fn dequantize_zigzag(coefs: &[i16; 64], table: &[u16; 64], out: &mut [f32; BLOCK * BLOCK]) {
+    for (k, &raster) in ZIGZAG.iter().enumerate() {
+        out[raster] = coefs[k] as f32 * table[raster] as f32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Spot-check the canonical start of the pattern.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+    }
+
+    #[test]
+    fn quality_scaling_monotone() {
+        let q95 = scale_table(&BASE_LUMA, 95).unwrap();
+        let q75 = scale_table(&BASE_LUMA, 75).unwrap();
+        let q20 = scale_table(&BASE_LUMA, 20).unwrap();
+        for i in 0..64 {
+            assert!(q95[i] <= q75[i]);
+            assert!(q75[i] <= q20[i]);
+            assert!(q95[i] >= 1);
+        }
+    }
+
+    #[test]
+    fn quality_100_is_near_lossless() {
+        let t = scale_table(&BASE_LUMA, 100).unwrap();
+        assert!(t.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn bad_quality_rejected() {
+        assert!(scale_table(&BASE_LUMA, 0).is_err());
+        assert!(scale_table(&BASE_LUMA, 101).is_err());
+    }
+
+    #[test]
+    fn quantize_dequantize_bounded_error() {
+        let table = scale_table(&BASE_LUMA, 75).unwrap();
+        let mut freq = [0.0f32; 64];
+        for (i, v) in freq.iter_mut().enumerate() {
+            *v = ((i as f32) - 32.0) * 7.3;
+        }
+        let mut coefs = [0i16; 64];
+        quantize_zigzag(&freq, &table, &mut coefs);
+        let mut back = [0.0f32; 64];
+        dequantize_zigzag(&coefs, &table, &mut back);
+        for i in 0..64 {
+            let q = table[ZIGZAG.iter().position(|&z| z == i).map(|k| ZIGZAG[k]).unwrap()] as f32;
+            let _ = q;
+            let qi = table[i] as f32;
+            assert!((freq[i] - back[i]).abs() <= qi / 2.0 + 1e-3, "i={i}");
+        }
+    }
+}

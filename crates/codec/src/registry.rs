@@ -1,0 +1,120 @@
+//! Format registry: the low-fidelity decoding features of popular visual
+//! formats (Table 4 of the paper), plus the features of this crate's codecs.
+
+/// Low-fidelity decode features a format can support (§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LowFidelityFeature {
+    /// Independently decodable blocks allow ROI decoding (e.g. JPEG).
+    PartialDecoding,
+    /// Sequential streams can stop once the needed rows are out (PNG, WebP).
+    EarlyStopping,
+    /// In-loop filters (deblocking) can be skipped for cheaper decode
+    /// (H.264, HEVC, VP8/9).
+    ReducedFidelityDecoding,
+    /// Progressive/multi-resolution streams decode to a chosen resolution
+    /// (JPEG2000).
+    MultiResolutionDecoding,
+}
+
+/// Whether a format stores images or video.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MediaType {
+    Image,
+    Video,
+    ImageAndVideo,
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone)]
+pub struct FormatEntry {
+    pub name: &'static str,
+    pub media: MediaType,
+    pub features: &'static [LowFidelityFeature],
+    /// Which of this repository's codecs models the format (None when the
+    /// format is listed for completeness only).
+    pub modeled_by: Option<&'static str>,
+}
+
+/// The format matrix of Table 4, extended with the local model column.
+pub fn format_table() -> Vec<FormatEntry> {
+    use LowFidelityFeature::*;
+    use MediaType::*;
+    vec![
+        FormatEntry {
+            name: "JPEG",
+            media: Image,
+            features: &[PartialDecoding],
+            modeled_by: Some("sjpg"),
+        },
+        FormatEntry {
+            name: "PNG",
+            media: Image,
+            features: &[EarlyStopping],
+            modeled_by: Some("spng"),
+        },
+        FormatEntry {
+            name: "WebP",
+            media: Image,
+            features: &[EarlyStopping],
+            modeled_by: Some("spng"),
+        },
+        FormatEntry {
+            name: "HEIC/HEVC",
+            media: ImageAndVideo,
+            features: &[ReducedFidelityDecoding],
+            modeled_by: Some("smol-video"),
+        },
+        FormatEntry {
+            name: "H.264",
+            media: Video,
+            features: &[ReducedFidelityDecoding],
+            modeled_by: Some("smol-video"),
+        },
+        FormatEntry {
+            name: "VP8",
+            media: Video,
+            features: &[ReducedFidelityDecoding],
+            modeled_by: None,
+        },
+        FormatEntry {
+            name: "VP9",
+            media: Video,
+            features: &[ReducedFidelityDecoding],
+            modeled_by: None,
+        },
+        FormatEntry {
+            name: "JPEG2000",
+            media: Image,
+            features: &[MultiResolutionDecoding, PartialDecoding],
+            modeled_by: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_rows() {
+        let t = format_table();
+        let jpeg = t.iter().find(|e| e.name == "JPEG").unwrap();
+        assert!(jpeg
+            .features
+            .contains(&LowFidelityFeature::PartialDecoding));
+        let h264 = t.iter().find(|e| e.name == "H.264").unwrap();
+        assert!(h264
+            .features
+            .contains(&LowFidelityFeature::ReducedFidelityDecoding));
+        assert_eq!(h264.media, MediaType::Video);
+        let png = t.iter().find(|e| e.name == "PNG").unwrap();
+        assert!(png.features.contains(&LowFidelityFeature::EarlyStopping));
+    }
+
+    #[test]
+    fn local_codecs_cover_paper_formats() {
+        let t = format_table();
+        let modeled = t.iter().filter(|e| e.modeled_by.is_some()).count();
+        assert!(modeled >= 5);
+    }
+}

@@ -1,0 +1,663 @@
+//! sjpg — a from-scratch DCT block image codec with JPEG's cost anatomy.
+//!
+//! The pipeline matches JPEG 4:4:4 baseline: RGB→YCbCr, 8×8 block DCT,
+//! quality-scaled quantization (Annex-K tables), zig-zag + DC-DPCM +
+//! AC run-length magnitude coding, canonical Huffman entropy coding with
+//! per-image optimal tables.
+//!
+//! Two features exist specifically for the paper's partial-decoding
+//! optimizations (§6.4, Figure 3, Algorithm 1):
+//!
+//! * every MCU row is byte-aligned and indexed in the header (the moral
+//!   equivalent of JPEG restart markers + a tile index), so a decoder can
+//!   **seek past rows** outside a region of interest, and
+//! * within a row, blocks left of the ROI are entropy-decoded (the stream is
+//!   sequential) but skip dequantize+IDCT+color conversion, and decoding
+//!   **stops early** after the last ROI column / row.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::dct::{forward_dct, inverse_dct, BLOCK};
+use crate::error::{Error, Result};
+use crate::huffman::HuffmanTable;
+use crate::quant::{dequantize_zigzag, quantize_zigzag, scale_table, BASE_CHROMA, BASE_LUMA};
+use bytes::Bytes;
+use smol_imgproc::ops::colorspace::{rgb_pixel_to_ycbcr, ycbcr_pixel_to_rgb};
+use smol_imgproc::{ImageU8, Rect};
+
+const MAGIC: u32 = 0x534A_5047; // "SJPG"
+const VERSION: u32 = 1;
+const DC_ALPHABET: usize = 16;
+const AC_ALPHABET: usize = 256;
+const EOB: u16 = 0x00;
+const ZRL: u16 = 0xF0;
+
+/// Work counters filled in by decode calls; used by tests and benches to
+/// verify that partial decoding actually skips work.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Huffman symbols read (entropy-decode effort).
+    pub symbols_decoded: u64,
+    /// Blocks that went through dequantize + IDCT (compute effort).
+    pub blocks_idct: u64,
+    /// Pixels color-converted and written to the output.
+    pub pixels_written: u64,
+    /// MCU rows skipped entirely via the row index.
+    pub rows_skipped: u64,
+}
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SjpgEncoder {
+    pub quality: u8,
+}
+
+impl SjpgEncoder {
+    pub fn new(quality: u8) -> Self {
+        SjpgEncoder { quality }
+    }
+
+    /// Encodes an RGB image.
+    pub fn encode(&self, img: &ImageU8) -> Result<Bytes> {
+        if img.channels() != 3 {
+            return Err(Error::Image(smol_imgproc::Error::UnsupportedChannels {
+                channels: img.channels(),
+                op: "sjpg::encode",
+            }));
+        }
+        if img.width() == 0 || img.height() == 0 {
+            return Err(Error::BadHeader("zero-sized image".into()));
+        }
+        let luma_q = scale_table(&BASE_LUMA, self.quality)?;
+        let chroma_q = scale_table(&BASE_CHROMA, self.quality)?;
+
+        let bw = img.width().div_ceil(BLOCK);
+        let bh = img.height().div_ceil(BLOCK);
+
+        // Pass 1: transform + quantize all blocks, gather symbol statistics.
+        let mut blocks: Vec<[i16; 64]> = Vec::with_capacity(bw * bh * 3);
+        let mut dc_freq = [0u64; DC_ALPHABET];
+        let mut ac_freq = [0u64; AC_ALPHABET];
+        let mut pixel_block = [0.0f32; 64];
+        let mut freq_block = [0.0f32; 64];
+        for by in 0..bh {
+            let mut dc_pred = [0i16; 3];
+            for bx in 0..bw {
+                for comp in 0..3 {
+                    extract_block(img, bx, by, comp, &mut pixel_block);
+                    forward_dct(&pixel_block.clone(), &mut freq_block);
+                    let table = if comp == 0 { &luma_q } else { &chroma_q };
+                    let mut coefs = [0i16; 64];
+                    quantize_zigzag(&freq_block, table, &mut coefs);
+                    tally_block(&coefs, dc_pred[comp], &mut dc_freq, &mut ac_freq);
+                    dc_pred[comp] = coefs[0];
+                    blocks.push(coefs);
+                }
+            }
+        }
+        let dc_table = HuffmanTable::from_frequencies(&dc_freq, 16)?;
+        let ac_table = HuffmanTable::from_frequencies(&ac_freq, 16)?;
+
+        // Pass 2: entropy-encode the body, byte-aligning each MCU row and
+        // recording its byte offset.
+        let mut body = BitWriter::with_capacity(img.pixel_count());
+        let mut row_offsets: Vec<u32> = Vec::with_capacity(bh);
+        for by in 0..bh {
+            body.align_byte();
+            row_offsets.push((body.bit_pos() / 8) as u32);
+            let mut dc_pred = [0i16; 3];
+            for bx in 0..bw {
+                for comp in 0..3 {
+                    let coefs = &blocks[(by * bw + bx) * 3 + comp];
+                    encode_block(&mut body, coefs, dc_pred[comp], &dc_table, &ac_table)?;
+                    dc_pred[comp] = coefs[0];
+                }
+            }
+        }
+        let body_bytes = body.finish();
+
+        // Header.
+        let mut head = BitWriter::new();
+        head.put(MAGIC, 32);
+        head.put(VERSION, 8);
+        head.put(img.width() as u32, 16);
+        head.put(img.height() as u32, 16);
+        head.put(self.quality as u32, 8);
+        dc_table.write_spec(&mut head);
+        ac_table.write_spec(&mut head);
+        head.put(row_offsets.len() as u32, 16);
+        for &off in &row_offsets {
+            head.put(off, 32);
+        }
+        let mut out = head.finish();
+        out.extend_from_slice(&body_bytes);
+        Ok(Bytes::from(out))
+    }
+}
+
+/// Parsed header with entropy tables and the MCU-row index.
+#[derive(Debug, Clone)]
+pub struct SjpgHeader {
+    pub width: usize,
+    pub height: usize,
+    pub quality: u8,
+    pub row_offsets: Vec<u32>,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+    /// Byte offset where the body begins.
+    body_start: usize,
+}
+
+impl SjpgHeader {
+    /// Parses the header (tables + index) without touching the body.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        let mut r = BitReader::new(data);
+        if r.bits(32)? != MAGIC {
+            return Err(Error::BadMagic { expected: "SJPG" });
+        }
+        if r.bits(8)? != VERSION {
+            return Err(Error::BadHeader("unsupported version".into()));
+        }
+        let width = r.bits(16)? as usize;
+        let height = r.bits(16)? as usize;
+        let quality = r.bits(8)? as u8;
+        if width == 0 || height == 0 {
+            return Err(Error::BadHeader("zero-sized image".into()));
+        }
+        let dc_table = HuffmanTable::read_spec(&mut r, DC_ALPHABET)?;
+        let ac_table = HuffmanTable::read_spec(&mut r, AC_ALPHABET)?;
+        let n_rows = r.bits(16)? as usize;
+        if n_rows != height.div_ceil(BLOCK) {
+            return Err(Error::BadHeader(format!(
+                "row index has {n_rows} entries for height {height}"
+            )));
+        }
+        let mut row_offsets = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            row_offsets.push(r.bits(32)?);
+        }
+        r.align_byte();
+        let body_start = (r.bit_pos() / 8) as usize;
+        Ok(SjpgHeader {
+            width,
+            height,
+            quality,
+            row_offsets,
+            dc_table,
+            ac_table,
+            body_start,
+        })
+    }
+}
+
+/// Reads only the image dimensions from an encoded buffer.
+pub fn peek_dims(data: &[u8]) -> Result<(usize, usize)> {
+    let mut r = BitReader::new(data);
+    if r.bits(32)? != MAGIC {
+        return Err(Error::BadMagic { expected: "SJPG" });
+    }
+    let _ = r.bits(8)?;
+    let w = r.bits(16)? as usize;
+    let h = r.bits(16)? as usize;
+    Ok((w, h))
+}
+
+/// Fully decodes an sjpg buffer.
+pub fn decode(data: &[u8]) -> Result<ImageU8> {
+    decode_with_stats(data).map(|(img, _)| img)
+}
+
+/// Fully decodes, returning work counters.
+pub fn decode_with_stats(data: &[u8]) -> Result<(ImageU8, DecodeStats)> {
+    let header = SjpgHeader::parse(data)?;
+    let full = Rect::new(0, 0, header.width, header.height);
+    decode_region(data, &header, full)
+}
+
+/// Decodes only the macroblock-aligned region covering `roi`
+/// (Figure 3, left: macroblock-based partial decoding).
+///
+/// Returns the decoded sub-image together with the aligned region it covers
+/// (callers crop to the exact ROI afterwards if needed).
+pub fn decode_roi(data: &[u8], roi: Rect) -> Result<(ImageU8, Rect, DecodeStats)> {
+    let header = SjpgHeader::parse(data)?;
+    if !roi.fits_in(header.width, header.height) || roi.w == 0 || roi.h == 0 {
+        return Err(Error::BadRegion(format!(
+            "roi {roi:?} invalid for {}x{}",
+            header.width, header.height
+        )));
+    }
+    let aligned = roi.align_to_blocks(BLOCK, header.width, header.height);
+    let (img, stats) = decode_region(data, &header, aligned)?;
+    Ok((img, aligned, stats))
+}
+
+/// Decodes only the top `n_rows` pixel rows (raster-order early stopping,
+/// Figure 3, right).
+pub fn decode_rows(data: &[u8], n_rows: usize) -> Result<(ImageU8, DecodeStats)> {
+    let header = SjpgHeader::parse(data)?;
+    let h = n_rows.min(header.height).max(1);
+    let region = Rect::new(0, 0, header.width, h.div_ceil(BLOCK) * BLOCK)
+        .align_to_blocks(BLOCK, header.width, header.height);
+    decode_region(data, &header, region)
+}
+
+/// Core region decoder. `region` must be block-aligned (except at image
+/// edges where it is clamped).
+fn decode_region(data: &[u8], header: &SjpgHeader, region: Rect) -> Result<(ImageU8, DecodeStats)> {
+    let luma_q = scale_table(&BASE_LUMA, header.quality)?;
+    let chroma_q = scale_table(&BASE_CHROMA, header.quality)?;
+    let bw = header.width.div_ceil(BLOCK);
+    let body = &data[header.body_start..];
+    let mut r = BitReader::new(body);
+    let mut stats = DecodeStats::default();
+
+    let by0 = region.y / BLOCK;
+    let by1 = region.y_end().div_ceil(BLOCK).min(header.row_offsets.len());
+    let bx0 = region.x / BLOCK;
+    let bx1 = region.x_end().div_ceil(BLOCK).min(bw);
+    stats.rows_skipped = (header.row_offsets.len() - (by1 - by0)) as u64;
+
+    let mut out = ImageU8::zeros(region.w, region.h, 3);
+    let mut coefs = [0i16; 64];
+    let mut freq = [0.0f32; 64];
+    let mut pixels = [[0.0f32; 64]; 3];
+
+    for by in by0..by1 {
+        // Seek directly to the row's byte offset — rows are independent
+        // (DC predictors reset per row, like JPEG restart intervals).
+        r.seek_bits(header.row_offsets[by] as u64 * 8)?;
+        let mut dc_pred = [0i16; 3];
+        for bx in 0..bx1 {
+            let in_roi = bx >= bx0;
+            for comp in 0..3 {
+                decode_block(
+                    &mut r,
+                    &header.dc_table,
+                    &header.ac_table,
+                    dc_pred[comp],
+                    &mut coefs,
+                    &mut stats,
+                )?;
+                dc_pred[comp] = coefs[0];
+                if in_roi {
+                    let table = if comp == 0 { &luma_q } else { &chroma_q };
+                    dequantize_zigzag(&coefs, table, &mut freq);
+                    inverse_dct(&freq.clone(), &mut pixels[comp]);
+                    stats.blocks_idct += 1;
+                }
+            }
+            if in_roi {
+                write_block(
+                    &mut out,
+                    &pixels,
+                    bx * BLOCK,
+                    by * BLOCK,
+                    region,
+                    header,
+                    &mut stats,
+                );
+            }
+        }
+        // Early stop within the row: blocks right of bx1 are never read —
+        // the next iteration seeks to the next row offset.
+    }
+    Ok((out, stats))
+}
+
+// ---------------------------------------------------------------------------
+// Block-level helpers
+// ---------------------------------------------------------------------------
+
+/// Extracts one 8×8 level-shifted component block, replicating edge pixels
+/// for partial blocks. `comp` selects Y/Cb/Cr computed on the fly from RGB.
+fn extract_block(img: &ImageU8, bx: usize, by: usize, comp: usize, out: &mut [f32; 64]) {
+    for dy in 0..BLOCK {
+        let y = (by * BLOCK + dy).min(img.height() - 1);
+        for dx in 0..BLOCK {
+            let x = (bx * BLOCK + dx).min(img.width() - 1);
+            let (r, g, b) = (img.at(x, y, 0), img.at(x, y, 1), img.at(x, y, 2));
+            let (yy, cb, cr) = rgb_pixel_to_ycbcr(r, g, b);
+            let v = match comp {
+                0 => yy,
+                1 => cb,
+                _ => cr,
+            };
+            out[dy * BLOCK + dx] = v as f32 - 128.0;
+        }
+    }
+}
+
+/// Writes one decoded MCU (3 component blocks) into the output image,
+/// converting back to RGB and clipping to the region/image bounds.
+fn write_block(
+    out: &mut ImageU8,
+    pixels: &[[f32; 64]; 3],
+    px0: usize,
+    py0: usize,
+    region: Rect,
+    header: &SjpgHeader,
+    stats: &mut DecodeStats,
+) {
+    for dy in 0..BLOCK {
+        let y = py0 + dy;
+        if y < region.y || y >= region.y_end() || y >= header.height {
+            continue;
+        }
+        for dx in 0..BLOCK {
+            let x = px0 + dx;
+            if x < region.x || x >= region.x_end() || x >= header.width {
+                continue;
+            }
+            let idx = dy * BLOCK + dx;
+            let yy = (pixels[0][idx] + 128.0).clamp(0.0, 255.0) as u8;
+            let cb = (pixels[1][idx] + 128.0).clamp(0.0, 255.0) as u8;
+            let cr = (pixels[2][idx] + 128.0).clamp(0.0, 255.0) as u8;
+            let (r, g, b) = ycbcr_pixel_to_rgb(yy, cb, cr);
+            out.set(x - region.x, y - region.y, 0, r);
+            out.set(x - region.x, y - region.y, 1, g);
+            out.set(x - region.x, y - region.y, 2, b);
+            stats.pixels_written += 1;
+        }
+    }
+}
+
+/// Magnitude category (number of bits) of a value, JPEG-style.
+#[inline]
+fn magnitude_category(v: i16) -> u32 {
+    let a = v.unsigned_abs() as u32;
+    32 - a.leading_zeros()
+}
+
+/// Encodes the amplitude bits of `v` in `size` bits (one's-complement trick
+/// for negatives, as in T.81 §F.1.2.1).
+#[inline]
+fn amplitude_bits(v: i16, size: u32) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v + ((1 << size) - 1)) as u32 & ((1u32 << size) - 1)
+    }
+}
+
+/// Decodes amplitude bits back to a signed value.
+#[inline]
+fn decode_amplitude(bits: u32, size: u32) -> i16 {
+    if size == 0 {
+        0
+    } else if bits < (1 << (size - 1)) {
+        bits as i16 - ((1 << size) - 1) as i16
+    } else {
+        bits as i16
+    }
+}
+
+/// Tallies the DC/AC symbols a block would emit.
+fn tally_block(coefs: &[i16; 64], dc_pred: i16, dc_freq: &mut [u64], ac_freq: &mut [u64]) {
+    let diff = coefs[0] - dc_pred;
+    dc_freq[magnitude_category(diff) as usize] += 1;
+    let mut run = 0u32;
+    for &c in &coefs[1..] {
+        if c == 0 {
+            run += 1;
+        } else {
+            while run >= 16 {
+                ac_freq[ZRL as usize] += 1;
+                run -= 16;
+            }
+            let size = magnitude_category(c);
+            ac_freq[((run << 4) | size) as usize] += 1;
+            run = 0;
+        }
+    }
+    if run > 0 {
+        ac_freq[EOB as usize] += 1;
+    }
+}
+
+/// Entropy-encodes one quantized block.
+fn encode_block(
+    w: &mut BitWriter,
+    coefs: &[i16; 64],
+    dc_pred: i16,
+    dc_table: &HuffmanTable,
+    ac_table: &HuffmanTable,
+) -> Result<()> {
+    let diff = coefs[0] - dc_pred;
+    let size = magnitude_category(diff);
+    dc_table.encode(w, size as u16)?;
+    if size > 0 {
+        w.put(amplitude_bits(diff, size), size);
+    }
+    let mut run = 0u32;
+    for &c in &coefs[1..] {
+        if c == 0 {
+            run += 1;
+        } else {
+            while run >= 16 {
+                ac_table.encode(w, ZRL)?;
+                run -= 16;
+            }
+            let size = magnitude_category(c);
+            ac_table.encode(w, ((run << 4) | size) as u16)?;
+            w.put(amplitude_bits(c, size), size);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        ac_table.encode(w, EOB)?;
+    }
+    Ok(())
+}
+
+/// Entropy-decodes one quantized block (zig-zag order) into `coefs`.
+fn decode_block(
+    r: &mut BitReader<'_>,
+    dc_table: &HuffmanTable,
+    ac_table: &HuffmanTable,
+    dc_pred: i16,
+    coefs: &mut [i16; 64],
+    stats: &mut DecodeStats,
+) -> Result<()> {
+    coefs.fill(0);
+    let size = dc_table.decode(r)? as u32;
+    stats.symbols_decoded += 1;
+    let diff = if size > 0 {
+        decode_amplitude(r.bits(size)?, size)
+    } else {
+        0
+    };
+    coefs[0] = dc_pred + diff;
+    let mut k = 1usize;
+    while k < 64 {
+        let sym = ac_table.decode(r)?;
+        stats.symbols_decoded += 1;
+        if sym == EOB {
+            break;
+        }
+        if sym == ZRL {
+            k += 16;
+            continue;
+        }
+        let run = (sym >> 4) as usize;
+        let size = (sym & 0x0F) as u32;
+        k += run;
+        if k >= 64 || size == 0 {
+            return Err(Error::BadCode {
+                context: "sjpg AC coefficient overrun",
+            });
+        }
+        coefs[k] = decode_amplitude(r.bits(size)?, size);
+        k += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize, seed: u8) -> ImageU8 {
+        let mut img = ImageU8::zeros(w, h, 3);
+        for y in 0..h {
+            for x in 0..w {
+                let base = ((x * 13 + y * 7) % 200) as u8;
+                img.set(x, y, 0, base.wrapping_add(seed));
+                img.set(x, y, 1, ((x * x + y) % 256) as u8);
+                img.set(x, y, 2, ((x + y * y + seed as usize) % 256) as u8);
+            }
+        }
+        img
+    }
+
+    fn psnr(a: &ImageU8, b: &ImageU8) -> f64 {
+        assert_eq!(a.data().len(), b.data().len());
+        let mse: f64 = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| {
+                let d = x as f64 - y as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / a.data().len() as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+
+    #[test]
+    fn roundtrip_high_quality_is_faithful() {
+        let img = textured(64, 48, 3);
+        let enc = SjpgEncoder::new(95).encode(&img).unwrap();
+        let dec = decode(&enc).unwrap();
+        assert_eq!((dec.width(), dec.height()), (64, 48));
+        assert!(psnr(&img, &dec) > 30.0, "psnr={}", psnr(&img, &dec));
+    }
+
+    #[test]
+    fn lower_quality_means_smaller_and_noisier() {
+        let img = textured(96, 96, 9);
+        let q95 = SjpgEncoder::new(95).encode(&img).unwrap();
+        let q75 = SjpgEncoder::new(75).encode(&img).unwrap();
+        let q30 = SjpgEncoder::new(30).encode(&img).unwrap();
+        assert!(q75.len() < q95.len());
+        assert!(q30.len() < q75.len());
+        let p95 = psnr(&img, &decode(&q95).unwrap());
+        let p75 = psnr(&img, &decode(&q75).unwrap());
+        let p30 = psnr(&img, &decode(&q30).unwrap());
+        assert!(p95 > p75 && p75 > p30, "{p95} {p75} {p30}");
+    }
+
+    #[test]
+    fn non_multiple_of_block_dims_roundtrip() {
+        let img = textured(37, 29, 1);
+        let enc = SjpgEncoder::new(90).encode(&img).unwrap();
+        let dec = decode(&enc).unwrap();
+        assert_eq!((dec.width(), dec.height()), (37, 29));
+        assert!(psnr(&img, &dec) > 25.0);
+    }
+
+    #[test]
+    fn peek_dims_reads_header_only() {
+        let img = textured(40, 24, 5);
+        let enc = SjpgEncoder::new(75).encode(&img).unwrap();
+        assert_eq!(peek_dims(&enc).unwrap(), (40, 24));
+    }
+
+    #[test]
+    fn roi_decode_matches_full_decode() {
+        let img = textured(128, 96, 7);
+        let enc = SjpgEncoder::new(85).encode(&img).unwrap();
+        let full = decode(&enc).unwrap();
+        let roi = Rect::new(33, 17, 40, 30);
+        let (partial, aligned, _) = decode_roi(&enc, roi).unwrap();
+        assert_eq!(aligned, Rect::new(32, 16, 48, 32));
+        for y in 0..aligned.h {
+            for x in 0..aligned.w {
+                for c in 0..3 {
+                    assert_eq!(
+                        partial.at(x, y, c),
+                        full.at(aligned.x + x, aligned.y + y, c),
+                        "mismatch at {x},{y},{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roi_decode_skips_work() {
+        let img = textured(256, 256, 2);
+        let enc = SjpgEncoder::new(85).encode(&img).unwrap();
+        let (_, full_stats) = decode_with_stats(&enc).unwrap();
+        let (_, _, roi_stats) = decode_roi(&enc, Rect::new(96, 96, 64, 64)).unwrap();
+        assert!(roi_stats.blocks_idct < full_stats.blocks_idct / 4);
+        assert!(roi_stats.symbols_decoded < full_stats.symbols_decoded / 2);
+        assert!(roi_stats.rows_skipped > 0);
+    }
+
+    #[test]
+    fn early_stop_rows_match_full_decode() {
+        let img = textured(64, 64, 4);
+        let enc = SjpgEncoder::new(85).encode(&img).unwrap();
+        let full = decode(&enc).unwrap();
+        let (top, stats) = decode_rows(&enc, 24).unwrap();
+        assert_eq!(top.height(), 24);
+        assert!(stats.rows_skipped == 5); // 8 rows total, 3 decoded
+        for y in 0..24 {
+            for x in 0..64 {
+                assert_eq!(top.at(x, y, 0), full.at(x, y, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_roi_rejected() {
+        let img = textured(32, 32, 0);
+        let enc = SjpgEncoder::new(75).encode(&img).unwrap();
+        assert!(decode_roi(&enc, Rect::new(20, 20, 20, 20)).is_err());
+        assert!(decode_roi(&enc, Rect::new(0, 0, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let img = textured(16, 16, 0);
+        let mut enc = SjpgEncoder::new(75).encode(&img).unwrap().to_vec();
+        enc[0] ^= 0xFF;
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn truncated_body_errors_not_panics() {
+        let img = textured(64, 64, 8);
+        let enc = SjpgEncoder::new(75).encode(&img).unwrap();
+        let cut = &enc[..enc.len() - enc.len() / 3];
+        assert!(decode(cut).is_err());
+    }
+
+    #[test]
+    fn amplitude_coding_roundtrip() {
+        for v in [-2047i16, -1024, -255, -1, 0, 1, 2, 127, 1024, 2047] {
+            let size = magnitude_category(v);
+            if size == 0 {
+                assert_eq!(v, 0);
+                continue;
+            }
+            let bits = amplitude_bits(v, size);
+            assert_eq!(decode_amplitude(bits, size), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn flat_image_compresses_extremely_well() {
+        let img = ImageU8::from_vec(64, 64, 3, vec![128; 64 * 64 * 3]).unwrap();
+        let enc = SjpgEncoder::new(75).encode(&img).unwrap();
+        // 12 KiB raw → far below 2 KiB encoded.
+        assert!(enc.len() < 2048, "len={}", enc.len());
+        let dec = decode(&enc).unwrap();
+        assert!(psnr(&img, &dec) > 40.0);
+    }
+}

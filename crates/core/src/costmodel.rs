@@ -1,0 +1,206 @@
+//! Throughput cost models (§4, Table 3).
+//!
+//! Three estimators for end-to-end DNN inference throughput:
+//!
+//! * **Smol** (this paper, Eq. 4): `min(preproc, exec)` — preprocessing and
+//!   DNN execution are pipelined, so the slower stage bounds the system;
+//! * **BlazeIt/NoScope** (Eq. 2): DNN execution only — correct only when
+//!   preprocessing is negligible;
+//! * **Tahoma** (Eq. 3): harmonic sum — correct only when one stage is the
+//!   overwhelming bottleneck (it ignores pipelining).
+//!
+//! All three accept cascades: a sequence of `(throughput, selectivity)`
+//! stages where `selectivity` is the fraction of the input stream that
+//! reaches that stage (Eq. 2's `α`).
+
+use serde::{Deserialize, Serialize};
+
+/// Which estimator to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostModelKind {
+    /// Preprocessing-aware pipelined model: `min(preproc, exec)`.
+    Smol,
+    /// Execution-only (BlazeIt, NoScope, probabilistic predicates).
+    ExecOnly,
+    /// Additive/harmonic (Tahoma): ignores pipelining.
+    Additive,
+}
+
+impl CostModelKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            CostModelKind::Smol => "Smol (min)",
+            CostModelKind::ExecOnly => "BlazeIt (exec only)",
+            CostModelKind::Additive => "Tahoma (sum)",
+        }
+    }
+}
+
+/// One DNN stage in a cascade: images/second when executing, and the
+/// fraction of the full input stream that reaches this stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CascadeStage {
+    pub throughput: f64,
+    pub selectivity: f64,
+}
+
+impl CascadeStage {
+    pub fn new(throughput: f64, selectivity: f64) -> Self {
+        CascadeStage {
+            throughput,
+            selectivity,
+        }
+    }
+
+    /// A single-model "cascade".
+    pub fn single(throughput: f64) -> Vec<CascadeStage> {
+        vec![CascadeStage::new(throughput, 1.0)]
+    }
+}
+
+/// Effective DNN-execution throughput of a cascade (Eq. 2's denominator):
+/// `1 / Σ_j (α_j / T_j)` in images of the *original* stream per second.
+pub fn cascade_exec_throughput(stages: &[CascadeStage]) -> f64 {
+    let denom: f64 = stages
+        .iter()
+        .map(|s| s.selectivity / s.throughput)
+        .sum();
+    if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / denom
+    }
+}
+
+/// Estimated end-to-end throughput under a given cost model.
+pub fn estimate_throughput(
+    kind: CostModelKind,
+    preproc_throughput: f64,
+    stages: &[CascadeStage],
+) -> f64 {
+    let exec = cascade_exec_throughput(stages);
+    match kind {
+        CostModelKind::Smol => preproc_throughput.min(exec),
+        CostModelKind::ExecOnly => exec,
+        CostModelKind::Additive => 1.0 / (1.0 / preproc_throughput + 1.0 / exec),
+    }
+}
+
+/// Relative estimation error against a measured throughput, in percent
+/// (Table 3's "% error" column).
+pub fn percent_error(estimate: f64, measured: f64) -> f64 {
+    ((estimate - measured) / measured).abs() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cascade_reduces_to_single_model() {
+        let t = cascade_exec_throughput(&CascadeStage::single(4513.0));
+        assert!((t - 4513.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cascade_with_filtering_beats_target_alone() {
+        // Specialized NN at 250k filters 90% of frames; target at 4.5k.
+        let stages = vec![
+            CascadeStage::new(250_000.0, 1.0),
+            CascadeStage::new(4_513.0, 0.1),
+        ];
+        let t = cascade_exec_throughput(&stages);
+        assert!(t > 4_513.0 * 5.0, "t={t}");
+        assert!(t < 250_000.0);
+    }
+
+    #[test]
+    fn smol_model_is_min() {
+        let stages = CascadeStage::single(5000.0);
+        assert_eq!(
+            estimate_throughput(CostModelKind::Smol, 500.0, &stages),
+            500.0
+        );
+        assert_eq!(
+            estimate_throughput(CostModelKind::Smol, 50_000.0, &stages),
+            5000.0
+        );
+    }
+
+    #[test]
+    fn exec_only_ignores_preprocessing() {
+        let stages = CascadeStage::single(4999.0);
+        assert_eq!(
+            estimate_throughput(CostModelKind::ExecOnly, 534.0, &stages),
+            4999.0
+        );
+    }
+
+    #[test]
+    fn additive_model_below_min() {
+        // The harmonic sum is always below min(preproc, exec): it assumes
+        // serialization.
+        let stages = CascadeStage::single(4999.0);
+        let add = estimate_throughput(CostModelKind::Additive, 4001.0, &stages);
+        assert!(add < 4001.0);
+        assert!((add - 1.0 / (1.0 / 4001.0 + 1.0 / 4999.0)).abs() < 1e-9);
+    }
+
+    /// The paper's Table 3 scenarios: Smol's estimate must beat or tie both
+    /// baselines on all three configurations (using the paper's measured
+    /// pipelined throughputs as ground truth).
+    #[test]
+    fn table3_error_ordering() {
+        struct Row {
+            preproc: f64,
+            exec: f64,
+            pipelined: f64,
+        }
+        let rows = [
+            // balanced
+            Row {
+                preproc: 4001.0,
+                exec: 4999.0,
+                pipelined: 4056.0,
+            },
+            // preproc-bound
+            Row {
+                preproc: 534.0,
+                exec: 4999.0,
+                pipelined: 557.0,
+            },
+            // DNN-bound
+            Row {
+                preproc: 5876.0,
+                exec: 1844.0,
+                pipelined: 1720.0,
+            },
+        ];
+        for row in &rows {
+            let stages = CascadeStage::single(row.exec);
+            let smol = percent_error(
+                estimate_throughput(CostModelKind::Smol, row.preproc, &stages),
+                row.pipelined,
+            );
+            let blazeit = percent_error(
+                estimate_throughput(CostModelKind::ExecOnly, row.preproc, &stages),
+                row.pipelined,
+            );
+            let tahoma = percent_error(
+                estimate_throughput(CostModelKind::Additive, row.preproc, &stages),
+                row.pipelined,
+            );
+            assert!(
+                smol <= blazeit + 1e-9 && smol <= tahoma + 1e-9,
+                "smol={smol:.1}% blazeit={blazeit:.1}% tahoma={tahoma:.1}%"
+            );
+            assert!(smol < 10.0, "Smol's error stays under 10%: {smol:.1}%");
+        }
+    }
+
+    #[test]
+    fn percent_error_symmetric_in_magnitude() {
+        assert!((percent_error(110.0, 100.0) - 10.0).abs() < 1e-9);
+        assert!((percent_error(90.0, 100.0) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! # smol-core
+//!
+//! The paper's primary contribution: preprocessing-aware cost modeling and
+//! joint (DNN × input format) plan optimization.
+//!
+//! * [`costmodel`] — the three throughput estimators of §4/Table 3:
+//!   Smol's `min(preproc, exec)`, BlazeIt's exec-only, Tahoma's additive —
+//!   plus cascade throughput (Eq. 2);
+//! * [`plan`] — plan representation (DNN, input variant, preprocessing
+//!   pipeline, decode mode);
+//! * [`pareto`] — Pareto-frontier and constrained selection (§3.1, Eq. 1);
+//! * [`placement`] — CPU/accelerator operator placement (§6.3);
+//! * [`planner`] — D × F enumeration with lesion toggles (low-res,
+//!   DAG optimization) used by the Figure 4–6 experiments.
+
+pub mod costmodel;
+pub mod pareto;
+pub mod placement;
+pub mod plan;
+pub mod planner;
+
+pub use costmodel::{
+    cascade_exec_throughput, estimate_throughput, percent_error, CascadeStage, CostModelKind,
+};
+pub use pareto::{max_accuracy_with_throughput, max_throughput_with_accuracy, pareto_frontier};
+pub use placement::{choose_placement, PlacementDecision, PlacementRates};
+pub use plan::{DecodeMode, InputVariant, PlanCandidate, QueryPlan};
+pub use planner::{CandidateSpec, Planner, PlannerConfig};

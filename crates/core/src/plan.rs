@@ -1,0 +1,116 @@
+//! Query-plan representation: a plan is a DNN choice × an input format ×
+//! a preprocessing pipeline × decode options (§3.1: "a plan (concretely,
+//! a DNN and an input format)").
+
+use smol_accel::ModelKind;
+use smol_codec::Format;
+use smol_imgproc::PreprocPlan;
+
+/// How much of each image the decoder touches (§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeMode {
+    /// Decode everything.
+    Full,
+    /// Decode only the macroblock-aligned central crop the DNN consumes
+    /// (ROI decoding; Algorithm 1).
+    CentralRoi { crop_w: usize, crop_h: usize },
+    /// Stop after the rows needed (raster-order early stopping).
+    EarlyStopRows { rows: usize },
+}
+
+/// A natively-available input variant (an element of the paper's F).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputVariant {
+    /// Human-readable label ("full-res sjpg(q=95)", "161 spng", …).
+    pub name: String,
+    pub format: Format,
+    /// Stored dimensions of this variant.
+    pub width: usize,
+    pub height: usize,
+    /// True when this is a natively-present low-resolution variant (§5.2).
+    pub is_thumbnail: bool,
+}
+
+impl InputVariant {
+    pub fn new(name: impl Into<String>, format: Format, width: usize, height: usize) -> Self {
+        InputVariant {
+            name: name.into(),
+            format,
+            width,
+            height,
+            is_thumbnail: false,
+        }
+    }
+
+    pub fn thumbnail(mut self) -> Self {
+        self.is_thumbnail = true;
+        self
+    }
+
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// A fully-specified executable plan.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    pub dnn: ModelKind,
+    pub input: InputVariant,
+    pub preproc: PreprocPlan,
+    pub decode: DecodeMode,
+    pub batch: usize,
+    /// Downstream cascade stages `(model, selectivity)`: each batch also
+    /// executes `ceil(batch × selectivity)` images on `model` (Tahoma-style
+    /// cascades, §3.2). Empty for single-model plans.
+    pub extra_stages: Vec<(ModelKind, f64)>,
+}
+
+impl QueryPlan {
+    /// Short label for reports: "ResNet-50 @ 161 spng".
+    pub fn label(&self) -> String {
+        format!("{} @ {}", self.dnn.spec().name, self.input.name)
+    }
+}
+
+/// A plan candidate with its resource estimates (the planner's unit of
+/// comparison and the Pareto frontier's element type).
+#[derive(Debug, Clone)]
+pub struct PlanCandidate {
+    pub plan: QueryPlan,
+    /// Estimated (or measured) preprocessing throughput, im/s.
+    pub preproc_throughput: f64,
+    /// Estimated DNN-execution throughput, im/s (cascade-adjusted).
+    pub exec_throughput: f64,
+    /// End-to-end estimate under the active cost model.
+    pub est_throughput: f64,
+    /// Estimated accuracy in [0, 1] (from the calibration set).
+    pub accuracy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_variant_labels() {
+        let v = InputVariant::new("full", Format::Spng, 320, 240);
+        assert!(!v.is_thumbnail);
+        assert_eq!(v.pixels(), 320 * 240);
+        let t = InputVariant::new("thumb", Format::Sjpg { quality: 75 }, 161, 161).thumbnail();
+        assert!(t.is_thumbnail);
+    }
+
+    #[test]
+    fn plan_label_readable() {
+        let plan = QueryPlan {
+            dnn: ModelKind::ResNet50,
+            input: InputVariant::new("161 spng", Format::Spng, 161, 161).thumbnail(),
+            preproc: PreprocPlan::thumbnail(224, 224),
+            decode: DecodeMode::Full,
+            batch: 64,
+            extra_stages: Vec::new(),
+        };
+        assert_eq!(plan.label(), "ResNet-50 @ 161 spng");
+    }
+}

@@ -1,0 +1,319 @@
+//! Plan generation and selection (§3.1): enumerate D × F, estimate costs
+//! with the active cost model, and hand back the Pareto frontier or a
+//! constraint-satisfying plan.
+
+use crate::costmodel::{estimate_throughput, CascadeStage, CostModelKind};
+use crate::pareto;
+use crate::plan::{DecodeMode, InputVariant, PlanCandidate, QueryPlan};
+use smol_accel::{throughput, ExecutionEnv, GpuModel, ModelKind};
+use smol_imgproc::{DagOptimizer, PreprocPlan};
+
+/// One (DNN, input format) combination with its profiled resources — the
+/// planner's raw input. Accuracy comes from the calibration set (§3.1) and
+/// `preproc_throughput` from profiling the decode+preprocess path.
+#[derive(Debug, Clone)]
+pub struct CandidateSpec {
+    pub dnn: ModelKind,
+    pub input: InputVariant,
+    pub accuracy: f64,
+    pub preproc_throughput: f64,
+    /// When this candidate is a cascade (Tahoma-style), the stage list
+    /// replaces the single-DNN execution estimate.
+    pub cascade: Option<Vec<CascadeStage>>,
+}
+
+/// Planner configuration; the toggles drive the lesion/factor studies
+/// (Figures 5–6).
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    pub cost_model: CostModelKind,
+    pub device: GpuModel,
+    pub env: ExecutionEnv,
+    pub batch: usize,
+    /// Consider natively-present low-resolution variants (§5.2). Off in
+    /// the "-Low res" lesion.
+    pub enable_low_res: bool,
+    /// Run the preprocessing-DAG optimizer (§6.2). Off in "-Preproc opt".
+    pub enable_dag_opt: bool,
+    /// DNN input edge (224 in the paper's pipelines).
+    pub dnn_input: u32,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            cost_model: CostModelKind::Smol,
+            device: GpuModel::T4,
+            env: ExecutionEnv::TensorRt,
+            batch: 64,
+            enable_low_res: true,
+            enable_dag_opt: true,
+            dnn_input: 224,
+        }
+    }
+}
+
+/// The Smol planner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planner {
+    pub config: PlannerConfig,
+}
+
+impl Planner {
+    pub fn new(config: PlannerConfig) -> Self {
+        Planner { config }
+    }
+
+    /// Builds the preprocessing pipeline for an input variant, applying the
+    /// DAG optimizer when enabled.
+    pub fn build_preproc(&self, input: &InputVariant) -> PreprocPlan {
+        let d = self.config.dnn_input;
+        let base = if input.is_thumbnail {
+            // Thumbnails upscale straight to the DNN input (§5.2).
+            PreprocPlan::thumbnail(d, d)
+        } else {
+            // Full-resolution follows the standard resize+crop path (§2),
+            // scaled from the 256→224 convention.
+            let short = (d as f64 * 256.0 / 224.0).round() as u32;
+            PreprocPlan::standard(short, d, d)
+        };
+        if self.config.enable_dag_opt {
+            DagOptimizer::default().optimize(&base, input.width, input.height)
+        } else {
+            base
+        }
+    }
+
+    /// Chooses the decode mode for an input variant (§6.4): full-resolution
+    /// sjpg images use ROI decoding of the central crop; everything else
+    /// decodes fully (thumbnails are already near the DNN input size).
+    pub fn decode_mode(&self, input: &InputVariant) -> DecodeMode {
+        if self.config.enable_dag_opt
+            && !input.is_thumbnail
+            && matches!(input.format, smol_codec::Format::Sjpg { .. })
+        {
+            // The ROI is the pre-image of the central crop.
+            let d = self.config.dnn_input as usize;
+            let short = input.width.min(input.height);
+            let scale = short as f64 / (d as f64 * 256.0 / 224.0);
+            let crop = ((d as f64) * scale).round() as usize;
+            DecodeMode::CentralRoi {
+                crop_w: crop.min(input.width),
+                crop_h: crop.min(input.height),
+            }
+        } else {
+            DecodeMode::Full
+        }
+    }
+
+    /// Turns candidate specs into estimated plan candidates.
+    pub fn enumerate(&self, specs: &[CandidateSpec]) -> Vec<PlanCandidate> {
+        specs
+            .iter()
+            .filter(|s| self.config.enable_low_res || !s.input.is_thumbnail)
+            .map(|s| {
+                let exec_stages = s.cascade.clone().unwrap_or_else(|| {
+                    CascadeStage::single(throughput(
+                        s.dnn,
+                        self.config.device,
+                        self.config.env,
+                        self.config.batch,
+                    ))
+                });
+                let exec = crate::costmodel::cascade_exec_throughput(&exec_stages);
+                let est = estimate_throughput(
+                    self.config.cost_model,
+                    s.preproc_throughput,
+                    &exec_stages,
+                );
+                PlanCandidate {
+                    plan: QueryPlan {
+                        dnn: s.dnn,
+                        input: s.input.clone(),
+                        preproc: self.build_preproc(&s.input),
+                        decode: self.decode_mode(&s.input),
+                        batch: self.config.batch,
+                        // Cascade stage *models* are known only to the
+                        // client system (e.g. Tahoma); it fills these in
+                        // when it materializes an executable plan. The
+                        // throughput estimate above already accounts for
+                        // the stages.
+                        extra_stages: Vec::new(),
+                    },
+                    preproc_throughput: s.preproc_throughput,
+                    exec_throughput: exec,
+                    est_throughput: est,
+                    accuracy: s.accuracy,
+                }
+            })
+            .collect()
+    }
+
+    /// The Pareto-optimal set over the enumerated candidates (§3.1).
+    pub fn frontier(&self, specs: &[CandidateSpec]) -> Vec<PlanCandidate> {
+        pareto::pareto_frontier(self.enumerate(specs))
+    }
+
+    /// §5.2's selection rule for a fixed input format: among DNNs whose
+    /// execution throughput meets or exceeds the preprocessing throughput,
+    /// pick the most accurate.
+    pub fn select_for_format<'a>(
+        &self,
+        candidates: &'a [PlanCandidate],
+        input_name: &str,
+    ) -> Option<&'a PlanCandidate> {
+        candidates
+            .iter()
+            .filter(|c| c.plan.input.name == input_name)
+            .filter(|c| c.exec_throughput >= c.preproc_throughput)
+            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
+            .or_else(|| {
+                // If no DNN keeps up with preprocessing, fall back to the
+                // fastest DNN for the format.
+                candidates
+                    .iter()
+                    .filter(|c| c.plan.input.name == input_name)
+                    .max_by(|a, b| {
+                        a.exec_throughput
+                            .partial_cmp(&b.exec_throughput)
+                            .expect("finite")
+                    })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smol_codec::Format;
+
+    fn full_res(preproc: f64) -> InputVariant {
+        let _ = preproc;
+        InputVariant::new("full sjpg(q=95)", Format::Sjpg { quality: 95 }, 480, 360)
+    }
+
+    fn thumb() -> InputVariant {
+        InputVariant::new("161 spng", Format::Spng, 215, 161).thumbnail()
+    }
+
+    fn specs() -> Vec<CandidateSpec> {
+        vec![
+            CandidateSpec {
+                dnn: ModelKind::ResNet50,
+                input: full_res(527.0),
+                accuracy: 0.7516,
+                preproc_throughput: 527.0,
+                cascade: None,
+            },
+            CandidateSpec {
+                dnn: ModelKind::ResNet34,
+                input: full_res(527.0),
+                accuracy: 0.7272,
+                preproc_throughput: 527.0,
+                cascade: None,
+            },
+            CandidateSpec {
+                dnn: ModelKind::ResNet50,
+                input: thumb(),
+                accuracy: 0.75,
+                preproc_throughput: 1995.0,
+                cascade: None,
+            },
+            CandidateSpec {
+                dnn: ModelKind::ResNet34,
+                input: thumb(),
+                accuracy: 0.725,
+                preproc_throughput: 1995.0,
+                cascade: None,
+            },
+        ]
+    }
+
+    /// The motivating example of §5.2: ResNet-50 on 161-px thumbnails beats
+    /// ResNet-34 on full resolution — both faster *and* more accurate.
+    #[test]
+    fn motivating_example_resnet50_on_thumbnails_wins() {
+        let planner = Planner::default();
+        let cands = planner.enumerate(&specs());
+        let rn50_thumb = cands
+            .iter()
+            .find(|c| c.plan.dnn == ModelKind::ResNet50 && c.plan.input.is_thumbnail)
+            .unwrap();
+        let rn34_full = cands
+            .iter()
+            .find(|c| c.plan.dnn == ModelKind::ResNet34 && !c.plan.input.is_thumbnail)
+            .unwrap();
+        assert!(rn50_thumb.est_throughput > rn34_full.est_throughput);
+        assert!(rn50_thumb.accuracy > rn34_full.accuracy);
+    }
+
+    #[test]
+    fn frontier_prefers_thumbnail_plans() {
+        let planner = Planner::default();
+        let frontier = planner.frontier(&specs());
+        assert!(frontier.iter().any(|c| c.plan.input.is_thumbnail));
+        // Everything on the frontier when low-res is available should be a
+        // thumbnail plan here (dominates in both axes given equal accuracy).
+        assert!(frontier
+            .iter()
+            .all(|c| c.plan.input.is_thumbnail || c.accuracy > 0.7516 - 1e-9));
+    }
+
+    #[test]
+    fn lesion_disables_low_res() {
+        let planner = Planner::new(PlannerConfig {
+            enable_low_res: false,
+            ..Default::default()
+        });
+        let cands = planner.enumerate(&specs());
+        assert!(cands.iter().all(|c| !c.plan.input.is_thumbnail));
+    }
+
+    #[test]
+    fn cost_models_disagree_when_preprocessing_bound() {
+        let smol = Planner::default().enumerate(&specs());
+        let blazeit = Planner::new(PlannerConfig {
+            cost_model: CostModelKind::ExecOnly,
+            ..Default::default()
+        })
+        .enumerate(&specs());
+        let s = &smol[0]; // RN-50 full-res: preproc-bound at 527 im/s
+        let b = &blazeit[0];
+        assert!(s.est_throughput <= 527.0 + 1e-9);
+        assert!(b.est_throughput > 4000.0, "exec-only ignores preprocessing");
+    }
+
+    #[test]
+    fn preproc_plan_respects_dag_toggle() {
+        let on = Planner::default();
+        let off = Planner::new(PlannerConfig {
+            enable_dag_opt: false,
+            ..Default::default()
+        });
+        let input = full_res(527.0);
+        assert_ne!(on.build_preproc(&input), off.build_preproc(&input));
+    }
+
+    #[test]
+    fn decode_mode_uses_roi_for_full_res_sjpg() {
+        let planner = Planner::default();
+        match planner.decode_mode(&full_res(527.0)) {
+            DecodeMode::CentralRoi { crop_w, crop_h } => {
+                assert!(crop_w > 0 && crop_w <= 480);
+                assert_eq!(crop_w, crop_h);
+            }
+            other => panic!("expected ROI decode, got {other:?}"),
+        }
+        assert_eq!(planner.decode_mode(&thumb()), DecodeMode::Full);
+    }
+
+    #[test]
+    fn select_for_format_prefers_accuracy_under_headroom() {
+        let planner = Planner::default();
+        let cands = planner.enumerate(&specs());
+        let chosen = planner.select_for_format(&cands, "161 spng").unwrap();
+        // Both RN-34 and RN-50 exceed 1995 im/s on the T4; RN-50 is more
+        // accurate and should win.
+        assert_eq!(chosen.plan.dnn, ModelKind::ResNet50);
+    }
+}

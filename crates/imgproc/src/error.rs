@@ -1,0 +1,60 @@
+//! Error type shared by the imgproc operators.
+
+use std::fmt;
+
+/// Errors raised by image containers and preprocessing operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Requested dimensions are inconsistent with the buffer length.
+    ShapeMismatch {
+        expected: usize,
+        actual: usize,
+        context: &'static str,
+    },
+    /// A crop or ROI does not fit inside the source image.
+    RegionOutOfBounds {
+        region: (usize, usize, usize, usize),
+        width: usize,
+        height: usize,
+    },
+    /// An operator was given an unsupported channel count.
+    UnsupportedChannels { channels: usize, op: &'static str },
+    /// A zero-sized dimension was supplied where a positive one is required.
+    EmptyDimension { op: &'static str },
+    /// A preprocessing plan was semantically invalid (e.g. normalize before
+    /// the image exists, split applied twice).
+    InvalidPlan(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected} elements, got {actual}"
+            ),
+            Error::RegionOutOfBounds {
+                region,
+                width,
+                height,
+            } => write!(
+                f,
+                "region {region:?} out of bounds for {width}x{height} image"
+            ),
+            Error::UnsupportedChannels { channels, op } => {
+                write!(f, "{op}: unsupported channel count {channels}")
+            }
+            Error::EmptyDimension { op } => write!(f, "{op}: zero-sized dimension"),
+            Error::InvalidPlan(msg) => write!(f, "invalid preprocessing plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,27 @@
+//! # smol-imgproc
+//!
+//! Image containers and preprocessing operators for the Smol visual-analytics
+//! engine, together with the preprocessing computation-DAG optimizer described
+//! in §6.2 of the paper (rule-based reordering + fusion, cost-based plan
+//! selection by arithmetic-operation counting).
+//!
+//! The operators implemented here cover the standard DNN inference
+//! preprocessing pipeline (§2 of the paper):
+//!
+//! 1. decode (lives in `smol-codec` / `smol-video`),
+//! 2. aspect-preserving resize + central crop,
+//! 3. conversion to `f32`, division by 255, per-channel normalization,
+//! 4. channel reordering to planar CHW ("split").
+//!
+//! All operators exist both as standalone kernels and as a fused tail kernel
+//! (`ops::fused`) that performs convert+normalize+split in one memory pass,
+//! which the DAG optimizer selects when profitable.
+
+pub mod dag;
+pub mod error;
+pub mod image;
+pub mod ops;
+
+pub use dag::{DagOptimizer, OpCost, OpSpec, PlacedOp, Placement, PreprocPlan};
+pub use error::{Error, Result};
+pub use image::{ImageU8, Layout, Rect, TensorF32};

@@ -1,0 +1,90 @@
+//! Crop kernels: arbitrary-ROI crop and the central crop used by standard
+//! classification preprocessing (§2, step 2).
+
+use crate::error::{Error, Result};
+use crate::image::{ImageU8, Rect};
+
+/// Copies the region `r` out of `img` into a new image.
+pub fn crop_u8(img: &ImageU8, r: Rect) -> Result<ImageU8> {
+    if !r.fits_in(img.width(), img.height()) {
+        return Err(Error::RegionOutOfBounds {
+            region: (r.x, r.y, r.w, r.h),
+            width: img.width(),
+            height: img.height(),
+        });
+    }
+    if r.w == 0 || r.h == 0 {
+        return Err(Error::EmptyDimension { op: "crop_u8" });
+    }
+    let c = img.channels();
+    let mut out = ImageU8::zeros(r.w, r.h, c);
+    let src_stride = img.width() * c;
+    let dst_stride = r.w * c;
+    let src = img.data();
+    let dst = out.data_mut();
+    for (dy, dst_row) in dst.chunks_exact_mut(dst_stride).enumerate() {
+        let sy = r.y + dy;
+        let start = sy * src_stride + r.x * c;
+        dst_row.copy_from_slice(&src[start..start + dst_stride]);
+    }
+    Ok(out)
+}
+
+/// Centrally crops `img` to `w × h` (clamped to the image size).
+pub fn center_crop_u8(img: &ImageU8, w: usize, h: usize) -> Result<ImageU8> {
+    let r = Rect::centered(img.width(), img.height(), w, h);
+    crop_u8(img, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numbered(w: usize, h: usize) -> ImageU8 {
+        let mut img = ImageU8::zeros(w, h, 1);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, 0, (y * w + x) as u8);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn crop_extracts_expected_pixels() {
+        let img = numbered(8, 8);
+        let out = crop_u8(&img, Rect::new(2, 3, 4, 2)).unwrap();
+        assert_eq!(out.width(), 4);
+        assert_eq!(out.height(), 2);
+        assert_eq!(out.at(0, 0, 0), img.at(2, 3, 0));
+        assert_eq!(out.at(3, 1, 0), img.at(5, 4, 0));
+    }
+
+    #[test]
+    fn crop_out_of_bounds_rejected() {
+        let img = numbered(8, 8);
+        assert!(crop_u8(&img, Rect::new(5, 5, 4, 4)).is_err());
+    }
+
+    #[test]
+    fn empty_crop_rejected() {
+        let img = numbered(8, 8);
+        assert!(crop_u8(&img, Rect::new(0, 0, 0, 4)).is_err());
+    }
+
+    #[test]
+    fn center_crop_is_symmetric() {
+        let img = numbered(10, 10);
+        let out = center_crop_u8(&img, 6, 6).unwrap();
+        assert_eq!(out.at(0, 0, 0), img.at(2, 2, 0));
+        assert_eq!(out.at(5, 5, 0), img.at(7, 7, 0));
+    }
+
+    #[test]
+    fn center_crop_larger_than_image_clamps() {
+        let img = numbered(10, 10);
+        let out = center_crop_u8(&img, 20, 20).unwrap();
+        assert_eq!((out.width(), out.height()), (10, 10));
+        assert_eq!(out.data(), img.data());
+    }
+}

@@ -1,0 +1,82 @@
+//! Data-type conversion and channel reordering ("split") kernels.
+
+use crate::image::{ImageU8, Layout, TensorF32};
+
+/// Converts a u8 HWC image to an f32 HWC tensor, without scaling.
+///
+/// The division by 255 is part of [`super::normalize`]; keeping it there
+/// mirrors the paper's step (3) and lets the DAG optimizer fuse it.
+pub fn to_f32(img: &ImageU8) -> TensorF32 {
+    let data: Vec<f32> = img.data().iter().map(|&v| v as f32).collect();
+    TensorF32::from_vec(img.width(), img.height(), img.channels(), Layout::Hwc, data)
+        .expect("shape preserved by construction")
+}
+
+/// Reorders an HWC float tensor into CHW ("channels-first") layout.
+///
+/// This is the "split" step in Figure 1 of the paper.
+pub fn hwc_to_chw(t: &TensorF32) -> TensorF32 {
+    match t.layout() {
+        Layout::Chw => t.clone(),
+        Layout::Hwc => {
+            let (w, h, c) = (t.width(), t.height(), t.channels());
+            let src = t.data();
+            let mut dst = vec![0.0f32; src.len()];
+            let plane = w * h;
+            for y in 0..h {
+                let row = y * w;
+                for x in 0..w {
+                    let s = (row + x) * c;
+                    let d = row + x;
+                    for ch in 0..c {
+                        dst[ch * plane + d] = src[s + ch];
+                    }
+                }
+            }
+            TensorF32::from_vec(w, h, c, Layout::Chw, dst).expect("shape preserved")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_f32_preserves_values() {
+        let img = ImageU8::from_vec(2, 2, 3, (0..12).map(|v| v * 20).collect()).unwrap();
+        let t = to_f32(&img);
+        assert_eq!(t.layout(), Layout::Hwc);
+        for y in 0..2 {
+            for x in 0..2 {
+                for c in 0..3 {
+                    assert_eq!(t.at(x, y, c), img.at(x, y, c) as f32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hwc_to_chw_permutes_correctly() {
+        let img = ImageU8::from_vec(3, 2, 3, (0..18).collect()).unwrap();
+        let hwc = to_f32(&img);
+        let chw = hwc_to_chw(&hwc);
+        assert_eq!(chw.layout(), Layout::Chw);
+        for y in 0..2 {
+            for x in 0..3 {
+                for c in 0..3 {
+                    assert_eq!(chw.at(x, y, c), hwc.at(x, y, c));
+                }
+            }
+        }
+        // Plane 0 of CHW is the channel-0 values in raster order.
+        assert_eq!(&chw.data()[0..6], &[0.0, 3.0, 6.0, 9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn hwc_to_chw_on_chw_is_identity() {
+        let t = TensorF32::zeros(4, 4, 3, Layout::Chw);
+        let out = hwc_to_chw(&t);
+        assert_eq!(out, t);
+    }
+}

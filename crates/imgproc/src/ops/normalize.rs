@@ -1,0 +1,143 @@
+//! Per-channel normalization (÷255, −mean, ÷std) — step (3) of the standard
+//! preprocessing pipeline in §2.
+
+use crate::error::{Error, Result};
+use crate::image::{Layout, TensorF32};
+
+/// Normalization constants: `out = (in/255 − mean[c]) / std[c]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normalization {
+    pub mean: [f32; 3],
+    pub std: [f32; 3],
+}
+
+impl Normalization {
+    /// The ImageNet constants used by torchvision/ResNet reference pipelines.
+    pub const IMAGENET: Normalization = Normalization {
+        mean: [0.485, 0.456, 0.406],
+        std: [0.229, 0.224, 0.225],
+    };
+
+    /// Identity normalization (only the ÷255 scaling is applied).
+    pub const UNIT: Normalization = Normalization {
+        mean: [0.0, 0.0, 0.0],
+        std: [1.0, 1.0, 1.0],
+    };
+
+    /// Precomputed per-channel affine form `out = in * scale[c] + bias[c]`.
+    ///
+    /// Folding `(x/255 − mean)/std` into one multiply-add halves the
+    /// arithmetic; both the standalone and fused kernels use it.
+    #[inline]
+    pub fn affine(&self) -> ([f32; 3], [f32; 3]) {
+        let mut scale = [0.0f32; 3];
+        let mut bias = [0.0f32; 3];
+        for c in 0..3 {
+            scale[c] = 1.0 / (255.0 * self.std[c]);
+            bias[c] = -self.mean[c] / self.std[c];
+        }
+        (scale, bias)
+    }
+}
+
+/// Normalizes an HWC float tensor in place.
+pub fn normalize_hwc(t: &mut TensorF32, n: &Normalization) -> Result<()> {
+    if t.layout() != Layout::Hwc {
+        return Err(Error::InvalidPlan("normalize_hwc requires HWC".into()));
+    }
+    if t.channels() != 3 {
+        return Err(Error::UnsupportedChannels {
+            channels: t.channels(),
+            op: "normalize_hwc",
+        });
+    }
+    let (scale, bias) = n.affine();
+    for px in t.data_mut().chunks_exact_mut(3) {
+        px[0] = px[0] * scale[0] + bias[0];
+        px[1] = px[1] * scale[1] + bias[1];
+        px[2] = px[2] * scale[2] + bias[2];
+    }
+    Ok(())
+}
+
+/// Normalizes a CHW float tensor in place.
+pub fn normalize_chw(t: &mut TensorF32, n: &Normalization) -> Result<()> {
+    if t.layout() != Layout::Chw {
+        return Err(Error::InvalidPlan("normalize_chw requires CHW".into()));
+    }
+    if t.channels() != 3 {
+        return Err(Error::UnsupportedChannels {
+            channels: t.channels(),
+            op: "normalize_chw",
+        });
+    }
+    let plane = t.width() * t.height();
+    let (scale, bias) = n.affine();
+    let data = t.data_mut();
+    for c in 0..3 {
+        let (s, b) = (scale[c], bias[c]);
+        for v in &mut data[c * plane..(c + 1) * plane] {
+            *v = *v * s + b;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::TensorF32;
+
+    #[test]
+    fn affine_form_matches_definition() {
+        let n = Normalization::IMAGENET;
+        let (scale, bias) = n.affine();
+        for c in 0..3 {
+            let x = 200.0f32;
+            let direct = (x / 255.0 - n.mean[c]) / n.std[c];
+            let fused = x * scale[c] + bias[c];
+            assert!((direct - fused).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn hwc_and_chw_normalization_agree() {
+        let mut hwc = TensorF32::zeros(4, 3, 3, Layout::Hwc);
+        let mut chw = TensorF32::zeros(4, 3, 3, Layout::Chw);
+        for y in 0..3 {
+            for x in 0..4 {
+                for c in 0..3 {
+                    let v = (y * 40 + x * 10 + c) as f32;
+                    hwc.set(x, y, c, v);
+                    chw.set(x, y, c, v);
+                }
+            }
+        }
+        normalize_hwc(&mut hwc, &Normalization::IMAGENET).unwrap();
+        normalize_chw(&mut chw, &Normalization::IMAGENET).unwrap();
+        for y in 0..3 {
+            for x in 0..4 {
+                for c in 0..3 {
+                    assert!((hwc.at(x, y, c) - chw.at(x, y, c)).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_normalization_is_divide_by_255() {
+        let mut t = TensorF32::from_vec(1, 1, 3, Layout::Hwc, vec![255.0, 127.5, 0.0]).unwrap();
+        normalize_hwc(&mut t, &Normalization::UNIT).unwrap();
+        assert!((t.data()[0] - 1.0).abs() < 1e-6);
+        assert!((t.data()[1] - 0.5).abs() < 1e-6);
+        assert_eq!(t.data()[2], 0.0);
+    }
+
+    #[test]
+    fn layout_mismatch_rejected() {
+        let mut t = TensorF32::zeros(2, 2, 3, Layout::Chw);
+        assert!(normalize_hwc(&mut t, &Normalization::UNIT).is_err());
+        let mut t = TensorF32::zeros(2, 2, 3, Layout::Hwc);
+        assert!(normalize_chw(&mut t, &Normalization::UNIT).is_err());
+    }
+}

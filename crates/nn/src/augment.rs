@@ -1,0 +1,155 @@
+//! Input-format simulation and low-resolution-aware augmentation (§5.3).
+//!
+//! An [`InputFormat`] describes how an image arrives at inference time:
+//! full-resolution, or as a natively-present thumbnail (lossless or lossy).
+//! [`InputFormat::materialize`] produces exactly the pixels the DNN sees —
+//! including *real* codec artifacts for lossy thumbnails, produced by a
+//! round-trip through `smol-codec`'s sjpg — and is used both at evaluation
+//! time and as the augmentation transform during low-resolution-aware
+//! training.
+
+use smol_codec::{sjpg, SjpgEncoder};
+use smol_imgproc::ops::resize::{resize_bilinear_u8, resize_short_edge_u8};
+use smol_imgproc::ImageU8;
+
+/// Thumbnail encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThumbCodec {
+    /// Lossless (spng/PNG-like): downsampling artifacts only.
+    Lossless,
+    /// Lossy (sjpg/JPEG-like) at a given quality: downsampling plus real
+    /// quantization artifacts.
+    Lossy { quality: u8 },
+}
+
+/// How an input image arrives at the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputFormat {
+    /// Native full-resolution image.
+    FullRes,
+    /// Natively-present thumbnail with the given short edge.
+    Thumbnail { short: usize, codec: ThumbCodec },
+}
+
+impl InputFormat {
+    /// Produces the pixels the DNN consumes: simulate the stored format,
+    /// then resize to the model's square `input_size`.
+    pub fn materialize(&self, native: &ImageU8, input_size: usize) -> ImageU8 {
+        let received = match self {
+            InputFormat::FullRes => native.clone(),
+            InputFormat::Thumbnail { short, codec } => {
+                let thumb = resize_short_edge_u8(native, *short)
+                    .expect("thumbnail resize of non-empty image");
+                match codec {
+                    ThumbCodec::Lossless => thumb,
+                    ThumbCodec::Lossy { quality } => {
+                        let enc = SjpgEncoder::new(*quality)
+                            .encode(&thumb)
+                            .expect("encode thumbnail");
+                        sjpg::decode(&enc).expect("decode own encoding")
+                    }
+                }
+            }
+        };
+        resize_bilinear_u8(&received, input_size, input_size)
+            .expect("resize to model input size")
+    }
+
+    /// Short label for reports (mirrors Table 7's row labels).
+    pub fn label(&self) -> String {
+        match self {
+            InputFormat::FullRes => "full-res".to_string(),
+            InputFormat::Thumbnail { short, codec } => match codec {
+                ThumbCodec::Lossless => format!("{short}, PNG"),
+                ThumbCodec::Lossy { quality } => format!("{short}, JPEG (q={quality})"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detailed(w: usize, h: usize) -> ImageU8 {
+        let mut img = ImageU8::zeros(w, h, 3);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, 0, (((x * 7) ^ (y * 3)) % 256) as u8);
+                img.set(x, y, 1, ((x * y) % 256) as u8);
+                img.set(x, y, 2, ((x + y * 2) % 256) as u8);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn full_res_materializes_to_input_size() {
+        let img = detailed(48, 40);
+        let out = InputFormat::FullRes.materialize(&img, 32);
+        assert_eq!((out.width(), out.height()), (32, 32));
+    }
+
+    #[test]
+    fn thumbnail_loses_information() {
+        let img = detailed(48, 48);
+        let full = InputFormat::FullRes.materialize(&img, 32);
+        let thumb = InputFormat::Thumbnail {
+            short: 16,
+            codec: ThumbCodec::Lossless,
+        }
+        .materialize(&img, 32);
+        let mad: f64 = full
+            .data()
+            .iter()
+            .zip(thumb.data())
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .sum::<f64>()
+            / full.data().len() as f64;
+        assert!(mad > 5.0, "thumbnail must differ from full-res: mad={mad}");
+    }
+
+    #[test]
+    fn lossy_thumbnail_noisier_than_lossless() {
+        let img = detailed(48, 48);
+        let lossless = InputFormat::Thumbnail {
+            short: 24,
+            codec: ThumbCodec::Lossless,
+        }
+        .materialize(&img, 32);
+        let lossy = InputFormat::Thumbnail {
+            short: 24,
+            codec: ThumbCodec::Lossy { quality: 50 },
+        }
+        .materialize(&img, 32);
+        let mad: f64 = lossless
+            .data()
+            .iter()
+            .zip(lossy.data())
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .sum::<f64>()
+            / lossy.data().len() as f64;
+        assert!(mad > 1.0, "lossy codec must add artifacts: mad={mad}");
+    }
+
+    #[test]
+    fn labels_match_table7_convention() {
+        assert_eq!(InputFormat::FullRes.label(), "full-res");
+        assert_eq!(
+            InputFormat::Thumbnail {
+                short: 161,
+                codec: ThumbCodec::Lossless
+            }
+            .label(),
+            "161, PNG"
+        );
+        assert_eq!(
+            InputFormat::Thumbnail {
+                short: 161,
+                codec: ThumbCodec::Lossy { quality: 75 }
+            }
+            .label(),
+            "161, JPEG (q=75)"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Reusable (optionally pinned) staging-buffer pool (§6.1).
+//!
+//! The caller of Smol only needs inference *results*, never the intermediate
+//! preprocessed tensors, so buffers can be recycled across batches. The pool
+//! is bounded, which also provides backpressure: producers block when all
+//! buffers are in flight ("Smol will over-allocate memory to ensure that
+//! producer threads will not contend on consumers" — capacity is set by the
+//! pipeline to producers + 2×consumers×batch).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct PoolState {
+    free: Vec<Vec<f32>>,
+    /// Buffers created so far (≤ capacity when reuse is on).
+    created: usize,
+}
+
+/// Counters for the lesion studies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffer checkouts served from the free list.
+    pub reused: u64,
+    /// Fresh heap allocations (pool growth or reuse disabled).
+    pub allocated: u64,
+    /// Times a producer had to block waiting for a buffer.
+    pub waits: u64,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    stats: Mutex<PoolStats>,
+    buf_len: usize,
+    capacity: usize,
+    /// When false, every acquire allocates and drops are discarded
+    /// (the "- mem reuse" lesion of Figure 7).
+    reuse: bool,
+    /// Whether buffers model pinned (DMA-fast) host memory.
+    pinned: bool,
+}
+
+/// A bounded pool of `f32` staging buffers.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` buffers of `buf_len` floats.
+    pub fn new(capacity: usize, buf_len: usize, reuse: bool, pinned: bool) -> Self {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                state: Mutex::new(PoolState {
+                    free: Vec::with_capacity(capacity),
+                    created: 0,
+                }),
+                available: Condvar::new(),
+                stats: Mutex::new(PoolStats::default()),
+                buf_len,
+                capacity: capacity.max(1),
+                reuse,
+                pinned,
+            }),
+        }
+    }
+
+    pub fn buf_len(&self) -> usize {
+        self.inner.buf_len
+    }
+
+    pub fn pinned(&self) -> bool {
+        self.inner.pinned
+    }
+
+    /// Acquires a buffer, blocking if the pool is exhausted (reuse mode).
+    pub fn acquire(&self) -> PooledBuffer {
+        if !self.inner.reuse {
+            self.inner.stats.lock().allocated += 1;
+            return PooledBuffer {
+                pool: None,
+                data: Some(vec![0.0; self.inner.buf_len]),
+            };
+        }
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(buf) = st.free.pop() {
+                self.inner.stats.lock().reused += 1;
+                return PooledBuffer {
+                    pool: Some(self.clone()),
+                    data: Some(buf),
+                };
+            }
+            if st.created < self.inner.capacity {
+                st.created += 1;
+                drop(st);
+                self.inner.stats.lock().allocated += 1;
+                return PooledBuffer {
+                    pool: Some(self.clone()),
+                    data: Some(vec![0.0; self.inner.buf_len]),
+                };
+            }
+            self.inner.stats.lock().waits += 1;
+            self.inner.available.wait(&mut st);
+        }
+    }
+
+    fn release(&self, buf: Vec<f32>) {
+        let mut st = self.inner.state.lock();
+        st.free.push(buf);
+        drop(st);
+        self.inner.available.notify_one();
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        *self.inner.stats.lock()
+    }
+}
+
+/// A checked-out buffer; returns to the pool on drop (when reuse is on).
+pub struct PooledBuffer {
+    pool: Option<BufferPool>,
+    data: Option<Vec<f32>>,
+}
+
+impl PooledBuffer {
+    pub fn as_slice(&self) -> &[f32] {
+        self.data.as_deref().expect("live buffer")
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.data.as_deref_mut().expect("live buffer")
+    }
+}
+
+impl Drop for PooledBuffer {
+    fn drop(&mut self) {
+        if let (Some(pool), Some(buf)) = (self.pool.take(), self.data.take()) {
+            pool.release(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn buffers_are_recycled() {
+        let pool = BufferPool::new(2, 16, true, true);
+        {
+            let _a = pool.acquire();
+            let _b = pool.acquire();
+        }
+        let _c = pool.acquire();
+        let _d = pool.acquire();
+        let stats = pool.stats();
+        assert_eq!(stats.allocated, 2, "only two real allocations");
+        assert_eq!(stats.reused, 2, "second round reuses");
+    }
+
+    #[test]
+    fn reuse_disabled_always_allocates() {
+        let pool = BufferPool::new(2, 16, false, false);
+        for _ in 0..5 {
+            let _b = pool.acquire();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.allocated, 5);
+        assert_eq!(stats.reused, 0);
+    }
+
+    #[test]
+    fn exhausted_pool_blocks_until_release() {
+        let pool = BufferPool::new(1, 8, true, true);
+        let held = pool.acquire();
+        let p2 = pool.clone();
+        let handle = std::thread::spawn(move || {
+            let _b = p2.acquire(); // blocks until `held` drops
+            true
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!handle.is_finished(), "acquire must block while exhausted");
+        drop(held);
+        assert!(handle.join().unwrap());
+        assert!(pool.stats().waits >= 1);
+    }
+
+    #[test]
+    fn buffer_contents_writable() {
+        let pool = BufferPool::new(1, 4, true, true);
+        let mut b = pool.acquire();
+        b.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # smol-runtime
+//!
+//! Smol's optimized end-to-end inference engine (§6.1) plus the profiling
+//! helpers the cost models consume and the baseline runtime personalities
+//! of the appendix comparison.
+//!
+//! * [`pipeline`] — the MPMC pipelined executor: producer threads decode
+//!   and preprocess on the CPU, consumer threads drive the virtual
+//!   accelerator (transfer → accelerator-side preprocessing kernels → DNN
+//!   batches). All §6.1 optimizations (threading, buffer reuse, pinned
+//!   staging) are runtime toggles for the Figure 7/8 lesion studies.
+//! * [`bufferpool`] — bounded recycled staging buffers with backpressure;
+//! * [`profiler`] — preprocessing/decode/execution throughput measurement;
+//! * [`personalities`] — DALI-like and PyTorch-like configurations
+//!   (Figure 10).
+
+pub mod bufferpool;
+pub mod personalities;
+pub mod pipeline;
+pub mod profiler;
+
+pub use bufferpool::{BufferPool, PoolStats, PooledBuffer};
+pub use personalities::Personality;
+pub use pipeline::{
+    decode_only, preproc_only, run_inference, run_throughput, PipelineReport, Result,
+    RuntimeError, RuntimeOptions,
+};
+pub use profiler::{
+    measure_decode_throughput, measure_exec_throughput, measure_preproc_pipelined,
+    measure_preproc_throughput,
+};

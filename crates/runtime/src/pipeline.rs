@@ -1,0 +1,657 @@
+//! The pipelined MPMC execution engine (§6.1).
+//!
+//! Producer threads decode and preprocess on the CPU; consumer threads
+//! drive the accelerator (transfer → optional accelerator-side
+//! preprocessing kernels → DNN batch). The stages are connected by a
+//! bounded MPMC channel, and preprocessed tensors live in a recycled
+//! (optionally pinned) buffer pool, so memory traffic, backpressure, and
+//! the `min(preproc, exec)` pipelining law are all physically realized.
+//!
+//! Every §6.1 optimization is a [`RuntimeOptions`] toggle so the Figure 7/8
+//! lesion and factor studies sweep them in-process:
+//! `threading` (multi-producer), `memory_reuse` (buffer pool),
+//! `pinned` (DMA-fast transfers).
+
+use crate::bufferpool::{BufferPool, PoolStats};
+use crossbeam::channel;
+use parking_lot::Mutex;
+use smol_accel::{DeviceStats, VirtualDevice};
+use smol_codec::EncodedImage;
+use smol_core::{DecodeMode, QueryPlan};
+use smol_imgproc::dag::{plan_op_costs, OpSpec, Placement, PreprocPlan};
+use smol_imgproc::ops::fused::fused_convert_normalize_split_into;
+use smol_imgproc::ops::normalize::Normalization;
+use smol_imgproc::ops::{center_crop_u8, resize_bilinear_u8, resize_short_edge_u8};
+use smol_imgproc::{ImageU8, PlacedOp, Rect};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Engine configuration; defaults mirror the paper's g4dn.xlarge setup
+/// (4 vCPU producers, a few CUDA-stream consumers, all optimizations on).
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptions {
+    /// Producer (decode/preprocess) threads; "number of producers equal to
+    /// the number of vCPU cores" (§6.1).
+    pub producers: usize,
+    /// Consumer threads, each mapping to a CUDA-stream-like lane.
+    pub consumers: usize,
+    /// Multithreaded producers (lesion: off = 1 producer).
+    pub threading: bool,
+    /// Recycle staging buffers (lesion: off = allocate per image).
+    pub memory_reuse: bool,
+    /// Pinned staging memory for transfers (lesion: off = pageable).
+    pub pinned: bool,
+    /// Per-image extra CPU overhead in seconds (runtime personalities,
+    /// e.g. eager-framework dispatch costs). 0 for Smol.
+    pub extra_cpu_s_per_image: f64,
+    /// Extra host-side copy per batch (personalities without inference-
+    /// engine integration, e.g. DALI→TensorRT, Appendix A.1).
+    pub extra_copy_per_batch: bool,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            producers: 4,
+            consumers: 3,
+            threading: true,
+            memory_reuse: true,
+            pinned: true,
+            extra_cpu_s_per_image: 0.0,
+            extra_copy_per_batch: false,
+        }
+    }
+}
+
+impl RuntimeOptions {
+    pub fn effective_producers(&self) -> usize {
+        if self.threading {
+            self.producers.max(1)
+        } else {
+            1
+        }
+    }
+}
+
+/// Measured outcome of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    pub images: usize,
+    pub wall_s: f64,
+    /// End-to-end images/second.
+    pub throughput: f64,
+    /// Total CPU seconds spent decoding across producers.
+    pub decode_cpu_s: f64,
+    /// Total CPU seconds spent in CPU-side preprocessing ops.
+    pub preproc_cpu_s: f64,
+    pub device: DeviceStats,
+    pub pool: PoolStats,
+}
+
+struct WorkItem {
+    idx: usize,
+    /// Holds the staging buffer (and its pool slot) until the consumer is
+    /// done with the batch.
+    #[allow(dead_code)]
+    buffer: crate::bufferpool::PooledBuffer,
+    transfer_bytes: usize,
+    accel_ops: f64,
+    image: Option<ImageU8>,
+}
+
+/// Runtime error type.
+#[derive(Debug)]
+pub enum RuntimeError {
+    Codec(smol_codec::Error),
+    Image(smol_imgproc::Error),
+    Config(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Codec(e) => write!(f, "codec error: {e}"),
+            RuntimeError::Image(e) => write!(f, "image error: {e}"),
+            RuntimeError::Config(msg) => write!(f, "config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<smol_codec::Error> for RuntimeError {
+    fn from(e: smol_codec::Error) -> Self {
+        RuntimeError::Codec(e)
+    }
+}
+
+impl From<smol_imgproc::Error> for RuntimeError {
+    fn from(e: smol_imgproc::Error) -> Self {
+        RuntimeError::Image(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Decodes an item according to the plan's decode mode.
+fn decode_item(enc: &EncodedImage, mode: DecodeMode) -> Result<ImageU8> {
+    match mode {
+        DecodeMode::Full => Ok(enc.decode()?),
+        DecodeMode::CentralRoi { crop_w, crop_h } => {
+            let roi = Rect::centered(enc.width, enc.height, crop_w.max(1), crop_h.max(1));
+            let (img, _) = enc.decode_roi(roi)?;
+            Ok(img)
+        }
+        DecodeMode::EarlyStopRows { rows } => {
+            let roi = Rect::new(0, 0, enc.width, rows.clamp(1, enc.height));
+            let (img, _) = enc.decode_roi(roi)?;
+            Ok(img)
+        }
+    }
+}
+
+/// The plan actually executed after decoding: partial decode modes replace
+/// the geometric prefix with a direct resize to the plan's output size.
+fn effective_preproc(plan: &QueryPlan) -> PreprocPlan {
+    let (ow, oh) = plan
+        .preproc
+        .output_dims(plan.input.width, plan.input.height);
+    match plan.decode {
+        DecodeMode::Full => plan.preproc.clone(),
+        _ => {
+            let mut ops: Vec<PlacedOp> = vec![PlacedOp::cpu(OpSpec::ResizeExact {
+                w: ow as u32,
+                h: oh as u32,
+            })];
+            ops.extend(
+                plan.preproc
+                    .ops
+                    .iter()
+                    .filter(|o| o.spec.is_elementwise() || matches!(o.spec, OpSpec::Fused(_)))
+                    .cloned(),
+            );
+            PreprocPlan::new(ops)
+        }
+    }
+}
+
+/// Executes the CPU-placed prefix of `plan` on a decoded image, writing the
+/// final tensor (or staged intermediate) into `out`.
+///
+/// Returns `(transfer_bytes, accel_ops)`: how many bytes the consumer must
+/// copy to the device (u8 intermediates are 4× smaller than f32 tensors —
+/// a real benefit of accelerator-side placement) and the weighted-op cost
+/// of the remaining accelerator-side operators.
+fn run_cpu_prefix(
+    plan: &PreprocPlan,
+    img: ImageU8,
+    norm: &Normalization,
+    out: &mut [f32],
+) -> Result<(usize, f64)> {
+    let split = plan
+        .ops
+        .iter()
+        .position(|o| o.placement == Placement::Accel)
+        .unwrap_or(plan.ops.len());
+    let accel_ops: f64 = {
+        let costs = plan_op_costs(plan, img.width(), img.height());
+        costs[split..].iter().map(|c| c.weighted_ops).sum()
+    };
+
+    // Execute geometric CPU ops directly; the elementwise tail (when on
+    // CPU) uses the fused kernel writing straight into the pooled buffer.
+    let mut cur = img;
+    let mut wrote_f32 = false;
+    for op in &plan.ops[..split] {
+        match &op.spec {
+            OpSpec::ResizeShortEdge { short } => {
+                cur = resize_short_edge_u8(&cur, *short as usize)?;
+            }
+            OpSpec::ResizeExact { w, h } => {
+                cur = resize_bilinear_u8(&cur, *w as usize, *h as usize)?;
+            }
+            OpSpec::CenterCrop { w, h } => {
+                cur = center_crop_u8(&cur, *w as usize, *h as usize)?;
+            }
+            OpSpec::FusedCropResize { short, w, h } => {
+                let scale = cur.short_edge() as f64 / (*short as f64).max(1.0);
+                let cw = (((*w as f64) * scale).round() as usize).clamp(1, cur.width());
+                let ch = (((*h as f64) * scale).round() as usize).clamp(1, cur.height());
+                cur = center_crop_u8(&cur, cw, ch)?;
+                cur = resize_bilinear_u8(&cur, *w as usize, *h as usize)?;
+            }
+            OpSpec::ConvertF32 | OpSpec::Normalize | OpSpec::ChannelSplit | OpSpec::Fused(_) => {
+                // Elementwise tail on CPU: one fused pass into the buffer,
+                // then stop — any further CPU elementwise ops are part of
+                // the same fused write.
+                let n = cur.width() * cur.height() * 3;
+                fused_convert_normalize_split_into(&cur, norm, &mut out[..n])?;
+                wrote_f32 = true;
+                break;
+            }
+        }
+    }
+    let elems = cur.width() * cur.height() * 3;
+    if wrote_f32 {
+        Ok((elems * std::mem::size_of::<f32>(), accel_ops))
+    } else {
+        // Prefix ended with a u8 intermediate: stage the bytes (values are
+        // carried in the f32 buffer for simplicity; the *transfer* is
+        // charged at u8 width, which is the real placement benefit).
+        for (o, v) in out[..elems].iter_mut().zip(cur.data()) {
+            *o = *v as f32;
+        }
+        Ok((elems, accel_ops))
+    }
+}
+
+/// Decodes one item (profiling helper).
+pub fn decode_only(enc: &EncodedImage) -> Result<()> {
+    let img = enc.decode()?;
+    std::hint::black_box(img.data().len());
+    Ok(())
+}
+
+/// Decodes one item per the plan's decode mode and runs the CPU-side
+/// preprocessing into a scratch buffer (profiling helper).
+pub fn preproc_only(enc: &EncodedImage, plan: &QueryPlan) -> Result<()> {
+    let preproc = effective_preproc(plan);
+    let (ow, oh) = plan
+        .preproc
+        .output_dims(plan.input.width, plan.input.height);
+    let mut scratch = vec![0.0f32; ow * oh * 3];
+    let decoded = decode_item(enc, plan.decode)?;
+    let (bytes, _) = run_cpu_prefix(&preproc, decoded, &Normalization::IMAGENET, &mut scratch)?;
+    std::hint::black_box(bytes);
+    Ok(())
+}
+
+/// Runs the pipeline for throughput measurement only.
+pub fn run_throughput(
+    items: &[EncodedImage],
+    plan: &QueryPlan,
+    device: &VirtualDevice,
+    opts: &RuntimeOptions,
+) -> Result<PipelineReport> {
+    let (report, _) = run_pipeline(items, plan, device, opts, None::<fn(usize, &ImageU8) -> ()>)?;
+    Ok(report)
+}
+
+/// Runs the pipeline and applies `infer` to every decoded image on the
+/// consumer side, returning per-item results (used by the analytics
+/// systems, which need real model outputs).
+pub fn run_inference<R, F>(
+    items: &[EncodedImage],
+    plan: &QueryPlan,
+    device: &VirtualDevice,
+    opts: &RuntimeOptions,
+    infer: F,
+) -> Result<(PipelineReport, Vec<Option<R>>)>
+where
+    R: Send,
+    F: Fn(usize, &ImageU8) -> R + Sync,
+{
+    run_pipeline(items, plan, device, opts, Some(infer))
+}
+
+fn run_pipeline<R, F>(
+    items: &[EncodedImage],
+    plan: &QueryPlan,
+    device: &VirtualDevice,
+    opts: &RuntimeOptions,
+    infer: Option<F>,
+) -> Result<(PipelineReport, Vec<Option<R>>)>
+where
+    R: Send,
+    F: Fn(usize, &ImageU8) -> R + Sync,
+{
+    if items.is_empty() {
+        return Ok((
+            PipelineReport {
+                images: 0,
+                wall_s: 0.0,
+                throughput: 0.0,
+                decode_cpu_s: 0.0,
+                preproc_cpu_s: 0.0,
+                device: device.stats(),
+                pool: PoolStats::default(),
+            },
+            Vec::new(),
+        ));
+    }
+    let batch = plan.batch.max(1);
+    let producers = opts.effective_producers();
+    let consumers = opts.consumers.max(1);
+    let preproc = effective_preproc(plan);
+    let (ow, oh) = plan
+        .preproc
+        .output_dims(plan.input.width, plan.input.height);
+    let buf_len = ow * oh * 3;
+    // Over-allocation (§6.1): enough buffers that producers don't contend
+    // with consumers under normal operation.
+    let pool_capacity = producers + 2 * consumers * batch;
+    let pool = BufferPool::new(pool_capacity, buf_len, opts.memory_reuse, opts.pinned);
+    let (tx, rx) = channel::bounded::<WorkItem>(pool_capacity);
+    let next = AtomicUsize::new(0);
+    let norm = Normalization::IMAGENET;
+    let decode_cpu = Mutex::new(0.0f64);
+    let preproc_cpu = Mutex::new(0.0f64);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let results_mutex = Mutex::new(&mut results);
+    let error: Mutex<Option<RuntimeError>> = Mutex::new(None);
+    let keep_images = infer.is_some();
+    let infer_ref = infer.as_ref();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // Producers.
+        for _ in 0..producers {
+            let tx = tx.clone();
+            let pool = pool.clone();
+            let preproc = &preproc;
+            let next = &next;
+            let norm = &norm;
+            let decode_cpu = &decode_cpu;
+            let preproc_cpu = &preproc_cpu;
+            let error = &error;
+            scope.spawn(move || {
+                let mut local_decode = 0.0f64;
+                let mut local_preproc = 0.0f64;
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= items.len() {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let decoded = match decode_item(&items[idx], plan.decode) {
+                        Ok(img) => img,
+                        Err(e) => {
+                            *error.lock() = Some(e);
+                            break;
+                        }
+                    };
+                    let t1 = Instant::now();
+                    local_decode += (t1 - t0).as_secs_f64();
+                    let mut buffer = pool.acquire();
+                    let image_copy = keep_images.then(|| decoded.clone());
+                    let (transfer_bytes, accel_ops) =
+                        match run_cpu_prefix(preproc, decoded, norm, buffer.as_mut_slice()) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                *error.lock() = Some(e.into());
+                                break;
+                            }
+                        };
+                    if opts.extra_cpu_s_per_image > 0.0 {
+                        std::thread::sleep(Duration::from_secs_f64(opts.extra_cpu_s_per_image));
+                    }
+                    local_preproc += t1.elapsed().as_secs_f64();
+                    let item = WorkItem {
+                        idx,
+                        buffer,
+                        transfer_bytes,
+                        accel_ops,
+                        image: image_copy,
+                    };
+                    if tx.send(item).is_err() {
+                        break;
+                    }
+                }
+                *decode_cpu.lock() += local_decode;
+                *preproc_cpu.lock() += local_preproc;
+            });
+        }
+        drop(tx);
+
+        // Consumers (CUDA-stream lanes).
+        for _ in 0..consumers {
+            let rx = rx.clone();
+            let device = device.clone();
+            let results_mutex = &results_mutex;
+            scope.spawn(move || {
+                loop {
+                    // Assemble up to one batch.
+                    let mut batch_items: Vec<WorkItem> = Vec::with_capacity(batch);
+                    match rx.recv() {
+                        Ok(first) => batch_items.push(first),
+                        Err(_) => break,
+                    }
+                    // Block until the batch fills; a disconnected channel
+                    // (all producers done) releases the final partial batch.
+                    while batch_items.len() < batch {
+                        match rx.recv() {
+                            Ok(item) => batch_items.push(item),
+                            Err(_) => break,
+                        }
+                    }
+                    let bytes: usize = batch_items.iter().map(|i| i.transfer_bytes).sum();
+                    device.transfer(bytes, opts.pinned);
+                    if opts.extra_copy_per_batch {
+                        device.transfer(bytes, false);
+                    }
+                    let accel_ops: f64 = batch_items.iter().map(|i| i.accel_ops).sum();
+                    if accel_ops > 0.0 {
+                        device.preproc_kernel(accel_ops);
+                    }
+                    device.dnn_batch(plan.dnn, batch_items.len());
+                    // Cascade stages: the expected fraction of the batch
+                    // passes through to each downstream model (§3.2).
+                    for &(model, selectivity) in &plan.extra_stages {
+                        let passed =
+                            (batch_items.len() as f64 * selectivity).ceil() as usize;
+                        if passed > 0 {
+                            device.dnn_batch(model, passed);
+                        }
+                    }
+                    if let Some(f) = infer_ref {
+                        let mut outs = Vec::with_capacity(batch_items.len());
+                        for item in &batch_items {
+                            if let Some(img) = &item.image {
+                                outs.push((item.idx, f(item.idx, img)));
+                            }
+                        }
+                        let mut res = results_mutex.lock();
+                        for (idx, r) in outs {
+                            res[idx] = Some(r);
+                        }
+                    }
+                    drop(batch_items); // buffers return to the pool
+                }
+            });
+        }
+    });
+
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    // Report throughput in *simulated* time: wall time is already simulated
+    // because the device sleeps scaled durations, so divide the scale back
+    // out only when the caller runs time_scale != 1 (they see scaled wall).
+    let report = PipelineReport {
+        images: items.len(),
+        wall_s: wall,
+        throughput: items.len() as f64 / wall,
+        decode_cpu_s: decode_cpu.into_inner(),
+        preproc_cpu_s: preproc_cpu.into_inner(),
+        device: device.stats(),
+        pool: pool.stats(),
+    };
+    Ok((report, results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smol_accel::{ExecutionEnv, GpuModel, ModelKind};
+    use smol_codec::Format;
+    use smol_core::{InputVariant, Planner, PlannerConfig};
+
+    fn textured(w: usize, h: usize, seed: usize) -> ImageU8 {
+        let mut img = ImageU8::zeros(w, h, 3);
+        for y in 0..h {
+            for x in 0..w {
+                for c in 0..3 {
+                    img.set(x, y, c, ((x * 3 + y * 7 + c * 11 + seed) % 256) as u8);
+                }
+            }
+        }
+        img
+    }
+
+    fn encoded_batch(n: usize, w: usize, h: usize) -> Vec<EncodedImage> {
+        (0..n)
+            .map(|i| {
+                EncodedImage::encode(&textured(w, h, i), Format::Sjpg { quality: 85 }).unwrap()
+            })
+            .collect()
+    }
+
+    fn test_plan(input_w: usize, input_h: usize, dnn_input: u32) -> QueryPlan {
+        let planner = Planner::new(PlannerConfig {
+            dnn_input,
+            ..Default::default()
+        });
+        let input = InputVariant::new(
+            "test sjpg",
+            Format::Sjpg { quality: 85 },
+            input_w,
+            input_h,
+        );
+        QueryPlan {
+            dnn: ModelKind::ResNet50,
+            input: input.clone(),
+            preproc: planner.build_preproc(&input),
+            decode: smol_core::DecodeMode::Full,
+            batch: 8,
+            extra_stages: Vec::new(),
+        }
+    }
+
+    fn fast_device() -> VirtualDevice {
+        VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 0.02)
+    }
+
+    #[test]
+    fn pipeline_processes_all_images() {
+        let items = encoded_batch(24, 96, 80);
+        let plan = test_plan(96, 80, 64);
+        let report =
+            run_throughput(&items, &plan, &fast_device(), &RuntimeOptions::default()).unwrap();
+        assert_eq!(report.images, 24);
+        assert!(report.throughput > 0.0);
+        assert!(report.decode_cpu_s > 0.0);
+        assert_eq!(report.device.kernels as usize, report.device.kernels as usize);
+        assert!(report.device.kernels >= (24 / 8) as u64);
+    }
+
+    #[test]
+    fn inference_callback_sees_every_image() {
+        let items = encoded_batch(10, 64, 64);
+        let plan = test_plan(64, 64, 32);
+        let (_, results) = run_inference(
+            &items,
+            &plan,
+            &fast_device(),
+            &RuntimeOptions::default(),
+            |idx, img| (idx, img.width()),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 10);
+        for (i, r) in results.iter().enumerate() {
+            let (idx, _w) = r.expect("every image inferred");
+            assert_eq!(idx, i);
+        }
+    }
+
+    #[test]
+    fn memory_reuse_reduces_allocations() {
+        let items = encoded_batch(32, 64, 64);
+        let plan = test_plan(64, 64, 32);
+        let on = run_throughput(
+            &items,
+            &plan,
+            &fast_device(),
+            &RuntimeOptions::default(),
+        )
+        .unwrap();
+        let off = run_throughput(
+            &items,
+            &plan,
+            &fast_device(),
+            &RuntimeOptions {
+                memory_reuse: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(on.pool.allocated < off.pool.allocated);
+        assert_eq!(off.pool.allocated, 32);
+    }
+
+    #[test]
+    fn single_threaded_lesion_uses_one_producer() {
+        let items = encoded_batch(8, 64, 64);
+        let plan = test_plan(64, 64, 32);
+        let opts = RuntimeOptions {
+            threading: false,
+            ..Default::default()
+        };
+        assert_eq!(opts.effective_producers(), 1);
+        let report = run_throughput(&items, &plan, &fast_device(), &opts).unwrap();
+        assert_eq!(report.images, 8);
+    }
+
+    #[test]
+    fn roi_decode_mode_runs() {
+        let items = encoded_batch(6, 128, 96);
+        let mut plan = test_plan(128, 96, 64);
+        plan.decode = smol_core::DecodeMode::CentralRoi {
+            crop_w: 80,
+            crop_h: 80,
+        };
+        let report =
+            run_throughput(&items, &plan, &fast_device(), &RuntimeOptions::default()).unwrap();
+        assert_eq!(report.images, 6);
+    }
+
+    #[test]
+    fn empty_input_is_ok() {
+        let plan = test_plan(64, 64, 32);
+        let report =
+            run_throughput(&[], &plan, &fast_device(), &RuntimeOptions::default()).unwrap();
+        assert_eq!(report.images, 0);
+    }
+
+    #[test]
+    fn corrupt_item_surfaces_error() {
+        let mut items = encoded_batch(4, 64, 64);
+        let mut bad = items[2].bytes.to_vec();
+        for b in bad.iter_mut().skip(8) {
+            *b = 0xFF;
+        }
+        items[2].bytes = bytes::Bytes::from(bad);
+        let plan = test_plan(64, 64, 32);
+        let result = run_throughput(&items, &plan, &fast_device(), &RuntimeOptions::default());
+        assert!(result.is_err());
+    }
+
+    /// The pipelining law: end-to-end throughput ≈ min(preproc, exec), well
+    /// above the serialized harmonic rate (what Tahoma's model predicts).
+    #[test]
+    fn pipelined_throughput_follows_min_law() {
+        let items = encoded_batch(48, 96, 96);
+        let plan = test_plan(96, 96, 64);
+        // Device with heavy kernel cost so DNN side is the bottleneck and
+        // deterministic: time_scale 1.0 with a slow model.
+        let device = VirtualDevice::new(GpuModel::K80, ExecutionEnv::Keras, 1.0);
+        let report = run_throughput(&items, &plan, &device, &RuntimeOptions::default()).unwrap();
+        let exec_tput = device.model_throughput(ModelKind::ResNet50, 8);
+        // DNN-bound: observed throughput within 25% of the exec rate.
+        assert!(
+            (report.throughput - exec_tput).abs() / exec_tput < 0.25,
+            "observed {} vs exec {exec_tput}",
+            report.throughput
+        );
+    }
+}

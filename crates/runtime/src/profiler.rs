@@ -1,0 +1,174 @@
+//! Profiling helpers that produce the numbers the cost models consume
+//! (§3.1: Smol "estimates the relative costs of preprocessing and DNN
+//! execution"; §4: `T_exec` "can be directly measured using synthetic
+//! data").
+
+use crate::pipeline::{decode_only, preproc_only};
+use smol_accel::{ModelKind, VirtualDevice};
+use smol_codec::EncodedImage;
+use smol_core::QueryPlan;
+use std::time::Instant;
+
+/// Measured preprocessing throughput (decode + CPU preprocessing) in
+/// images/second using `threads` parallel workers over `items`.
+pub fn measure_preproc_throughput(
+    items: &[EncodedImage],
+    plan: &QueryPlan,
+    threads: usize,
+) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    let threads = threads.max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let _ = preproc_only(&items[idx], plan);
+            });
+        }
+    });
+    items.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measured decode-only throughput (no post-decode preprocessing).
+pub fn measure_decode_throughput(items: &[EncodedImage], threads: usize) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    let threads = threads.max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let _ = decode_only(&items[idx]);
+            });
+        }
+    });
+    items.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Preprocessing throughput measured *through the pipelined harness* with
+/// an unconstrained device, i.e. the preprocessing-only column of Table 3.
+///
+/// The paper's footnote 1 notes its preprocessing measurements come from
+/// "the experimental harness being optimized for pipelined execution";
+/// this is that measurement: all pipeline machinery (buffer pool, queue,
+/// consumers) is in place, but the accelerator is infinitely fast, so the
+/// CPU side is the only constraint.
+pub fn measure_preproc_pipelined(
+    items: &[EncodedImage],
+    plan: &QueryPlan,
+    opts: &crate::pipeline::RuntimeOptions,
+) -> f64 {
+    use smol_accel::{DeviceSpec, ExecutionEnv, GpuModel};
+    let spec = DeviceSpec {
+        resnet50_batch64: 1e12,
+        elementwise_ops_per_s: 1e15,
+        pinned_copy_bps: f64::INFINITY,
+        pageable_copy_bps: f64::INFINITY,
+        ..GpuModel::T4.spec()
+    };
+    let device = VirtualDevice::with_spec(spec, ExecutionEnv::TensorRt, 1.0);
+    match crate::pipeline::run_throughput(items, plan, &device, opts) {
+        Ok(report) => report.throughput,
+        Err(_) => 0.0,
+    }
+}
+
+/// Measured DNN-execution throughput on the virtual device (im/s in
+/// simulated time), by running `n_batches` back-to-back batches.
+pub fn measure_exec_throughput(
+    device: &VirtualDevice,
+    model: ModelKind,
+    batch: usize,
+    n_batches: usize,
+) -> f64 {
+    let start = Instant::now();
+    for _ in 0..n_batches.max(1) {
+        device.dnn_batch(model, batch);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    // The device sleeps `simulated × time_scale` wall seconds, so the
+    // simulated-time throughput is `count × time_scale / wall`.
+    (n_batches.max(1) * batch) as f64 * device.time_scale() / wall
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smol_accel::{ExecutionEnv, GpuModel};
+    use smol_codec::Format;
+    use smol_core::{InputVariant, Planner};
+    use smol_imgproc::ImageU8;
+
+    fn items(n: usize) -> Vec<EncodedImage> {
+        (0..n)
+            .map(|i| {
+                let mut img = ImageU8::zeros(96, 96, 3);
+                for (j, v) in img.data_mut().iter_mut().enumerate() {
+                    *v = ((i * 31 + j * 7) % 256) as u8;
+                }
+                EncodedImage::encode(&img, Format::Sjpg { quality: 85 }).unwrap()
+            })
+            .collect()
+    }
+
+    fn plan() -> QueryPlan {
+        let planner = Planner::default();
+        let input = InputVariant::new("t", Format::Sjpg { quality: 85 }, 96, 96);
+        QueryPlan {
+            dnn: ModelKind::ResNet50,
+            input: input.clone(),
+            preproc: planner.build_preproc(&input),
+            decode: smol_core::DecodeMode::Full,
+            batch: 8,
+            extra_stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn preproc_throughput_positive_and_scales_with_threads() {
+        let data = items(32);
+        let p = plan();
+        let t1 = measure_preproc_throughput(&data, &p, 1);
+        let t4 = measure_preproc_throughput(&data, &p, 4);
+        assert!(t1 > 0.0);
+        // Parallel speedup is environment-dependent; just require no big
+        // slowdown.
+        assert!(t4 > t1 * 0.8, "t1={t1} t4={t4}");
+    }
+
+    #[test]
+    fn decode_throughput_at_least_preproc() {
+        let data = items(32);
+        let p = plan();
+        let d = measure_decode_throughput(&data, 2);
+        let pp = measure_preproc_throughput(&data, &p, 2);
+        assert!(d >= pp * 0.7, "decode {d} vs preproc {pp}");
+    }
+
+    #[test]
+    fn exec_throughput_close_to_catalog() {
+        // Scale 1.0 keeps kernel durations far above sleep granularity.
+        let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
+        let measured = measure_exec_throughput(&device, ModelKind::ResNet50, 64, 10);
+        let expected = device.model_throughput(ModelKind::ResNet50, 64);
+        assert!(
+            (measured - expected).abs() / expected < 0.1,
+            "measured {measured} expected {expected}"
+        );
+    }
+}

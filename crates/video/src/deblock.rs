@@ -1,0 +1,109 @@
+//! In-loop deblocking filter.
+//!
+//! Block codecs introduce visible discontinuities at 8-pixel block
+//! boundaries; the in-loop filter smooths boundary pixels when the edge
+//! gradient is small (a genuine edge is left alone). H.264/HEVC decoders
+//! may skip this filter for **reduced-fidelity decoding** (§6.4) — skipping
+//! it here likewise saves real work and introduces real drift, because the
+//! encoder's reconstruction loop applies it.
+
+use smol_imgproc::ImageU8;
+
+/// Boundary-strength threshold: edges steeper than this are assumed real
+/// image content and are not smoothed.
+const THRESHOLD: i16 = 24;
+
+/// Applies the deblocking filter in place across the 8-pixel block grid.
+pub fn deblock(img: &mut ImageU8, block: usize) {
+    let (w, h, c) = (img.width(), img.height(), img.channels());
+    // Vertical boundaries (filter horizontally across x = k*block).
+    for by in 0..h {
+        let mut x = block;
+        while x < w {
+            for ch in 0..c {
+                let p1 = img.at(x - 2.min(x), by, ch) as i16;
+                let p0 = img.at(x - 1, by, ch) as i16;
+                let q0 = img.at(x, by, ch) as i16;
+                let q1 = img.at((x + 1).min(w - 1), by, ch) as i16;
+                if (p0 - q0).abs() < THRESHOLD && (p0 - q0).abs() > 1 {
+                    let np0 = (p1 + 2 * p0 + q0 + 2) / 4;
+                    let nq0 = (q1 + 2 * q0 + p0 + 2) / 4;
+                    img.set(x - 1, by, ch, np0.clamp(0, 255) as u8);
+                    img.set(x, by, ch, nq0.clamp(0, 255) as u8);
+                }
+            }
+            x += block;
+        }
+    }
+    // Horizontal boundaries (filter vertically across y = k*block).
+    for bx in 0..w {
+        let mut y = block;
+        while y < h {
+            for ch in 0..c {
+                let p1 = img.at(bx, y - 2.min(y), ch) as i16;
+                let p0 = img.at(bx, y - 1, ch) as i16;
+                let q0 = img.at(bx, y, ch) as i16;
+                let q1 = img.at(bx, (y + 1).min(h - 1), ch) as i16;
+                if (p0 - q0).abs() < THRESHOLD && (p0 - q0).abs() > 1 {
+                    let np0 = (p1 + 2 * p0 + q0 + 2) / 4;
+                    let nq0 = (q1 + 2 * q0 + p0 + 2) / 4;
+                    img.set(bx, y - 1, ch, np0.clamp(0, 255) as u8);
+                    img.set(bx, y, ch, nq0.clamp(0, 255) as u8);
+                }
+            }
+            y += block;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_blocking_artifact_is_smoothed() {
+        // Two flat half-planes differing by 10 across the x=8 boundary.
+        let mut img = ImageU8::zeros(16, 4, 1);
+        for y in 0..4 {
+            for x in 0..16 {
+                img.set(x, y, 0, if x < 8 { 100 } else { 110 });
+            }
+        }
+        deblock(&mut img, 8);
+        let step = (img.at(8, 0, 0) as i16 - img.at(7, 0, 0) as i16).abs();
+        assert!(step < 10, "boundary step should shrink, got {step}");
+    }
+
+    #[test]
+    fn strong_edges_preserved() {
+        let mut img = ImageU8::zeros(16, 4, 1);
+        for y in 0..4 {
+            for x in 0..16 {
+                img.set(x, y, 0, if x < 8 { 0 } else { 255 });
+            }
+        }
+        let before = img.clone();
+        deblock(&mut img, 8);
+        assert_eq!(img, before, "a real edge must not be smoothed");
+    }
+
+    #[test]
+    fn flat_image_unchanged() {
+        let mut img = ImageU8::from_vec(32, 32, 3, vec![77; 32 * 32 * 3]).unwrap();
+        let before = img.clone();
+        deblock(&mut img, 8);
+        assert_eq!(img, before);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = ImageU8::zeros(24, 24, 3);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            *v = ((i * 7) % 40 + 100) as u8;
+        }
+        let mut b = a.clone();
+        deblock(&mut a, 8);
+        deblock(&mut b, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,448 @@
+//! P-frame residual coding.
+//!
+//! Each 16×16 macroblock is either **skipped** (copy the co-located block of
+//! the reference) or **coded**: a motion vector plus quantized-DCT residuals
+//! for the 2×2 grid of 8×8 sub-blocks in each channel. Residual coefficients
+//! use the same run/size magnitude coding as sjpg's AC path with a per-frame
+//! optimal Huffman table.
+
+use crate::motion::{compensate, three_step_search, MotionVector, MB};
+use smol_codec::bitio::{BitReader, BitWriter};
+use smol_codec::dct::{forward_dct, inverse_dct, BLOCK};
+use smol_codec::error::{Error, Result};
+use smol_codec::huffman::HuffmanTable;
+use smol_codec::quant::{dequantize_zigzag, quantize_zigzag, scale_table, BASE_LUMA};
+use smol_imgproc::ImageU8;
+
+const COEF_ALPHABET: usize = 256;
+const EOB: u16 = 0x00;
+const ZRL: u16 = 0xF0;
+/// Per-macroblock zero-MV SAD below which the block is skipped outright.
+const SKIP_SAD: u64 = (MB * MB) as u64;
+
+/// Work counters for reduced-fidelity experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PFrameStats {
+    pub macroblocks: u64,
+    pub skipped: u64,
+    pub coded_subblocks: u64,
+    pub symbols_decoded: u64,
+}
+
+#[inline]
+fn magnitude_category(v: i16) -> u32 {
+    32 - (v.unsigned_abs() as u32).leading_zeros()
+}
+
+#[inline]
+fn amplitude_bits(v: i16, size: u32) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v + ((1 << size) - 1)) as u32 & ((1u32 << size) - 1)
+    }
+}
+
+#[inline]
+fn decode_amplitude(bits: u32, size: u32) -> i16 {
+    if size == 0 {
+        0
+    } else if bits < (1 << (size - 1)) {
+        bits as i16 - ((1 << size) - 1) as i16
+    } else {
+        bits as i16
+    }
+}
+
+/// Coefficient coding of one 8×8 residual block (no DC prediction: residual
+/// DC is zero-mean).
+fn tally_coefs(coefs: &[i16; 64], freq: &mut [u64]) {
+    let mut run = 0u32;
+    for &c in coefs.iter() {
+        if c == 0 {
+            run += 1;
+        } else {
+            while run >= 16 {
+                freq[ZRL as usize] += 1;
+                run -= 16;
+            }
+            freq[((run << 4) | magnitude_category(c)) as usize] += 1;
+            run = 0;
+        }
+    }
+    if run > 0 {
+        freq[EOB as usize] += 1;
+    }
+}
+
+fn encode_coefs(w: &mut BitWriter, coefs: &[i16; 64], table: &HuffmanTable) -> Result<()> {
+    let mut run = 0u32;
+    for &c in coefs.iter() {
+        if c == 0 {
+            run += 1;
+        } else {
+            while run >= 16 {
+                table.encode(w, ZRL)?;
+                run -= 16;
+            }
+            let size = magnitude_category(c);
+            table.encode(w, ((run << 4) | size) as u16)?;
+            w.put(amplitude_bits(c, size), size);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        table.encode(w, EOB)?;
+    }
+    Ok(())
+}
+
+fn decode_coefs(
+    r: &mut BitReader<'_>,
+    table: &HuffmanTable,
+    coefs: &mut [i16; 64],
+    stats: &mut PFrameStats,
+) -> Result<()> {
+    coefs.fill(0);
+    let mut k = 0usize;
+    while k < 64 {
+        let sym = table.decode(r)?;
+        stats.symbols_decoded += 1;
+        if sym == EOB {
+            break;
+        }
+        if sym == ZRL {
+            k += 16;
+            continue;
+        }
+        let run = (sym >> 4) as usize;
+        let size = (sym & 0x0F) as u32;
+        k += run;
+        if k >= 64 || size == 0 {
+            return Err(Error::BadCode {
+                context: "pframe coefficient overrun",
+            });
+        }
+        coefs[k] = decode_amplitude(r.bits(size)?, size);
+        k += 1;
+    }
+    Ok(())
+}
+
+/// Number of bits needed to code a motion component in ±range.
+fn mv_bits(range: i16) -> u32 {
+    let span = (2 * range + 1) as u32;
+    32 - (span - 1).leading_zeros()
+}
+
+struct MbPlan {
+    skip: bool,
+    mv: MotionVector,
+    /// `(channel, sub-block index, coefficients)` for coded sub-blocks.
+    coded: Vec<(usize, usize, [i16; 64])>,
+}
+
+/// Encodes a P-frame against `reference`, returning the payload and the
+/// reconstructed frame (before deblocking).
+pub fn encode_pframe(
+    cur: &ImageU8,
+    reference: &ImageU8,
+    quality: u8,
+    search_range: i16,
+) -> Result<(Vec<u8>, ImageU8)> {
+    let (w, h, c) = (cur.width(), cur.height(), cur.channels());
+    let qtable = scale_table(&BASE_LUMA, quality)?;
+    let mbw = w.div_ceil(MB);
+    let mbh = h.div_ceil(MB);
+    let sub = MB / BLOCK; // 2×2 sub-blocks
+
+    let mut recon = reference.clone();
+    let mut plans: Vec<MbPlan> = Vec::with_capacity(mbw * mbh);
+    let mut freq = [0u64; COEF_ALPHABET];
+    let mut pred = vec![0u8; MB * MB * c];
+    let mut block_in = [0.0f32; 64];
+    let mut block_freq = [0.0f32; 64];
+
+    for by in 0..mbh {
+        for bx in 0..mbw {
+            let zero_sad = crate::motion::sad(cur, reference, bx, by, 0, 0);
+            if zero_sad < SKIP_SAD {
+                plans.push(MbPlan {
+                    skip: true,
+                    mv: MotionVector::default(),
+                    coded: Vec::new(),
+                });
+                // recon already holds the reference pixels (skip = copy).
+                continue;
+            }
+            let (mv, _) = three_step_search(cur, reference, bx, by, search_range);
+            compensate(reference, bx, by, mv, &mut pred);
+            let mut coded = Vec::new();
+            for ch in 0..c {
+                for sb in 0..sub * sub {
+                    let sx = (sb % sub) * BLOCK;
+                    let sy = (sb / sub) * BLOCK;
+                    // Residual for this 8×8 sub-block.
+                    let mut nonzero = false;
+                    for dy in 0..BLOCK {
+                        let y = (by * MB + sy + dy).min(h - 1);
+                        for dx in 0..BLOCK {
+                            let x = (bx * MB + sx + dx).min(w - 1);
+                            let p = pred[((sy + dy) * MB + sx + dx) * c + ch] as f32;
+                            let v = cur.at(x, y, ch) as f32 - p;
+                            block_in[dy * BLOCK + dx] = v;
+                            if v != 0.0 {
+                                nonzero = true;
+                            }
+                        }
+                    }
+                    if !nonzero {
+                        continue;
+                    }
+                    forward_dct(&block_in.clone(), &mut block_freq);
+                    let mut coefs = [0i16; 64];
+                    quantize_zigzag(&block_freq, &qtable, &mut coefs);
+                    if coefs.iter().any(|&v| v != 0) {
+                        tally_coefs(&coefs, &mut freq);
+                        coded.push((ch, sb, coefs));
+                    }
+                }
+            }
+            // Reconstruct: prediction + dequantized residual.
+            reconstruct_mb(&mut recon, bx, by, &pred, &coded, &qtable);
+            plans.push(MbPlan {
+                skip: false,
+                mv,
+                coded,
+            });
+        }
+    }
+
+    // Entropy coding. A frame can be all-skip; emit a 1-symbol table then.
+    if freq.iter().all(|&f| f == 0) {
+        freq[EOB as usize] = 1;
+    }
+    let table = HuffmanTable::from_frequencies(&freq, 16)?;
+    let mut bw = BitWriter::new();
+    table.write_spec(&mut bw);
+    let nbits = mv_bits(search_range);
+    for plan in &plans {
+        bw.put(plan.skip as u32, 1);
+        if plan.skip {
+            continue;
+        }
+        bw.put((plan.mv.dx + search_range) as u32, nbits);
+        bw.put((plan.mv.dy + search_range) as u32, nbits);
+        let mut mask: u32 = 0;
+        for &(ch, sb, _) in &plan.coded {
+            mask |= 1 << (ch * sub * sub + sb);
+        }
+        bw.put(mask, (c * sub * sub) as u32);
+        for &(_, _, ref coefs) in &plan.coded {
+            encode_coefs(&mut bw, coefs, &table)?;
+        }
+    }
+    Ok((bw.finish(), recon))
+}
+
+fn reconstruct_mb(
+    recon: &mut ImageU8,
+    bx: usize,
+    by: usize,
+    pred: &[u8],
+    coded: &[(usize, usize, [i16; 64])],
+    qtable: &[u16; 64],
+) {
+    let (w, h, c) = (recon.width(), recon.height(), recon.channels());
+    let sub = MB / BLOCK;
+    // Start from the prediction…
+    for my in 0..MB {
+        let y = by * MB + my;
+        if y >= h {
+            break;
+        }
+        for mx in 0..MB {
+            let x = bx * MB + mx;
+            if x >= w {
+                break;
+            }
+            for ch in 0..c {
+                recon.set(x, y, ch, pred[(my * MB + mx) * c + ch]);
+            }
+        }
+    }
+    // …then add the coded residuals.
+    let mut freq = [0.0f32; 64];
+    let mut pix = [0.0f32; 64];
+    for &(ch, sb, ref coefs) in coded {
+        dequantize_zigzag(coefs, qtable, &mut freq);
+        inverse_dct(&freq.clone(), &mut pix);
+        let sx = (sb % sub) * BLOCK;
+        let sy = (sb / sub) * BLOCK;
+        for dy in 0..BLOCK {
+            let y = by * MB + sy + dy;
+            if y >= h {
+                break;
+            }
+            for dx in 0..BLOCK {
+                let x = bx * MB + sx + dx;
+                if x >= w {
+                    break;
+                }
+                let v = recon.at(x, y, ch) as f32 + pix[dy * BLOCK + dx];
+                recon.set(x, y, ch, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+    }
+}
+
+/// Decodes a P-frame payload against `reference`.
+pub fn decode_pframe(
+    payload: &[u8],
+    reference: &ImageU8,
+    quality: u8,
+    search_range: i16,
+) -> Result<(ImageU8, PFrameStats)> {
+    let (w, h, c) = (
+        reference.width(),
+        reference.height(),
+        reference.channels(),
+    );
+    let qtable = scale_table(&BASE_LUMA, quality)?;
+    let mbw = w.div_ceil(MB);
+    let mbh = h.div_ceil(MB);
+    let sub = MB / BLOCK;
+    let mut r = BitReader::new(payload);
+    let table = HuffmanTable::read_spec(&mut r, COEF_ALPHABET)?;
+    let nbits = mv_bits(search_range);
+    let mut out = reference.clone();
+    let mut stats = PFrameStats::default();
+    let mut pred = vec![0u8; MB * MB * c];
+    let mut coefs = [0i16; 64];
+
+    for by in 0..mbh {
+        for bx in 0..mbw {
+            stats.macroblocks += 1;
+            if r.bit()? == 1 {
+                stats.skipped += 1;
+                continue; // skip: co-located copy already present in `out`
+            }
+            let dx = r.bits(nbits)? as i32 - search_range as i32;
+            let dy = r.bits(nbits)? as i32 - search_range as i32;
+            let mv = MotionVector {
+                dx: dx as i16,
+                dy: dy as i16,
+            };
+            compensate(reference, bx, by, mv, &mut pred);
+            let mask = r.bits((c * sub * sub) as u32)?;
+            let mut coded = Vec::new();
+            for bit in 0..(c * sub * sub) {
+                if mask & (1 << bit) != 0 {
+                    let ch = bit / (sub * sub);
+                    let sb = bit % (sub * sub);
+                    decode_coefs(&mut r, &table, &mut coefs, &mut stats)?;
+                    stats.coded_subblocks += 1;
+                    coded.push((ch, sb, coefs));
+                }
+            }
+            reconstruct_mb(&mut out, bx, by, &pred, &coded, &qtable);
+        }
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moving_scene(t: usize) -> ImageU8 {
+        let mut img = ImageU8::zeros(64, 48, 3);
+        for y in 0..48 {
+            for x in 0..64 {
+                // Textured background.
+                let bg = ((x * 3 + y * 5) % 64 + 60) as u8;
+                for ch in 0..3 {
+                    img.set(x, y, ch, bg);
+                }
+            }
+        }
+        // A bright object moving right by 2 px/frame.
+        let ox = 4 + t * 2;
+        for y in 16..32 {
+            for x in ox..(ox + 10).min(64) {
+                img.set(x, y, 0, 240);
+                img.set(x, y, 1, 200);
+                img.set(x, y, 2, 40);
+            }
+        }
+        img
+    }
+
+    fn psnr(a: &ImageU8, b: &ImageU8) -> f64 {
+        let mse: f64 = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| {
+                let d = x as f64 - y as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / a.data().len() as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+
+    #[test]
+    fn pframe_roundtrip_matches_encoder_reconstruction() {
+        let reference = moving_scene(0);
+        let cur = moving_scene(1);
+        let (payload, recon) = encode_pframe(&cur, &reference, 80, 7).unwrap();
+        let (decoded, _) = decode_pframe(&payload, &reference, 80, 7).unwrap();
+        assert_eq!(decoded, recon, "decoder must match encoder loop exactly");
+        assert!(psnr(&cur, &decoded) > 28.0, "psnr={}", psnr(&cur, &decoded));
+    }
+
+    #[test]
+    fn static_scene_is_mostly_skipped() {
+        let reference = moving_scene(0);
+        let (payload, _) = encode_pframe(&reference, &reference, 80, 7).unwrap();
+        let (decoded, stats) = decode_pframe(&payload, &reference, 80, 7).unwrap();
+        assert_eq!(decoded, reference);
+        assert_eq!(stats.skipped, stats.macroblocks);
+        // All-skip frames are tiny (table spec + 1 bit per MB).
+        assert!(payload.len() < 1200, "payload={}", payload.len());
+    }
+
+    #[test]
+    fn moving_scene_pframe_smaller_than_iframe() {
+        let reference = moving_scene(0);
+        let cur = moving_scene(1);
+        let (payload, _) = encode_pframe(&cur, &reference, 80, 7).unwrap();
+        let iframe = smol_codec::SjpgEncoder::new(80).encode(&cur).unwrap();
+        assert!(
+            payload.len() < iframe.len() / 2,
+            "p={} i={}",
+            payload.len(),
+            iframe.len()
+        );
+    }
+
+    #[test]
+    fn mv_bits_covers_range() {
+        assert_eq!(mv_bits(7), 4); // span 15 → 4 bits
+        assert_eq!(mv_bits(15), 5); // span 31 → 5 bits
+        assert_eq!(mv_bits(1), 2); // span 3 → 2 bits
+    }
+
+    #[test]
+    fn truncated_pframe_errors() {
+        let reference = moving_scene(0);
+        let cur = moving_scene(1);
+        let (payload, _) = encode_pframe(&cur, &reference, 80, 7).unwrap();
+        assert!(decode_pframe(&payload[..payload.len() / 2], &reference, 80, 7).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Quickstart: plan and execute an end-to-end visual inference job.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Encodes a batch of synthetic images as full-resolution sjpg and 161-px
+//! spng thumbnails, lets the planner pick the best (DNN, format) plan under
+//! Smol's preprocessing-aware cost model, and runs both the chosen plan and
+//! the naive plan through the pipelined engine.
+
+use smol::accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
+use smol::codec::{EncodedImage, Format};
+use smol::core::{CandidateSpec, InputVariant, Planner, QueryPlan};
+use smol::data::{still_catalog, throughput_images};
+use smol::imgproc::ops::resize::resize_short_edge_u8;
+use smol::runtime::{measure_preproc_pipelined, run_throughput, RuntimeOptions};
+
+fn main() {
+    // 1. Data: 96 synthetic "photos" at 320x240, stored two ways — as
+    //    full-resolution sjpg(q=95) and as natively-present 161-px
+    //    thumbnails (spng), like a serving site would.
+    let spec = &still_catalog()[3];
+    let natives = throughput_images(spec, 1, 96);
+    let full: Vec<EncodedImage> = natives
+        .iter()
+        .map(|img| EncodedImage::encode(img, Format::Sjpg { quality: 95 }).unwrap())
+        .collect();
+    let thumbs: Vec<EncodedImage> = natives
+        .iter()
+        .map(|img| {
+            let t = resize_short_edge_u8(img, 161).unwrap();
+            EncodedImage::encode(&t, Format::Spng).unwrap()
+        })
+        .collect();
+    println!(
+        "encoded {} images: full-res {:.0} KiB avg, thumbnail {:.0} KiB avg",
+        natives.len(),
+        full.iter().map(|e| e.size_bytes()).sum::<usize>() as f64 / 96.0 / 1024.0,
+        thumbs.iter().map(|e| e.size_bytes()).sum::<usize>() as f64 / 96.0 / 1024.0
+    );
+
+    // 2. Profile preprocessing for each variant and enumerate plans.
+    let planner = Planner::default();
+    let opts = RuntimeOptions::default();
+    let mk_plan = |input: &InputVariant| QueryPlan {
+        dnn: ModelKind::ResNet50,
+        input: input.clone(),
+        preproc: planner.build_preproc(input),
+        decode: planner.decode_mode(input),
+        batch: 32,
+        extra_stages: Vec::new(),
+    };
+    let full_input = InputVariant::new("full sjpg(q=95)", Format::Sjpg { quality: 95 }, 320, 240);
+    let thumb_input = InputVariant::new("161 spng", Format::Spng, 215, 161).thumbnail();
+    let full_rate = measure_preproc_pipelined(&full, &mk_plan(&full_input), &opts);
+    let thumb_rate = measure_preproc_pipelined(&thumbs, &mk_plan(&thumb_input), &opts);
+    println!("preprocessing: full-res {full_rate:.0} im/s, thumbnails {thumb_rate:.0} im/s");
+
+    // Accuracies would come from a calibration set; here we use the paper's
+    // published values to keep the example self-contained.
+    let specs = vec![
+        CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input: full_input.clone(),
+            accuracy: 0.7516,
+            preproc_throughput: full_rate,
+            cascade: None,
+        },
+        CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input: thumb_input.clone(),
+            accuracy: 0.7500,
+            preproc_throughput: thumb_rate,
+            cascade: None,
+        },
+        CandidateSpec {
+            dnn: ModelKind::ResNet34,
+            input: full_input.clone(),
+            accuracy: 0.7272,
+            preproc_throughput: full_rate,
+            cascade: None,
+        },
+    ];
+    let frontier = planner.frontier(&specs);
+    println!("\nPareto frontier:");
+    for c in &frontier {
+        println!(
+            "  {:30} est {:.0} im/s @ {:.2}% accuracy",
+            c.plan.label(),
+            c.est_throughput,
+            c.accuracy * 100.0
+        );
+    }
+
+    // 3. Execute the best plan and the naive plan on a virtual T4.
+    let best = &frontier[0];
+    let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
+    let items = if best.plan.input.is_thumbnail {
+        &thumbs
+    } else {
+        &full
+    };
+    let report = run_throughput(items, &best.plan, &device, &opts).unwrap();
+    println!(
+        "\nexecuted best plan ({}): {:.0} im/s measured (estimate was {:.0})",
+        best.plan.label(),
+        report.throughput,
+        best.est_throughput
+    );
+    let naive_device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
+    let naive_report = run_throughput(&full, &mk_plan(&full_input), &naive_device, &opts).unwrap();
+    println!(
+        "naive full-resolution plan: {:.0} im/s — Smol speedup {:.1}x",
+        naive_report.throughput,
+        report.throughput / naive_report.throughput
+    );
+}

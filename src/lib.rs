@@ -1,0 +1,22 @@
+//! # Smol — umbrella crate
+//!
+//! Re-exports the public API of the Smol reproduction so that examples and
+//! downstream users can depend on a single crate. See the workspace README
+//! for the architecture overview and `DESIGN.md` for the system inventory.
+//!
+//! ```
+//! use smol::imgproc::{DagOptimizer, PreprocPlan};
+//! let plan = PreprocPlan::standard(256, 224, 224);
+//! let optimized = DagOptimizer::default().optimize(&plan, 640, 480);
+//! assert!(optimized.ops.len() <= plan.ops.len());
+//! ```
+
+pub use smol_accel as accel;
+pub use smol_analytics as analytics;
+pub use smol_codec as codec;
+pub use smol_core as core;
+pub use smol_data as data;
+pub use smol_imgproc as imgproc;
+pub use smol_nn as nn;
+pub use smol_runtime as runtime;
+pub use smol_video as video;

@@ -1,0 +1,115 @@
+//! Cross-crate integration test: the empirical accuracy track must
+//! reproduce the paper's qualitative accuracy shapes (Table 7, §5.2, §5.3)
+//! on the synthetic datasets. These are the shapes every downstream
+//! experiment (Figures 4–6) depends on.
+
+use smol::data::{generate_stills, still_catalog};
+use smol::nn::{ClassifierConfig, InputFormat, SmolClassifier, ThumbCodec, Tier};
+
+fn thumb(codec: ThumbCodec) -> InputFormat {
+    InputFormat::Thumbnail { short: 24, codec }
+}
+
+/// Trains both regular and low-res-augmented SmolNet-50 on imagenet-sim and
+/// checks the Table 7 orderings.
+#[test]
+fn table7_shape_on_imagenet_sim() {
+    let spec = still_catalog()
+        .into_iter()
+        .find(|s| s.name == "imagenet-sim")
+        .unwrap();
+    let ds = generate_stills(&spec, 42);
+    let png = thumb(ThumbCodec::Lossless);
+    let q75 = thumb(ThumbCodec::Lossy { quality: 75 });
+
+    let reg = SmolClassifier::train(
+        &ClassifierConfig::new(Tier::T50),
+        &ds.train,
+        &ds.train_labels,
+        ds.n_classes,
+    );
+    let aug = SmolClassifier::train(
+        &ClassifierConfig::new(Tier::T50).with_augmentation(png),
+        &ds.train,
+        &ds.train_labels,
+        ds.n_classes,
+    );
+
+    let reg_full = reg.evaluate(&ds.test, &ds.test_labels, InputFormat::FullRes);
+    let reg_png = reg.evaluate(&ds.test, &ds.test_labels, png);
+    let aug_png = aug.evaluate(&ds.test, &ds.test_labels, png);
+    let aug_q75 = aug.evaluate(&ds.test, &ds.test_labels, q75);
+
+    println!("reg_full={reg_full:.3} reg_png={reg_png:.3} aug_png={aug_png:.3} aug_q75={aug_q75:.3}");
+
+    // Model must have learned something substantial.
+    assert!(reg_full > 0.5, "reg full-res too weak: {reg_full}");
+    // Naive low-res evaluation drops accuracy (§5.2).
+    assert!(
+        reg_png < reg_full - 0.05,
+        "naive low-res should drop: full={reg_full} low={reg_png}"
+    );
+    // Augmented training recovers a large part of the drop (§5.3).
+    assert!(
+        aug_png > reg_png + 0.03,
+        "aug training should recover: reg={reg_png} aug={aug_png}"
+    );
+    // Lossy thumbnails are at most as good as lossless ones (Table 7).
+    assert!(
+        aug_q75 <= aug_png + 0.02,
+        "q75 should not beat PNG: q75={aug_q75} png={aug_png}"
+    );
+}
+
+/// Deeper tiers must be more accurate on the hardest dataset (Table 2 shape).
+#[test]
+fn capacity_ladder_on_imagenet_sim() {
+    let spec = still_catalog()
+        .into_iter()
+        .find(|s| s.name == "imagenet-sim")
+        .unwrap();
+    let ds = generate_stills(&spec, 7);
+    let mut accs = Vec::new();
+    for tier in Tier::ladder() {
+        let clf = SmolClassifier::train(
+            &ClassifierConfig::new(tier),
+            &ds.train,
+            &ds.train_labels,
+            ds.n_classes,
+        );
+        let acc = clf.evaluate(&ds.test, &ds.test_labels, InputFormat::FullRes);
+        println!("{}: {acc:.3}", tier.name());
+        accs.push(acc);
+    }
+    assert!(
+        accs[2] > accs[0] + 0.02,
+        "T50 must beat T18: {accs:?}"
+    );
+    assert!(accs[1] >= accs[0] - 0.02, "T34 roughly >= T18: {accs:?}");
+}
+
+/// Dataset difficulty ordering (Table 6): bike-bird easiest, imagenet
+/// hardest, measured with the same mid-tier model.
+#[test]
+fn dataset_difficulty_ordering() {
+    let mut accs = Vec::new();
+    for spec in still_catalog() {
+        let ds = generate_stills(&spec, 11);
+        let clf = SmolClassifier::train(
+            &ClassifierConfig::new(Tier::T34),
+            &ds.train,
+            &ds.train_labels,
+            ds.n_classes,
+        );
+        let acc = clf.evaluate(&ds.test, &ds.test_labels, InputFormat::FullRes);
+        println!("{}: {acc:.3}", spec.name);
+        accs.push((spec.name, acc));
+    }
+    let get = |n: &str| accs.iter().find(|(name, _)| *name == n).unwrap().1;
+    assert!(get("bike-bird") > 0.9, "bike-bird should be near-perfect");
+    assert!(
+        get("bike-bird") > get("imagenet-sim") + 0.1,
+        "imagenet must be much harder than bike-bird"
+    );
+    assert!(get("animals-10") > get("imagenet-sim"));
+}

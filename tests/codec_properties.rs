@@ -1,0 +1,115 @@
+//! Property-based tests on the codec substrates: round-trips, partial
+//! decode consistency, and bounded loss, over randomized images.
+
+use proptest::prelude::*;
+use smol::codec::{sjpg, spng, SjpgEncoder};
+use smol::imgproc::{ImageU8, Rect};
+
+fn arb_image(max_edge: usize) -> impl Strategy<Value = ImageU8> {
+    (2usize..max_edge, 2usize..max_edge, any::<u64>()).prop_map(|(w, h, seed)| {
+        // Mix of smooth gradient and pseudo-random detail: exercises both
+        // RLE-friendly and entropy-heavy paths.
+        let mut state = seed | 1;
+        let mut img = ImageU8::zeros(w, h, 3);
+        for y in 0..h {
+            for x in 0..w {
+                for c in 0..3 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let noise = (state >> 56) as u8;
+                    let grad = ((x * 199 / w.max(1) + y * 97 / h.max(1)) % 256) as u8;
+                    img.set(x, y, c, grad.wrapping_add(noise / 4));
+                }
+            }
+        }
+        img
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// spng is lossless for arbitrary images.
+    #[test]
+    fn spng_roundtrip_lossless(img in arb_image(80)) {
+        let enc = spng::encode(&img).unwrap();
+        let dec = spng::decode(&enc).unwrap();
+        prop_assert_eq!(img, dec);
+    }
+
+    /// sjpg round-trips with bounded per-pixel error at high quality.
+    #[test]
+    fn sjpg_roundtrip_bounded_error(img in arb_image(72)) {
+        let enc = SjpgEncoder::new(95).encode(&img).unwrap();
+        let dec = sjpg::decode(&enc).unwrap();
+        prop_assert_eq!((dec.width(), dec.height()), (img.width(), img.height()));
+        let mad: f64 = img.data().iter().zip(dec.data())
+            .map(|(&a, &b)| (a as f64 - b as f64).abs()).sum::<f64>()
+            / img.data().len() as f64;
+        prop_assert!(mad < 20.0, "mean abs diff too large: {mad}");
+    }
+
+    /// ROI decode agrees exactly with the corresponding region of a full
+    /// decode, for arbitrary in-bounds ROIs.
+    #[test]
+    fn sjpg_roi_matches_full(
+        img in arb_image(96),
+        fx in 0.0f64..0.8,
+        fy in 0.0f64..0.8,
+        fw in 0.1f64..0.9,
+        fh in 0.1f64..0.9,
+    ) {
+        let enc = SjpgEncoder::new(85).encode(&img).unwrap();
+        let full = sjpg::decode(&enc).unwrap();
+        let (w, h) = (img.width(), img.height());
+        let x = ((w as f64 * fx) as usize).min(w - 1);
+        let y = ((h as f64 * fy) as usize).min(h - 1);
+        let rw = ((w as f64 * fw) as usize).clamp(1, w - x);
+        let rh = ((h as f64 * fh) as usize).clamp(1, h - y);
+        let roi = Rect::new(x, y, rw, rh);
+        let (part, aligned, _) = sjpg::decode_roi(&enc.bytes(), roi).unwrap();
+        for dy in 0..aligned.h {
+            for dx in 0..aligned.w {
+                for c in 0..3 {
+                    prop_assert_eq!(
+                        part.at(dx, dy, c),
+                        full.at(aligned.x + dx, aligned.y + dy, c)
+                    );
+                }
+            }
+        }
+    }
+
+    /// spng early stop reproduces the exact prefix rows.
+    #[test]
+    fn spng_early_stop_prefix(img in arb_image(64), frac in 0.1f64..1.0) {
+        let enc = spng::encode(&img).unwrap();
+        let rows = ((img.height() as f64 * frac) as usize).clamp(1, img.height());
+        let (top, _) = spng::decode_rows(&enc, rows).unwrap();
+        prop_assert_eq!(top.height(), rows);
+        for y in 0..rows {
+            prop_assert_eq!(top.row(y), img.row(y));
+        }
+    }
+
+    /// Corrupting any single byte of the payload never panics (it may
+    /// error or decode to something wrong, but must stay memory-safe and
+    /// terminate).
+    #[test]
+    fn sjpg_corruption_never_panics(img in arb_image(48), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let enc = SjpgEncoder::new(80).encode(&img).unwrap();
+        let mut data = enc.to_vec();
+        let idx = pos.index(data.len());
+        data[idx] ^= 1 << bit;
+        let _ = sjpg::decode(&data); // must not panic
+    }
+}
+
+trait BytesExt {
+    fn bytes(&self) -> &[u8];
+}
+
+impl BytesExt for bytes::Bytes {
+    fn bytes(&self) -> &[u8] {
+        self
+    }
+}

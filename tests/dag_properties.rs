@@ -1,0 +1,94 @@
+//! Property tests on the preprocessing-DAG optimizer: optimized plans must
+//! be semantically equivalent (within interpolation tolerance), never more
+//! expensive, and deterministic.
+
+use proptest::prelude::*;
+use smol::imgproc::dag::{execute_plan, plan_cost, DagOptimizer, PreprocPlan};
+use smol::imgproc::ops::normalize::Normalization;
+use smol::imgproc::ImageU8;
+
+fn arb_image() -> impl Strategy<Value = (ImageU8, usize, usize)> {
+    // Band-limited content (gradients + sinusoids + mild noise): the
+    // resize/crop reorder equivalence is a statement about images, not
+    // about white noise (where downsampling from different sample grids is
+    // legitimately uncorrelated).
+    (260usize..520, 260usize..520, any::<u64>()).prop_map(|(w, h, seed)| {
+        let mut state = seed | 1;
+        let fx = 0.02 + (seed % 7) as f32 * 0.01;
+        let fy = 0.015 + (seed % 5) as f32 * 0.01;
+        let mut img = ImageU8::zeros(w, h, 3);
+        for y in 0..h {
+            for x in 0..w {
+                let base = ((x as f32 * fx).sin() + (y as f32 * fy).cos()) * 60.0 + 128.0;
+                for c in 0..3 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let noise = ((state >> 58) as i32 - 32) as f32 * 0.3;
+                    let v = base + c as f32 * 13.0 + noise;
+                    img.set(x, y, c, v.clamp(0.0, 255.0) as u8);
+                }
+            }
+        }
+        (img, w, h)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The optimizer never increases the modeled cost.
+    #[test]
+    fn optimizer_never_increases_cost((_, w, h) in arb_image()) {
+        let plan = PreprocPlan::standard(256, 224, 224);
+        let opt = DagOptimizer::default().optimize(&plan, w, h);
+        prop_assert!(plan_cost(&opt, w, h) <= plan_cost(&plan, w, h) + 1e-9);
+    }
+
+    /// Optimized output stays close to the reference output and has the
+    /// same geometry.
+    #[test]
+    fn optimizer_preserves_semantics((img, w, h) in arb_image()) {
+        let plan = PreprocPlan::standard(256, 224, 224);
+        let opt = DagOptimizer::default().optimize(&plan, w, h);
+        let reference = execute_plan(&plan, &img, &Normalization::IMAGENET).unwrap();
+        let optimized = execute_plan(&opt, &img, &Normalization::IMAGENET).unwrap();
+        prop_assert_eq!(
+            (optimized.width(), optimized.height(), optimized.layout()),
+            (reference.width(), reference.height(), reference.layout())
+        );
+        let d = optimized.mean_abs_diff(&reference).unwrap();
+        // Normalized units (1 pixel level ≈ 0.018); band-limited images
+        // stay within a few pixel levels under the interpolation reorder.
+        prop_assert!(d < 0.2, "divergence {d}");
+    }
+
+    /// Optimization is deterministic.
+    #[test]
+    fn optimizer_deterministic((_, w, h) in arb_image()) {
+        let plan = PreprocPlan::standard(256, 224, 224);
+        let a = DagOptimizer::default().optimize(&plan, w, h);
+        let b = DagOptimizer::default().optimize(&plan, w, h);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Candidate costs are all positive and the chosen plan is the argmin.
+    #[test]
+    fn optimizer_picks_cheapest_candidate((_, w, h) in arb_image()) {
+        let plan = PreprocPlan::standard(256, 224, 224);
+        let optimizer = DagOptimizer::default();
+        let cands = optimizer.candidates(&plan, w, h);
+        prop_assert!(!cands.is_empty());
+        for (_, cost) in &cands {
+            prop_assert!(*cost > 0.0);
+        }
+        let chosen = optimizer.optimize(&plan, w, h);
+        let chosen_cost = plan_cost(&chosen, w, h);
+        // The chosen plan must not be beaten by any *fused* candidate
+        // (unfused ones are pruned by rule 3).
+        for (c, cost) in &cands {
+            let has_fused = c.ops.iter().any(|o| matches!(o.spec, smol::imgproc::OpSpec::Fused(_)));
+            if has_fused {
+                prop_assert!(chosen_cost <= *cost + 1e-9);
+            }
+        }
+    }
+}

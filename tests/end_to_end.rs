@@ -1,0 +1,206 @@
+//! Cross-crate integration tests: planner → runtime → virtual device, the
+//! min() law, video through the analytics stack.
+
+use bytes::Bytes;
+use smol::accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
+use smol::analytics::{control_variate_mean, naive_mean, AggregationConfig, SpecializedCounter};
+use smol::codec::{EncodedImage, Format};
+use smol::core::{CostModelKind, InputVariant, Planner, PlannerConfig, QueryPlan};
+use smol::data::{generate_video, still_catalog, throughput_images, video_catalog};
+use smol::imgproc::ops::resize::resize_short_edge_u8;
+use smol::nn::Tier;
+use smol::runtime::{run_throughput, RuntimeOptions};
+use smol::video::{DecodeOptions, EncodedVideo, VideoEncoder};
+
+fn encode_batch(n: usize, fmt: Format) -> Vec<EncodedImage> {
+    let spec = &still_catalog()[3];
+    throughput_images(spec, 5, n)
+        .iter()
+        .map(|img| {
+            let thumb = resize_short_edge_u8(img, 120).unwrap();
+            EncodedImage::encode(&thumb, fmt).unwrap()
+        })
+        .collect()
+}
+
+fn plan_for(items: &[EncodedImage], fmt: Format, batch: usize) -> QueryPlan {
+    let planner = Planner::new(PlannerConfig {
+        dnn_input: 112,
+        ..Default::default()
+    });
+    let input = InputVariant::new("test", fmt, items[0].width, items[0].height).thumbnail();
+    QueryPlan {
+        dnn: ModelKind::ResNet50,
+        input: input.clone(),
+        preproc: planner.build_preproc(&input),
+        decode: planner.decode_mode(&input),
+        batch,
+        extra_stages: Vec::new(),
+    }
+}
+
+/// End-to-end: a DNN-bound pipeline's throughput approaches the device's
+/// execution rate (the paper's min() law, Eq. 4).
+#[test]
+fn pipeline_is_bounded_by_slow_dnn() {
+    let items = encode_batch(64, Format::Sjpg { quality: 85 });
+    let plan = plan_for(&items, Format::Sjpg { quality: 85 }, 16);
+    // K80-class device: RN-50 at ~159 im/s — far below decode rates.
+    let device = VirtualDevice::new(GpuModel::K80, ExecutionEnv::TensorRt, 1.0);
+    let exec = device.model_throughput(ModelKind::ResNet50, 16);
+    let report = run_throughput(&items, &plan, &device, &RuntimeOptions::default()).unwrap();
+    assert!(
+        (report.throughput - exec).abs() / exec < 0.3,
+        "measured {} expected ~{exec}",
+        report.throughput
+    );
+}
+
+/// The Smol cost model predicts pipelined throughput better than the
+/// exec-only and additive models on a preprocessing-bound workload.
+#[test]
+fn smol_cost_model_wins_on_preproc_bound_run() {
+    let items = encode_batch(96, Format::Sjpg { quality: 75 });
+    let plan = plan_for(&items, Format::Sjpg { quality: 75 }, 16);
+    let preproc = smol::runtime::measure_preproc_pipelined(
+        &items,
+        &plan,
+        &RuntimeOptions::default(),
+    );
+    let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
+    let report = run_throughput(&items, &plan, &device, &RuntimeOptions::default()).unwrap();
+    let stages = smol::core::CascadeStage::single(device.model_throughput(ModelKind::ResNet50, 16));
+    let smol_err = smol::core::percent_error(
+        smol::core::estimate_throughput(CostModelKind::Smol, preproc, &stages),
+        report.throughput,
+    );
+    let blazeit_err = smol::core::percent_error(
+        smol::core::estimate_throughput(CostModelKind::ExecOnly, preproc, &stages),
+        report.throughput,
+    );
+    assert!(
+        smol_err < blazeit_err,
+        "smol {smol_err:.0}% vs exec-only {blazeit_err:.0}%"
+    );
+}
+
+/// Video → codec → decode → specialized NN → control-variate estimator,
+/// with the estimator beating naive sampling.
+#[test]
+fn video_aggregation_end_to_end() {
+    let spec = &video_catalog()[1]; // taipei
+    let clip = generate_video(spec, 5, 240);
+    let encoded = VideoEncoder::default()
+        .encode_frames(&clip.frames, spec.fps)
+        .unwrap();
+    let video = EncodedVideo::parse(Bytes::from(encoded)).unwrap();
+    let decoded = video.decode_all(DecodeOptions::default()).unwrap();
+    assert_eq!(decoded.len(), 240);
+
+    let counter =
+        SpecializedCounter::train(&decoded[..120], &clip.counts[..120], Tier::T34, 96, 3, 12);
+    let preds: Vec<f64> = decoded.iter().map(|f| counter.predict(f)).collect();
+    let cfg = AggregationConfig {
+        error_target: 0.15,
+        seed: 9,
+        ..Default::default()
+    };
+    let cv = control_variate_mean(&clip.counts, &preds, &cfg);
+    let naive = naive_mean(&clip.counts, &cfg);
+    assert!(
+        (cv.estimate - cv.truth).abs() < 0.5,
+        "estimate {} vs truth {}",
+        cv.estimate,
+        cv.truth
+    );
+    assert!(
+        cv.samples <= naive.samples,
+        "cv {} naive {}",
+        cv.samples,
+        naive.samples
+    );
+}
+
+/// GOP-parallel decode equals sequential decode frame-for-frame.
+#[test]
+fn parallel_video_decode_matches_sequential() {
+    let spec = &video_catalog()[2];
+    let clip = generate_video(spec, 8, 60);
+    let encoded = VideoEncoder {
+        gop: 10,
+        ..Default::default()
+    }
+    .encode_frames(&clip.frames, spec.fps)
+    .unwrap();
+    let video = EncodedVideo::parse(Bytes::from(encoded)).unwrap();
+    let sequential = video.decode_all(DecodeOptions::default()).unwrap();
+    let parallel = parking_lot::Mutex::new(vec![None; 60]);
+    video
+        .decode_parallel(4, DecodeOptions::default(), |idx, frame| {
+            parallel.lock()[idx] = Some(frame.clone());
+        })
+        .unwrap();
+    let parallel = parallel.into_inner();
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p.as_ref().expect("decoded"), "frame {i}");
+    }
+}
+
+/// The planner's full flow: profile → enumerate → frontier → the §5.2
+/// motivating example holds with *measured* preprocessing rates.
+#[test]
+fn planner_prefers_thumbnails_with_measured_rates() {
+    let full_items = {
+        let spec = &still_catalog()[3];
+        throughput_images(spec, 6, 32)
+            .iter()
+            .map(|img| EncodedImage::encode(img, Format::Sjpg { quality: 95 }).unwrap())
+            .collect::<Vec<_>>()
+    };
+    let thumb_items = encode_batch(32, Format::Spng);
+    let planner = Planner::default();
+    let mk = |items: &[EncodedImage], name: &str, fmt: Format, thumb: bool| {
+        let mut input = InputVariant::new(name, fmt, items[0].width, items[0].height);
+        if thumb {
+            input = input.thumbnail();
+        }
+        let plan = QueryPlan {
+            dnn: ModelKind::ResNet50,
+            input: input.clone(),
+            preproc: planner.build_preproc(&input),
+            decode: planner.decode_mode(&input),
+            batch: 32,
+            extra_stages: Vec::new(),
+        };
+        let rate = smol::runtime::measure_preproc_pipelined(
+            items,
+            &plan,
+            &RuntimeOptions::default(),
+        );
+        (input, rate)
+    };
+    let (full_input, full_rate) = mk(&full_items, "full", Format::Sjpg { quality: 95 }, false);
+    let (thumb_input, thumb_rate) = mk(&thumb_items, "thumb", Format::Spng, true);
+    assert!(
+        thumb_rate > full_rate,
+        "thumbnails must preprocess faster: {thumb_rate} vs {full_rate}"
+    );
+    let specs = vec![
+        smol::core::CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input: full_input,
+            accuracy: 0.75,
+            preproc_throughput: full_rate,
+            cascade: None,
+        },
+        smol::core::CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input: thumb_input,
+            accuracy: 0.748,
+            preproc_throughput: thumb_rate,
+            cascade: None,
+        },
+    ];
+    let frontier = planner.frontier(&specs);
+    assert!(frontier[0].plan.input.is_thumbnail);
+}
