@@ -123,11 +123,7 @@ impl CostBreakdown {
 }
 
 /// Computes the §7 breakdown from throughput anchors and a price fit.
-pub fn cost_breakdown(
-    dnn_throughput: f64,
-    preproc_per_core: f64,
-    fit: &PriceFit,
-) -> CostBreakdown {
+pub fn cost_breakdown(dnn_throughput: f64, preproc_per_core: f64, fit: &PriceFit) -> CostBreakdown {
     let cores = dnn_throughput / preproc_per_core;
     CostBreakdown {
         cores_needed: cores,

@@ -143,7 +143,10 @@ impl VirtualDevice {
     /// Executes an accelerator-side preprocessing kernel measured in
     /// weighted ops (the `smol_imgproc::dag` unit).
     pub fn preproc_kernel(&self, weighted_ops: f64) -> f64 {
-        self.occupy(Engine::Compute, weighted_ops / self.spec.elementwise_ops_per_s)
+        self.occupy(
+            Engine::Compute,
+            weighted_ops / self.spec.elementwise_ops_per_s,
+        )
     }
 
     /// Transfers `bytes` host→device, occupying the copy engine; pinned
@@ -260,7 +263,10 @@ mod tests {
         let dev = fast_t4();
         let pinned = dev.transfer(50_000_000, true);
         let pageable = dev.transfer(50_000_000, false);
-        assert!(pinned < pageable / 2.0, "pinned={pinned} pageable={pageable}");
+        assert!(
+            pinned < pageable / 2.0,
+            "pinned={pinned} pageable={pageable}"
+        );
     }
 
     #[test]

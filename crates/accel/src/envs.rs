@@ -61,8 +61,8 @@ mod tests {
 
     #[test]
     fn tensorrt_gives_17x_over_keras() {
-        let ratio = ExecutionEnv::TensorRt.throughput_factor()
-            / ExecutionEnv::Keras.throughput_factor();
+        let ratio =
+            ExecutionEnv::TensorRt.throughput_factor() / ExecutionEnv::Keras.throughput_factor();
         assert!(ratio > 17.0 && ratio < 20.0, "ratio={ratio}");
     }
 
@@ -72,8 +72,7 @@ mod tests {
             ExecutionEnv::Keras.throughput_factor() < ExecutionEnv::PyTorch.throughput_factor()
         );
         assert!(
-            ExecutionEnv::PyTorch.throughput_factor()
-                < ExecutionEnv::TensorRt.throughput_factor()
+            ExecutionEnv::PyTorch.throughput_factor() < ExecutionEnv::TensorRt.throughput_factor()
         );
     }
 }

@@ -212,7 +212,12 @@ mod tests {
     #[test]
     fn batch_one_is_much_slower_than_batch_64() {
         let t1 = throughput(ModelKind::ResNet50, GpuModel::T4, ExecutionEnv::TensorRt, 1);
-        let t64 = throughput(ModelKind::ResNet50, GpuModel::T4, ExecutionEnv::TensorRt, 64);
+        let t64 = throughput(
+            ModelKind::ResNet50,
+            GpuModel::T4,
+            ExecutionEnv::TensorRt,
+            64,
+        );
         assert!(t1 < t64 * 0.35, "t1={t1} t64={t64}");
     }
 

@@ -142,11 +142,7 @@ pub fn control_variate_mean(
             .map(|i| ys[i] - c * (ss[i] - spec_mean_all))
             .collect();
         estimate = mean(&adj);
-        let var_adj = adj
-            .iter()
-            .map(|v| (v - estimate).powi(2))
-            .sum::<f64>()
-            / (n - 1) as f64;
+        let var_adj = adj.iter().map(|v| (v - estimate).powi(2)).sum::<f64>() / (n - 1) as f64;
         half = z * (var_adj / n as f64).sqrt();
         if half <= cfg.error_target || n >= cfg.max_samples || n == n_total {
             break;

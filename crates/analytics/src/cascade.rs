@@ -104,7 +104,12 @@ impl Cascade {
     }
 
     /// Measures cascade accuracy and pass rate on a test set.
-    pub fn evaluate(&self, images: &[ImageU8], labels: &[usize], format: InputFormat) -> CascadeEval {
+    pub fn evaluate(
+        &self,
+        images: &[ImageU8],
+        labels: &[usize],
+        format: InputFormat,
+    ) -> CascadeEval {
         if images.is_empty() {
             return CascadeEval {
                 accuracy: 0.0,
@@ -211,7 +216,10 @@ mod tests {
             5,
         );
         let eval = cascade.evaluate(&test_x, &test_y, InputFormat::FullRes);
-        assert!(eval.accuracy >= tgt_acc - 0.1, "cascade {eval:?} vs target {tgt_acc}");
+        assert!(
+            eval.accuracy >= tgt_acc - 0.1,
+            "cascade {eval:?} vs target {tgt_acc}"
+        );
         assert!(eval.pass_rate >= 0.0 && eval.pass_rate <= 1.0);
     }
 
@@ -267,14 +275,7 @@ mod tests {
     fn exec_stages_reflect_pass_rate() {
         let (train_x, train_y) = striped_dataset(15, 8);
         let tgt = target(&train_x, &train_y);
-        let cascade = Cascade::train(
-            tahoma_variants()[0],
-            tgt,
-            &train_x,
-            &train_y,
-            2,
-            9,
-        );
+        let cascade = Cascade::train(tahoma_variants()[0], tgt, &train_x, &train_y, 2, 9);
         let eval = CascadeEval {
             accuracy: 0.9,
             pass_rate: 0.25,

@@ -43,7 +43,11 @@ fn bench_codecs(c: &mut Criterion) {
     let mut g = c.benchmark_group("codec_encode");
     g.throughput(Throughput::Elements(pixels));
     g.bench_function("sjpg_q85", |b| {
-        b.iter(|| SjpgEncoder::new(85).encode(std::hint::black_box(&img)).unwrap())
+        b.iter(|| {
+            SjpgEncoder::new(85)
+                .encode(std::hint::black_box(&img))
+                .unwrap()
+        })
     });
     g.bench_function("spng", |b| {
         b.iter(|| spng::encode(std::hint::black_box(&img)).unwrap())

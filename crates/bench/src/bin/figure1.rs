@@ -29,11 +29,16 @@ fn per_image_us<F: FnMut(usize)>(n: usize, mut f: F) -> f64 {
 fn main() {
     let spec = &still_catalog()[3]; // imagenet-sim, 320x240 natives
     let n = scaled(64);
-    println!("measuring per-stage costs over {n} images of {}x{}...",
-        spec.tput_native.0, spec.tput_native.1);
+    println!(
+        "measuring per-stage costs over {n} images of {}x{}...",
+        spec.tput_native.0, spec.tput_native.1
+    );
     let natives = throughput_images(spec, 7, n);
     let encoder = SjpgEncoder::new(95);
-    let encoded: Vec<_> = natives.iter().map(|img| encoder.encode(img).unwrap()).collect();
+    let encoded: Vec<_> = natives
+        .iter()
+        .map(|img| encoder.encode(img).unwrap())
+        .collect();
 
     // Stage timings (single core).
     let decode_us = per_image_us(n, |i| {
@@ -81,7 +86,12 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 1 — per-image breakdown (µs); paper values in parentheses",
-        &["Stage", "Ours 1-core (µs)", "Ours 4-core (µs)", "Paper 4-core (µs)"],
+        &[
+            "Stage",
+            "Ours 1-core (µs)",
+            "Ours 4-core (µs)",
+            "Paper 4-core (µs)",
+        ],
     );
     let rows: Vec<(&str, f64, &str)> = vec![
         ("decode", decode_us, "1668"),
@@ -124,9 +134,7 @@ fn main() {
     println!(
         "\nDNN execution is {gap50:.1}x faster than preprocessing for ResNet-50 (paper: 7.1x)"
     );
-    println!(
-        "DNN execution is {gap18:.1}x faster than preprocessing for ResNet-18 (paper: 22.9x)"
-    );
+    println!("DNN execution is {gap18:.1}x faster than preprocessing for ResNet-18 (paper: 22.9x)");
     println!(
         "Shape check: preprocessing is the bottleneck ({}) and the gap widens for smaller DNNs ({})",
         gap50 > 1.0,

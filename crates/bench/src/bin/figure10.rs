@@ -3,13 +3,19 @@
 //! (b) optimized preprocessing, (c) end-to-end inference.
 
 use smol_accel::{GpuModel, ModelKind, VirtualDevice};
-use smol_bench::{default_planner, fmt_tput, naive_planner, quick_mode, Table, VariantKind, VariantSet};
+use smol_bench::{
+    default_planner, fmt_tput, naive_planner, quick_mode, Table, VariantKind, VariantSet,
+};
 use smol_core::QueryPlan;
 use smol_data::still_catalog;
 use smol_runtime::{measure_preproc_pipelined, run_throughput, Personality};
 
 fn build_plan(opt: bool, set: &VariantSet, kind: VariantKind) -> QueryPlan {
-    let planner = if opt { default_planner() } else { naive_planner() };
+    let planner = if opt {
+        default_planner()
+    } else {
+        naive_planner()
+    };
     let input = set.input_variant(kind);
     QueryPlan {
         dnn: ModelKind::ResNet50,

@@ -19,7 +19,10 @@ fn main() {
     // under resize-short-edge-256 (Algorithm 1's geometry).
     let crop = ((224.0 * h as f64 / 256.0).round()) as usize;
     let roi = Rect::centered(w, h, crop, crop);
-    println!("image {w}x{h}, central ROI {}x{} at ({}, {})", roi.w, roi.h, roi.x, roi.y);
+    println!(
+        "image {w}x{h}, central ROI {}x{} at ({}, {})",
+        roi.w, roi.h, roi.x, roi.y
+    );
 
     // Full decode.
     let t0 = Instant::now();

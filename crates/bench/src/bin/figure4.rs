@@ -28,7 +28,13 @@ fn main() {
 
         let mut table = Table::new(
             format!("Figure 4 — {} (all points)", spec.name),
-            &["System", "Config", "Accuracy", "Throughput (im/s)", "Pareto"],
+            &[
+                "System",
+                "Config",
+                "Accuracy",
+                "Throughput (im/s)",
+                "Pareto",
+            ],
         );
         for (points, frontier) in [
             (&naive, pareto(&naive)),

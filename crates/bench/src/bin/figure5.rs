@@ -39,7 +39,10 @@ fn main() {
         for (name, toggles) in configs {
             let points = smol_points(&zoo, &profile, toggles);
             let frontier = pareto(&points);
-            best.push((name, frontier.iter().map(|p| p.throughput).fold(0.0, f64::max)));
+            best.push((
+                name,
+                frontier.iter().map(|p| p.throughput).fold(0.0, f64::max),
+            ));
             for p in frontier {
                 table.row(&[
                     name.to_string(),

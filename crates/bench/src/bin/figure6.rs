@@ -32,7 +32,10 @@ fn main() {
             ("+Lowres & preproc", Toggles::all()),
         ];
         let mut table = Table::new(
-            format!("Figure 6 — factor analysis, {} (Pareto frontiers)", spec.name),
+            format!(
+                "Figure 6 — factor analysis, {} (Pareto frontiers)",
+                spec.name
+            ),
             &["Variant", "Config", "Accuracy", "Throughput (im/s)"],
         );
         let mut peaks = Vec::new();

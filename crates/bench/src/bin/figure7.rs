@@ -39,22 +39,86 @@ pub fn run(factor_mode: bool) {
 
     let configs: Vec<Config> = if factor_mode {
         vec![
-            Config { name: "None", threading: false, memory_reuse: false, pinned: false, dag: false },
-            Config { name: "+threading", threading: true, memory_reuse: false, pinned: false, dag: false },
-            Config { name: "+mem reuse", threading: true, memory_reuse: true, pinned: false, dag: false },
-            Config { name: "+pinned", threading: true, memory_reuse: true, pinned: true, dag: false },
-            Config { name: "+DAG", threading: true, memory_reuse: true, pinned: true, dag: true },
+            Config {
+                name: "None",
+                threading: false,
+                memory_reuse: false,
+                pinned: false,
+                dag: false,
+            },
+            Config {
+                name: "+threading",
+                threading: true,
+                memory_reuse: false,
+                pinned: false,
+                dag: false,
+            },
+            Config {
+                name: "+mem reuse",
+                threading: true,
+                memory_reuse: true,
+                pinned: false,
+                dag: false,
+            },
+            Config {
+                name: "+pinned",
+                threading: true,
+                memory_reuse: true,
+                pinned: true,
+                dag: false,
+            },
+            Config {
+                name: "+DAG",
+                threading: true,
+                memory_reuse: true,
+                pinned: true,
+                dag: true,
+            },
         ]
     } else {
         vec![
-            Config { name: "All", threading: true, memory_reuse: true, pinned: true, dag: true },
-            Config { name: "-threading", threading: false, memory_reuse: true, pinned: true, dag: true },
-            Config { name: "-mem reuse", threading: true, memory_reuse: false, pinned: true, dag: true },
-            Config { name: "-pinned", threading: true, memory_reuse: true, pinned: false, dag: true },
-            Config { name: "-DAG", threading: true, memory_reuse: true, pinned: true, dag: false },
+            Config {
+                name: "All",
+                threading: true,
+                memory_reuse: true,
+                pinned: true,
+                dag: true,
+            },
+            Config {
+                name: "-threading",
+                threading: false,
+                memory_reuse: true,
+                pinned: true,
+                dag: true,
+            },
+            Config {
+                name: "-mem reuse",
+                threading: true,
+                memory_reuse: false,
+                pinned: true,
+                dag: true,
+            },
+            Config {
+                name: "-pinned",
+                threading: true,
+                memory_reuse: true,
+                pinned: false,
+                dag: true,
+            },
+            Config {
+                name: "-DAG",
+                threading: true,
+                memory_reuse: true,
+                pinned: true,
+                dag: false,
+            },
         ]
     };
-    let figure = if factor_mode { "Figure 8 (factor analysis)" } else { "Figure 7 (lesion study)" };
+    let figure = if factor_mode {
+        "Figure 8 (factor analysis)"
+    } else {
+        "Figure 7 (lesion study)"
+    };
 
     for (panel, kind) in [
         ("a) Full resolution", VariantKind::FullRes),
@@ -83,7 +147,11 @@ pub fn run(factor_mode: bool) {
             .throughput
         };
         for cfg in &configs {
-            let planner = if cfg.dag { default_planner() } else { naive_planner() };
+            let planner = if cfg.dag {
+                default_planner()
+            } else {
+                naive_planner()
+            };
             let input = set.input_variant(kind);
             let plan = smol_core::QueryPlan {
                 dnn: ModelKind::ResNet50,
@@ -113,7 +181,11 @@ pub fn run(factor_mode: bool) {
         let csv_tag = if factor_mode { "figure8" } else { "figure7" };
         table.write_csv(&format!(
             "{csv_tag}_{}",
-            if kind == VariantKind::FullRes { "fullres" } else { "lowres" }
+            if kind == VariantKind::FullRes {
+                "fullres"
+            } else {
+                "lowres"
+            }
         ));
         if factor_mode {
             let monotone = results.windows(2).all(|w| w[1].1 >= w[0].1 * 0.9);

@@ -15,7 +15,6 @@
 //! invocations use the required-sample formula with variances measured on
 //! the clip (documented in EXPERIMENTS.md).
 
-use bytes::Bytes;
 use parking_lot::Mutex;
 use smol_accel::{throughput as accel_throughput, ExecutionEnv, GpuModel, ModelKind};
 use smol_analytics::{correlation, SpecializedCounter};
@@ -89,14 +88,10 @@ fn main() {
         let low_clip = clip.at_resolution(spec.low_res.0, spec.low_res.1);
         println!("  mean count: {:.2}", clip.mean_count());
         let encoder = VideoEncoder::default();
-        let full = EncodedVideo::parse(Bytes::from(
-            encoder.encode_frames(&clip.frames, spec.fps).unwrap(),
-        ))
-        .unwrap();
-        let low = EncodedVideo::parse(Bytes::from(
-            encoder.encode_frames(&low_clip.frames, spec.fps).unwrap(),
-        ))
-        .unwrap();
+        let full =
+            EncodedVideo::parse(encoder.encode_frames(&clip.frames, spec.fps).unwrap()).unwrap();
+        let low = EncodedVideo::parse(encoder.encode_frames(&low_clip.frames, spec.fps).unwrap())
+            .unwrap();
 
         // Train both specialized NNs on the first third of the clip.
         // BlazeIt: tiny NN at low input resolution. Smol: larger NN at a

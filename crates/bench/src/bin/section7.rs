@@ -3,9 +3,7 @@
 //! and ResNet-18 ("preprocessing costs 11× as much and draws 2.3× the
 //! power").
 
-use smol_accel::economics::{
-    cost_breakdown, fit_core_price, g4dn_family, PAPER_PREPROC_PER_CORE,
-};
+use smol_accel::economics::{cost_breakdown, fit_core_price, g4dn_family, PAPER_PREPROC_PER_CORE};
 use smol_bench::Table;
 
 fn main() {
@@ -66,8 +64,6 @@ fn main() {
     }
     btable.print();
     btable.write_csv("section7");
-    println!(
-        "\nConclusion (matches §7): on an inference-optimized instance, feeding the"
-    );
+    println!("\nConclusion (matches §7): on an inference-optimized instance, feeding the");
     println!("accelerator costs an order of magnitude more than running it.");
 }

@@ -50,9 +50,7 @@ fn main() {
     t.row(&["DNN execution only".into(), fmt_tput(exec)]);
     t.row(&["pipelined end-to-end".into(), fmt_tput(pipelined)]);
     t.print();
-    println!(
-        "\npipelining overhead vs min(preproc, exec): {overhead:.1}% (paper: 16%)"
-    );
+    println!("\npipelining overhead vs min(preproc, exec): {overhead:.1}% (paper: 16%)");
     let tahoma_pred = estimate_throughput(
         CostModelKind::Additive,
         preproc,

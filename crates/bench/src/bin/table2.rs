@@ -16,7 +16,10 @@ fn main() {
         .into_iter()
         .find(|s| s.name == "imagenet-sim")
         .expect("catalog has imagenet-sim");
-    println!("training SmolNet ladder on {} (this takes ~1 min)...", spec.name);
+    println!(
+        "training SmolNet ladder on {} (this takes ~1 min)...",
+        spec.name
+    );
     let ds = smol_data::generate_stills(&spec, 42);
 
     let mut table = Table::new(

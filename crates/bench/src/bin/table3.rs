@@ -33,7 +33,10 @@ fn main() {
     let (mut plan, preproc_tput) =
         set.plan_and_profile(&planner, ModelKind::ResNet50, VariantKind::ThumbQ75, VCPUS);
     plan.batch = 32;
-    println!("measured preprocessing throughput: {:.0} im/s", preproc_tput);
+    println!(
+        "measured preprocessing throughput: {:.0} im/s",
+        preproc_tput
+    );
 
     // Regimes defined by the paper's exec:preproc ratios.
     let regimes = [
@@ -95,9 +98,7 @@ fn main() {
     }
     table.print();
     table.write_csv("table3");
-    println!(
-        "\nSmol's estimate matches or ties the best in {best_count}/3 regimes (paper: 3/3);"
-    );
+    println!("\nSmol's estimate matches or ties the best in {best_count}/3 regimes (paper: 3/3);");
     println!(
         "Smol mean error: {:.1}% (paper per-row: 1.4% / 4.1% / 7.2%)",
         smol_errs.iter().sum::<f64>() / smol_errs.len() as f64

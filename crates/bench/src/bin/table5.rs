@@ -8,13 +8,7 @@ use smol_runtime::measure_exec_throughput;
 fn main() {
     let mut table = Table::new(
         "Table 5 — ResNet-50 throughput by GPU generation (batch 64, TensorRT)",
-        &[
-            "GPU",
-            "Release",
-            "Paper (im/s)",
-            "Measured (im/s)",
-            "Error",
-        ],
+        &["GPU", "Release", "Paper (im/s)", "Measured (im/s)", "Error"],
     );
     let mut first = f64::NAN;
     let mut last = f64::NAN;

@@ -15,7 +15,10 @@ fn main() {
         .into_iter()
         .find(|s| s.name == "imagenet-sim")
         .unwrap();
-    println!("training 4 models on {} (2 tiers x 2 procedures)...", spec.name);
+    println!(
+        "training 4 models on {} (2 tiers x 2 procedures)...",
+        spec.name
+    );
     let ds = generate_stills(&spec, 42);
     let thumb = |codec| InputFormat::Thumbnail {
         short: spec.acc_thumb_short,
@@ -79,11 +82,7 @@ fn main() {
             for (mi, model) in [reg, aug].into_iter().enumerate() {
                 let acc = model.evaluate(&ds.test, &ds.test_labels, *format);
                 grid[ci * 2 + mi][fi] = acc;
-                cells.push(format!(
-                    "{} ({:.2}%)",
-                    fmt_pct(acc),
-                    paper[ci * 2 + mi][fi]
-                ));
+                cells.push(format!("{} ({:.2}%)", fmt_pct(acc), paper[ci * 2 + mi][fi]));
             }
         }
         table.row(&cells);

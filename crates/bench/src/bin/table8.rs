@@ -7,7 +7,9 @@
 //! standard preprocessing, buffer reuse and pinned staging off.
 
 use smol_accel::{DeviceSpec, ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
-use smol_bench::{default_planner, fmt_tput, naive_planner, quick_mode, Table, VariantKind, VariantSet};
+use smol_bench::{
+    default_planner, fmt_tput, naive_planner, quick_mode, Table, VariantKind, VariantSet,
+};
 use smol_core::QueryPlan;
 use smol_data::still_catalog;
 use smol_runtime::{run_throughput, RuntimeOptions};
@@ -124,11 +126,11 @@ fn main() {
     }
     table.print();
     table.write_csv("table8");
-    if let Some(max_ratio) = ratios.iter().cloned().fold(None::<f64>, |a, b| {
-        Some(a.map_or(b, |a| a.max(b)))
-    }) {
-        println!(
-            "\nSmol is up to {max_ratio:.1}x more cost-effective per image (paper: up to 5x)"
-        );
+    if let Some(max_ratio) = ratios
+        .iter()
+        .cloned()
+        .fold(None::<f64>, |a, b| Some(a.map_or(b, |a| a.max(b))))
+    {
+        println!("\nSmol is up to {max_ratio:.1}x more cost-effective per image (paper: up to 5x)");
     }
 }

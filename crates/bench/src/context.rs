@@ -14,7 +14,9 @@ use smol_runtime::{measure_preproc_pipelined, RuntimeOptions};
 /// counts and clips, same code paths. Full mode reproduces the shapes with
 /// more statistical weight.
 pub fn quick_mode() -> bool {
-    std::env::var("SMOL_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SMOL_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Scales a sample count down in quick mode.
@@ -98,9 +100,7 @@ impl VariantSet {
         let natives = throughput_images(spec, seed, n);
         let thumbs: Vec<ImageU8> = natives
             .iter()
-            .map(|img| {
-                resize_short_edge_u8(img, spec.tput_thumb_short).expect("thumbnail resize")
-            })
+            .map(|img| resize_short_edge_u8(img, spec.tput_thumb_short).expect("thumbnail resize"))
             .collect();
         let encode_all = |imgs: &[ImageU8], fmt: Format| -> Vec<EncodedImage> {
             imgs.iter()

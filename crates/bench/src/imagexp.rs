@@ -125,8 +125,12 @@ pub fn tahoma_points(
     let take = if quick { 4 } else { variants.len() };
     let preproc = profile.rate(VariantKind::FullRes, false);
     let target_rate = exec_rate(Tier::T50);
-    let spec_rate =
-        model_throughput(ModelKind::TahomaSmall, GpuModel::T4, ExecutionEnv::TensorRt, 256);
+    let spec_rate = model_throughput(
+        ModelKind::TahomaSmall,
+        GpuModel::T4,
+        ExecutionEnv::TensorRt,
+        256,
+    );
     variants
         .into_iter()
         .take(take)

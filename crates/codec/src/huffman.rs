@@ -73,8 +73,8 @@ impl HuffmanTable {
         }
         // Kraft inequality check: sum 2^-l must be ≤ 1.
         let mut kraft: u64 = 0;
-        for l in 1..=MAX_CODE_LEN as usize {
-            kraft += (count_per_len[l] as u64) << (MAX_CODE_LEN as usize - l);
+        for (l, &count) in count_per_len.iter().enumerate().skip(1) {
+            kraft += (count as u64) << (MAX_CODE_LEN as usize - l);
         }
         if kraft > 1u64 << MAX_CODE_LEN {
             return Err(Error::BadTable("code lengths violate Kraft".into()));
@@ -167,9 +167,9 @@ impl HuffmanTable {
     pub fn read_spec(r: &mut BitReader<'_>, alphabet_size: usize) -> Result<Self> {
         let mut count_per_len = [0u16; MAX_CODE_LEN as usize + 1];
         let mut total: usize = 0;
-        for l in 1..=MAX_CODE_LEN as usize {
-            count_per_len[l] = r.bits(16)? as u16;
-            total += count_per_len[l] as usize;
+        for slot in count_per_len.iter_mut().skip(1) {
+            *slot = r.bits(16)? as u16;
+            total += *slot as usize;
         }
         if total == 0 || total > alphabet_size {
             return Err(Error::BadTable(format!(
@@ -178,8 +178,8 @@ impl HuffmanTable {
         }
         let mut lengths = vec![0u8; alphabet_size];
         let mut read_so_far = 0usize;
-        for l in 1..=MAX_CODE_LEN as usize {
-            for _ in 0..count_per_len[l] {
+        for (l, &count) in count_per_len.iter().enumerate().skip(1) {
+            for _ in 0..count {
                 let s = r.bits(16)? as usize;
                 if s >= alphabet_size {
                     return Err(Error::BadTable(format!("symbol {s} out of alphabet")));
@@ -245,7 +245,7 @@ fn huffman_code_lengths(freqs: &[u64], lengths: &mut [u8]) {
             n = nodes[n].parent;
             depth += 1;
         }
-        lengths[s] = depth.max(1).min(255) as u8;
+        lengths[s] = depth.clamp(1, 255) as u8;
     }
 }
 

@@ -126,8 +126,6 @@ mod tests {
         let mut back = [0.0f32; 64];
         dequantize_zigzag(&coefs, &table, &mut back);
         for i in 0..64 {
-            let q = table[ZIGZAG.iter().position(|&z| z == i).map(|k| ZIGZAG[k]).unwrap()] as f32;
-            let _ = q;
             let qi = table[i] as f32;
             assert!((freq[i] - back[i]).abs() <= qi / 2.0 + 1e-3, "i={i}");
         }

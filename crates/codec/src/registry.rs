@@ -99,9 +99,7 @@ mod tests {
     fn table_matches_paper_rows() {
         let t = format_table();
         let jpeg = t.iter().find(|e| e.name == "JPEG").unwrap();
-        assert!(jpeg
-            .features
-            .contains(&LowFidelityFeature::PartialDecoding));
+        assert!(jpeg.features.contains(&LowFidelityFeature::PartialDecoding));
         let h264 = t.iter().find(|e| e.name == "H.264").unwrap();
         assert!(h264
             .features

@@ -82,14 +82,14 @@ impl SjpgEncoder {
         for by in 0..bh {
             let mut dc_pred = [0i16; 3];
             for bx in 0..bw {
-                for comp in 0..3 {
+                for (comp, pred) in dc_pred.iter_mut().enumerate() {
                     extract_block(img, bx, by, comp, &mut pixel_block);
                     forward_dct(&pixel_block.clone(), &mut freq_block);
                     let table = if comp == 0 { &luma_q } else { &chroma_q };
                     let mut coefs = [0i16; 64];
                     quantize_zigzag(&freq_block, table, &mut coefs);
-                    tally_block(&coefs, dc_pred[comp], &mut dc_freq, &mut ac_freq);
-                    dc_pred[comp] = coefs[0];
+                    tally_block(&coefs, *pred, &mut dc_freq, &mut ac_freq);
+                    *pred = coefs[0];
                     blocks.push(coefs);
                 }
             }
@@ -236,8 +236,11 @@ pub fn decode_roi(data: &[u8], roi: Rect) -> Result<(ImageU8, Rect, DecodeStats)
 pub fn decode_rows(data: &[u8], n_rows: usize) -> Result<(ImageU8, DecodeStats)> {
     let header = SjpgHeader::parse(data)?;
     let h = n_rows.min(header.height).max(1);
-    let region = Rect::new(0, 0, header.width, h.div_ceil(BLOCK) * BLOCK)
-        .align_to_blocks(BLOCK, header.width, header.height);
+    let region = Rect::new(0, 0, header.width, h.div_ceil(BLOCK) * BLOCK).align_to_blocks(
+        BLOCK,
+        header.width,
+        header.height,
+    );
     decode_region(data, &header, region)
 }
 

@@ -240,7 +240,10 @@ pub fn encode(img: &ImageU8) -> Result<Bytes> {
         for ftype in 0..5u8 {
             scratch.clear();
             filter_row(ftype, row, prev, bpp, &mut scratch);
-            let score: u64 = scratch.iter().map(|&v| (v as i8).unsigned_abs() as u64).sum();
+            let score: u64 = scratch
+                .iter()
+                .map(|&v| (v as i8).unsigned_abs() as u64)
+                .sum();
             if score < best_score {
                 best_score = score;
                 best_type = ftype;
@@ -363,7 +366,11 @@ fn decode_rows_internal(data: &[u8], n_rows: usize) -> Result<(ImageU8, f64)> {
             }
             let extra = LENGTH_EXTRA[code];
             let len = LENGTH_BASE[code] as usize
-                + if extra > 0 { r.bits(extra as u32)? as usize } else { 0 };
+                + if extra > 0 {
+                    r.bits(extra as u32)? as usize
+                } else {
+                    0
+                };
             let dsym = dist.decode(&mut r)? as usize;
             if dsym >= DIST_BASE.len() {
                 return Err(Error::BadCode {

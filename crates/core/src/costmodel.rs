@@ -61,10 +61,7 @@ impl CascadeStage {
 /// Effective DNN-execution throughput of a cascade (Eq. 2's denominator):
 /// `1 / Σ_j (α_j / T_j)` in images of the *original* stream per second.
 pub fn cascade_exec_throughput(stages: &[CascadeStage]) -> f64 {
-    let denom: f64 = stages
-        .iter()
-        .map(|s| s.selectivity / s.throughput)
-        .sum();
+    let denom: f64 = stages.iter().map(|s| s.selectivity / s.throughput).sum();
     if denom <= 0.0 {
         f64::INFINITY
     } else {

@@ -37,11 +37,7 @@ pub struct PlacementDecision {
 }
 
 /// Evaluates one split point.
-fn evaluate_split(
-    costs: &[f64],
-    split: usize,
-    rates: &PlacementRates,
-) -> (f64, f64, f64) {
+fn evaluate_split(costs: &[f64], split: usize, rates: &PlacementRates) -> (f64, f64, f64) {
     let cpu_ops: f64 = costs[..split].iter().sum();
     let accel_ops: f64 = costs[split..].iter().sum();
     let cpu_time = 1.0 / rates.decode_throughput + cpu_ops / rates.cpu_ops_per_s;

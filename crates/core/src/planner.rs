@@ -121,11 +121,8 @@ impl Planner {
                     ))
                 });
                 let exec = crate::costmodel::cascade_exec_throughput(&exec_stages);
-                let est = estimate_throughput(
-                    self.config.cost_model,
-                    s.preproc_throughput,
-                    &exec_stages,
-                );
+                let est =
+                    estimate_throughput(self.config.cost_model, s.preproc_throughput, &exec_stages);
                 PlanCandidate {
                     plan: QueryPlan {
                         dnn: s.dnn,

@@ -15,6 +15,8 @@ pub mod catalog;
 pub mod stills;
 pub mod video;
 
-pub use catalog::{still_catalog, video_catalog, StillDatasetId, StillSpec, VideoDatasetId, VideoSpec};
+pub use catalog::{
+    still_catalog, video_catalog, StillDatasetId, StillSpec, VideoDatasetId, VideoSpec,
+};
 pub use stills::{generate_stills, render_instance, throughput_images, StillDataset};
 pub use video::{count_autocorrelation, generate_video, SyntheticVideo};

@@ -129,7 +129,7 @@ pub fn render_instance(
             // High-frequency grain: 2-px checkers in one of two phases.
             let hf = match p.hf_mode {
                 0 => {
-                    if (x / 1 + y) % 2 == 0 {
+                    if (x + y) % 2 == 0 {
                         1.0
                     } else {
                         -1.0
@@ -144,8 +144,8 @@ pub fn render_instance(
                 }
             };
             let t = (low * 0.5 + 0.5 + jitter).clamp(0.0, 1.0);
-            for c in 0..3 {
-                let base = p.color_a[c] + (p.color_b[c] - p.color_a[c]) * t + color_shift[c];
+            for (c, &shift) in color_shift.iter().enumerate() {
+                let base = p.color_a[c] + (p.color_b[c] - p.color_a[c]) * t + shift;
                 let v = (base + mid_amp * mid * 0.5 + p.hf_amp * hf * 0.5) * 255.0;
                 let n = (rng.gen::<f32>() - 0.5) * noise_amp;
                 img.set(x, y, c, (v + n).clamp(0.0, 255.0) as u8);
@@ -158,7 +158,7 @@ pub fn render_instance(
 /// Generates the accuracy-track dataset (small native images) for a spec.
 pub fn generate_stills(spec: &StillSpec, seed: u64) -> StillDataset {
     let s = spec.acc_native;
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A_5E7);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0DA7_A5E7);
     let mut train = Vec::with_capacity(spec.n_classes * spec.train_per_class);
     let mut train_labels = Vec::with_capacity(train.capacity());
     let mut test = Vec::with_capacity(spec.n_classes * spec.test_per_class);

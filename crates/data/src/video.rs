@@ -158,11 +158,7 @@ pub fn generate_video(spec: &VideoSpec, seed: u64, n_frames: usize) -> Synthetic
                     }
                     let edge = dy == 0 || dy == oh - 1 || dx == 0 || dx == ow - 1;
                     for c in 0..3 {
-                        let v = if edge {
-                            car.color[c] / 2
-                        } else {
-                            car.color[c]
-                        };
+                        let v = if edge { car.color[c] / 2 } else { car.color[c] };
                         // Night scenes darken the cars too.
                         let v = (v as f32 * (0.4 + 0.6 * spec.contrast as f32)) as u8;
                         frame.set(x as usize, y, c, v);
@@ -189,7 +185,11 @@ pub fn count_autocorrelation(counts: &[u32]) -> f64 {
     }
     let n = counts.len();
     let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n as f64;
-    let var: f64 = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    let var: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n as f64;
     if var < 1e-12 {
         return 0.0;
     }

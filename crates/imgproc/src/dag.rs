@@ -114,7 +114,10 @@ impl PreprocPlan {
     pub fn standard(short: u32, crop_w: u32, crop_h: u32) -> Self {
         PreprocPlan::new(vec![
             PlacedOp::cpu(OpSpec::ResizeShortEdge { short }),
-            PlacedOp::cpu(OpSpec::CenterCrop { w: crop_w, h: crop_h }),
+            PlacedOp::cpu(OpSpec::CenterCrop {
+                w: crop_w,
+                h: crop_h,
+            }),
             PlacedOp::cpu(OpSpec::ConvertF32),
             PlacedOp::cpu(OpSpec::Normalize),
             PlacedOp::cpu(OpSpec::ChannelSplit),
@@ -344,7 +347,7 @@ impl DagOptimizer {
         // Pruning rule 3: fusion always improves performance — drop unfused
         // plans when a fused sibling exists.
         if self.enable_fusion && cands.iter().any(|(p, _)| has_fused(p)) {
-            cands.retain(|(p, _)| has_fused(p) || !fuse_tail(p).is_some());
+            cands.retain(|(p, _)| has_fused(p) || fuse_tail(p).is_none());
         }
         cands
             .into_iter()
@@ -419,11 +422,7 @@ enum State {
 /// tensor. Placement is ignored here (the runtime engine handles device
 /// assignment); this is the semantic reference used by tests and the
 /// CPU-side path of the runtime.
-pub fn execute_plan(
-    plan: &PreprocPlan,
-    img: &ImageU8,
-    norm: &Normalization,
-) -> Result<TensorF32> {
+pub fn execute_plan(plan: &PreprocPlan, img: &ImageU8, norm: &Normalization) -> Result<TensorF32> {
     let mut state = State::U8(img.clone());
     for op in &plan.ops {
         state = apply_op(&op.spec, state, norm)?;
@@ -462,7 +461,9 @@ fn apply_op(spec: &OpSpec, state: State, norm: &Normalization) -> Result<State> 
             let ch = ch.clamp(1, img.height());
             let cropped = ops::crop::center_crop_u8(&img, cw, ch)?;
             Ok(State::U8(ops::resize::resize_bilinear_u8(
-                &cropped, *w as usize, *h as usize,
+                &cropped,
+                *w as usize,
+                *h as usize,
             )?))
         }
         (OpSpec::ConvertF32, State::U8(img)) => Ok(State::F32(ops::layout::to_f32(&img))),

@@ -51,8 +51,7 @@ impl InputFormat {
                 }
             }
         };
-        resize_bilinear_u8(&received, input_size, input_size)
-            .expect("resize to model input size")
+        resize_bilinear_u8(&received, input_size, input_size).expect("resize to model input size")
     }
 
     /// Short label for reports (mirrors Table 7's row labels).

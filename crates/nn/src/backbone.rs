@@ -126,7 +126,7 @@ mod tests {
         let mut img = ImageU8::zeros(w, h, 3);
         for y in 0..h {
             for x in 0..w {
-                let v = if (x / period + y / period) % 2 == 0 {
+                let v = if (x / period + y / period).is_multiple_of(2) {
                     220
                 } else {
                     30

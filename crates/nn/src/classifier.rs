@@ -116,13 +116,8 @@ impl SmolClassifier {
     ) -> Self {
         assert_eq!(images.len(), labels.len());
         assert!(n_classes >= 2);
-        let backbone = RandomConvBackbone::new(
-            cfg.backbone_seed,
-            cfg.tier.backbone_filters(),
-            5,
-            2,
-            3,
-        );
+        let backbone =
+            RandomConvBackbone::new(cfg.backbone_seed, cfg.tier.backbone_filters(), 5, 2, 3);
         // Training set: full-res materializations plus any augmentation
         // formats (the paper's low-resolution-aware procedure).
         let mut formats = vec![InputFormat::FullRes];
@@ -254,12 +249,7 @@ mod tests {
             short: 16,
             codec: ThumbCodec::Lossless,
         };
-        let reg = SmolClassifier::train(
-            &ClassifierConfig::new(Tier::T34),
-            &train_x,
-            &train_y,
-            3,
-        );
+        let reg = SmolClassifier::train(&ClassifierConfig::new(Tier::T34), &train_x, &train_y, 3);
         let aug = SmolClassifier::train(
             &ClassifierConfig::new(Tier::T34).with_augmentation(thumb),
             &train_x,
@@ -277,12 +267,7 @@ mod tests {
     #[test]
     fn probs_sum_to_one_and_match_prediction() {
         let (train_x, train_y) = texture_dataset(10, 5);
-        let clf = SmolClassifier::train(
-            &ClassifierConfig::new(Tier::T18),
-            &train_x,
-            &train_y,
-            3,
-        );
+        let clf = SmolClassifier::train(&ClassifierConfig::new(Tier::T18), &train_x, &train_y, 3);
         let p = clf.predict_probs(&train_x[0], InputFormat::FullRes);
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
         let pred = clf.predict(&train_x[0], InputFormat::FullRes);

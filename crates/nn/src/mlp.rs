@@ -89,12 +89,7 @@ impl Mlp {
     }
 
     /// Trains on cached feature vectors; returns the final average loss.
-    pub fn train(
-        &mut self,
-        features: &[Vec<f32>],
-        labels: &[usize],
-        params: &TrainParams,
-    ) -> f32 {
+    pub fn train(&mut self, features: &[Vec<f32>], labels: &[usize], params: &TrainParams) -> f32 {
         assert_eq!(features.len(), labels.len());
         assert!(!features.is_empty(), "empty training set");
         let n = features.len();

@@ -22,8 +22,8 @@ pub mod profiler;
 pub use bufferpool::{BufferPool, PoolStats, PooledBuffer};
 pub use personalities::Personality;
 pub use pipeline::{
-    decode_only, preproc_only, run_inference, run_throughput, PipelineReport, Result,
-    RuntimeError, RuntimeOptions,
+    decode_only, preproc_only, run_inference, run_throughput, PipelineReport, Result, RuntimeError,
+    RuntimeOptions,
 };
 pub use profiler::{
     measure_decode_throughput, measure_exec_throughput, measure_preproc_pipelined,

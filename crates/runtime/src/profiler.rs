@@ -11,11 +11,7 @@ use std::time::Instant;
 
 /// Measured preprocessing throughput (decode + CPU preprocessing) in
 /// images/second using `threads` parallel workers over `items`.
-pub fn measure_preproc_throughput(
-    items: &[EncodedImage],
-    plan: &QueryPlan,
-    threads: usize,
-) -> f64 {
+pub fn measure_preproc_throughput(items: &[EncodedImage], plan: &QueryPlan, threads: usize) -> f64 {
     if items.is_empty() {
         return 0.0;
     }

@@ -392,7 +392,9 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip_reasonable_fidelity() {
         let frames = scene(10, 64, 48);
-        let enc = VideoEncoder::default().encode_frames(&frames, 30.0).unwrap();
+        let enc = VideoEncoder::default()
+            .encode_frames(&frames, 30.0)
+            .unwrap();
         let video = EncodedVideo::parse(enc).unwrap();
         assert_eq!(video.n_frames(), 10);
         assert_eq!((video.width, video.height), (64, 48));
@@ -428,7 +430,9 @@ mod tests {
     fn video_compresses_well_on_temporal_redundancy() {
         let frames = scene(16, 64, 48);
         let raw = 16 * 64 * 48 * 3;
-        let enc = VideoEncoder::default().encode_frames(&frames, 30.0).unwrap();
+        let enc = VideoEncoder::default()
+            .encode_frames(&frames, 30.0)
+            .unwrap();
         assert!(
             enc.len() * 6 < raw,
             "encoded {} raw {raw} (ratio {:.1})",
@@ -440,7 +444,9 @@ mod tests {
     #[test]
     fn no_deblock_decodes_with_bounded_drift() {
         let frames = scene(12, 64, 48);
-        let enc = VideoEncoder::default().encode_frames(&frames, 30.0).unwrap();
+        let enc = VideoEncoder::default()
+            .encode_frames(&frames, 30.0)
+            .unwrap();
         let video = EncodedVideo::parse(enc).unwrap();
         let with = video.decode_all(DecodeOptions { deblock: true }).unwrap();
         let without = video.decode_all(DecodeOptions { deblock: false }).unwrap();
@@ -474,7 +480,9 @@ mod tests {
     #[test]
     fn corrupt_container_rejected() {
         let frames = scene(4, 32, 32);
-        let enc = VideoEncoder::default().encode_frames(&frames, 30.0).unwrap();
+        let enc = VideoEncoder::default()
+            .encode_frames(&frames, 30.0)
+            .unwrap();
         let mut bad = enc.to_vec();
         bad[0] ^= 0x1;
         assert!(EncodedVideo::parse(Bytes::from(bad)).is_err());

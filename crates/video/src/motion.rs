@@ -83,18 +83,8 @@ pub fn three_step_search(
 
 /// Writes the motion-compensated prediction of macroblock `(bx, by)` into
 /// `pred` (row-major `MB×MB×channels`, clamped sampling at edges).
-pub fn compensate(
-    reference: &ImageU8,
-    bx: usize,
-    by: usize,
-    mv: MotionVector,
-    pred: &mut [u8],
-) {
-    let (w, h, c) = (
-        reference.width(),
-        reference.height(),
-        reference.channels(),
-    );
+pub fn compensate(reference: &ImageU8, bx: usize, by: usize, mv: MotionVector, pred: &mut [u8]) {
+    let (w, h, c) = (reference.width(), reference.height(), reference.channels());
     debug_assert_eq!(pred.len(), MB * MB * c);
     for my in 0..MB {
         let ry = ((by * MB + my) as i64 + mv.dy as i64).clamp(0, h as i64 - 1) as usize;
@@ -135,8 +125,9 @@ mod tests {
     #[test]
     fn search_recovers_known_translation() {
         let reference = frame_with_square(16, 16);
-        let cur = frame_with_square(20, 18); // moved +4, +2
-        // The MB at (1,1) covers the square; MV should point back to ref.
+        // Square moved +4, +2; the MB at (1,1) covers it, so the MV should
+        // point back to the reference.
+        let cur = frame_with_square(20, 18);
         let (mv, best) = three_step_search(&cur, &reference, 1, 1, 8);
         let zero = sad(&cur, &reference, 1, 1, 0, 0);
         assert!(best < zero, "search must beat zero MV: {best} vs {zero}");

@@ -238,7 +238,7 @@ pub fn encode_pframe(
             mask |= 1 << (ch * sub * sub + sb);
         }
         bw.put(mask, (c * sub * sub) as u32);
-        for &(_, _, ref coefs) in &plan.coded {
+        for (_, _, coefs) in &plan.coded {
             encode_coefs(&mut bw, coefs, &table)?;
         }
     }
@@ -303,11 +303,7 @@ pub fn decode_pframe(
     quality: u8,
     search_range: i16,
 ) -> Result<(ImageU8, PFrameStats)> {
-    let (w, h, c) = (
-        reference.width(),
-        reference.height(),
-        reference.channels(),
-    );
+    let (w, h, c) = (reference.width(), reference.height(), reference.channels());
     let qtable = scale_table(&BASE_LUMA, quality)?;
     let mbw = w.div_ceil(MB);
     let mbh = h.div_ceil(MB);

@@ -48,7 +48,10 @@ fn main() {
     let naive_thumb_acc = target.evaluate(&ds.test, &ds.test_labels, thumb);
     let smol_thumb_acc = aug.evaluate(&ds.test, &ds.test_labels, thumb);
     println!("\naccuracy on {} test set:", spec.name);
-    println!("  SmolNet-50, full-res inputs:          {:.1}%", full_acc * 100.0);
+    println!(
+        "  SmolNet-50, full-res inputs:          {:.1}%",
+        full_acc * 100.0
+    );
     println!(
         "  SmolNet-50, thumbnails (naive train):  {:.1}%",
         naive_thumb_acc * 100.0
@@ -69,8 +72,7 @@ fn main() {
     );
     let eval = cascade.evaluate(&ds.test, &ds.test_labels, InputFormat::FullRes);
     println!(
-        "\ncascade ({}): {:.1}% accuracy, {:.0}% of inputs reach the target model",
-        "T18@24px",
+        "\ncascade (T18@24px): {:.1}% accuracy, {:.0}% of inputs reach the target model",
         eval.accuracy * 100.0,
         eval.pass_rate * 100.0
     );

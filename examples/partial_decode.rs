@@ -31,8 +31,10 @@ fn main() {
     let (crop_img, aligned, roi_stats) = sjpg::decode_roi(&enc.bytes, roi).unwrap();
     let roi_us = t0.elapsed().as_secs_f64() * 1e6;
 
-    println!("\nfull decode:  {full_us:.0} µs, {} Huffman symbols, {} IDCT blocks",
-        full_stats.symbols_decoded, full_stats.blocks_idct);
+    println!(
+        "\nfull decode:  {full_us:.0} µs, {} Huffman symbols, {} IDCT blocks",
+        full_stats.symbols_decoded, full_stats.blocks_idct
+    );
     println!(
         "ROI decode:   {roi_us:.0} µs, {} Huffman symbols, {} IDCT blocks, {} MCU rows skipped",
         roi_stats.symbols_decoded, roi_stats.blocks_idct, roi_stats.rows_skipped

@@ -5,10 +5,7 @@
 //! cargo run --release --example video_aggregation
 //! ```
 
-use bytes::Bytes;
-use smol::analytics::{
-    control_variate_mean, naive_mean, AggregationConfig, SpecializedCounter,
-};
+use smol::analytics::{control_variate_mean, naive_mean, AggregationConfig, SpecializedCounter};
 use smol::data::{generate_video, video_catalog};
 use smol::nn::Tier;
 use smol::video::{DecodeOptions, EncodedVideo, VideoEncoder};
@@ -32,7 +29,7 @@ fn main() {
         encoded.len() as f64 / 1024.0,
         (clip.frames.len() * spec.full_res.0 * spec.full_res.1 * 3) as f64 / encoded.len() as f64
     );
-    let video = EncodedVideo::parse(Bytes::from(encoded)).unwrap();
+    let video = EncodedVideo::parse(encoded).unwrap();
     let t0 = Instant::now();
     let decoded = video.decode_all(DecodeOptions::default()).unwrap();
     println!(
@@ -43,14 +40,8 @@ fn main() {
 
     // Train a specialized counter on the first half, predict everywhere.
     println!("training specialized counter...");
-    let counter = SpecializedCounter::train(
-        &decoded[..300],
-        &clip.counts[..300],
-        Tier::T50,
-        96,
-        11,
-        20,
-    );
+    let counter =
+        SpecializedCounter::train(&decoded[..300], &clip.counts[..300], Tier::T50, 96, 11, 20);
     let preds: Vec<f64> = decoded.iter().map(|f| counter.predict(f)).collect();
 
     // Answer the query at a 0.2 absolute-error target, both ways. (With
@@ -73,9 +64,7 @@ fn main() {
         naive.estimate, naive.truth, naive.samples
     );
     let saved = naive.samples as f64 / cv.samples.max(1) as f64;
-    println!(
-        "\nthe specialized NN cut target-model invocations by {saved:.1}x; at Mask R-CNN's"
-    );
+    println!("\nthe specialized NN cut target-model invocations by {saved:.1}x; at Mask R-CNN's");
     println!(
         "4 fps, that's {:.0}s of target-model time instead of {:.0}s.",
         cv.samples as f64 / 4.0,

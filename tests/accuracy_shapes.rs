@@ -40,7 +40,9 @@ fn table7_shape_on_imagenet_sim() {
     let aug_png = aug.evaluate(&ds.test, &ds.test_labels, png);
     let aug_q75 = aug.evaluate(&ds.test, &ds.test_labels, q75);
 
-    println!("reg_full={reg_full:.3} reg_png={reg_png:.3} aug_png={aug_png:.3} aug_q75={aug_q75:.3}");
+    println!(
+        "reg_full={reg_full:.3} reg_png={reg_png:.3} aug_png={aug_png:.3} aug_q75={aug_q75:.3}"
+    );
 
     // Model must have learned something substantial.
     assert!(reg_full > 0.5, "reg full-res too weak: {reg_full}");
@@ -81,10 +83,7 @@ fn capacity_ladder_on_imagenet_sim() {
         println!("{}: {acc:.3}", tier.name());
         accs.push(acc);
     }
-    assert!(
-        accs[2] > accs[0] + 0.02,
-        "T50 must beat T18: {accs:?}"
-    );
+    assert!(accs[2] > accs[0] + 0.02, "T50 must beat T18: {accs:?}");
     assert!(accs[1] >= accs[0] - 0.02, "T34 roughly >= T18: {accs:?}");
 }
 

@@ -14,7 +14,9 @@ fn arb_image(max_edge: usize) -> impl Strategy<Value = ImageU8> {
         for y in 0..h {
             for x in 0..w {
                 for c in 0..3 {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let noise = (state >> 56) as u8;
                     let grad = ((x * 199 / w.max(1) + y * 97 / h.max(1)) % 256) as u8;
                     img.set(x, y, c, grad.wrapping_add(noise / 4));
@@ -66,7 +68,7 @@ proptest! {
         let rw = ((w as f64 * fw) as usize).clamp(1, w - x);
         let rh = ((h as f64 * fh) as usize).clamp(1, h - y);
         let roi = Rect::new(x, y, rw, rh);
-        let (part, aligned, _) = sjpg::decode_roi(&enc.bytes(), roi).unwrap();
+        let (part, aligned, _) = sjpg::decode_roi(enc.bytes(), roi).unwrap();
         for dy in 0..aligned.h {
             for dx in 0..aligned.w {
                 for c in 0..3 {

@@ -1,7 +1,6 @@
 //! Cross-crate integration tests: planner → runtime → virtual device, the
 //! min() law, video through the analytics stack.
 
-use bytes::Bytes;
 use smol::accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
 use smol::analytics::{control_variate_mean, naive_mean, AggregationConfig, SpecializedCounter};
 use smol::codec::{EncodedImage, Format};
@@ -62,11 +61,8 @@ fn pipeline_is_bounded_by_slow_dnn() {
 fn smol_cost_model_wins_on_preproc_bound_run() {
     let items = encode_batch(96, Format::Sjpg { quality: 75 });
     let plan = plan_for(&items, Format::Sjpg { quality: 75 }, 16);
-    let preproc = smol::runtime::measure_preproc_pipelined(
-        &items,
-        &plan,
-        &RuntimeOptions::default(),
-    );
+    let preproc =
+        smol::runtime::measure_preproc_pipelined(&items, &plan, &RuntimeOptions::default());
     let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
     let report = run_throughput(&items, &plan, &device, &RuntimeOptions::default()).unwrap();
     let stages = smol::core::CascadeStage::single(device.model_throughput(ModelKind::ResNet50, 16));
@@ -93,7 +89,7 @@ fn video_aggregation_end_to_end() {
     let encoded = VideoEncoder::default()
         .encode_frames(&clip.frames, spec.fps)
         .unwrap();
-    let video = EncodedVideo::parse(Bytes::from(encoded)).unwrap();
+    let video = EncodedVideo::parse(encoded).unwrap();
     let decoded = video.decode_all(DecodeOptions::default()).unwrap();
     assert_eq!(decoded.len(), 240);
 
@@ -132,7 +128,7 @@ fn parallel_video_decode_matches_sequential() {
     }
     .encode_frames(&clip.frames, spec.fps)
     .unwrap();
-    let video = EncodedVideo::parse(Bytes::from(encoded)).unwrap();
+    let video = EncodedVideo::parse(encoded).unwrap();
     let sequential = video.decode_all(DecodeOptions::default()).unwrap();
     let parallel = parking_lot::Mutex::new(vec![None; 60]);
     video
@@ -172,11 +168,8 @@ fn planner_prefers_thumbnails_with_measured_rates() {
             batch: 32,
             extra_stages: Vec::new(),
         };
-        let rate = smol::runtime::measure_preproc_pipelined(
-            items,
-            &plan,
-            &RuntimeOptions::default(),
-        );
+        let rate =
+            smol::runtime::measure_preproc_pipelined(items, &plan, &RuntimeOptions::default());
         (input, rate)
     };
     let (full_input, full_rate) = mk(&full_items, "full", Format::Sjpg { quality: 95 }, false);

@@ -1,0 +1,69 @@
+//! Guards the `smol` umbrella crate's re-export surface: every module the
+//! facade promises must resolve, and the flagship types must be nameable
+//! through it. A manifest regression (dropped member crate, renamed
+//! package, broken `pub use`) fails this file at compile time, so
+//! `cargo test` catches it before any downstream user does.
+
+use smol::accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
+use smol::analytics::{Cascade, SpecializedCounter};
+use smol::codec::{EncodedImage, Format, SjpgEncoder};
+use smol::core::{CostModelKind, Planner, PlannerConfig, QueryPlan};
+use smol::data::{still_catalog, video_catalog};
+use smol::imgproc::dag::{DagOptimizer, PreprocPlan};
+use smol::imgproc::{ImageU8, Layout, Rect, TensorF32};
+use smol::nn::{SmolClassifier, Tier};
+use smol::runtime::{BufferPool, Personality, RuntimeOptions};
+use smol::video::{EncodedVideo, VideoEncoder};
+
+/// Every facade module path resolves and its flagship types are usable
+/// (not just importable) through `smol::*`.
+#[test]
+fn facade_types_are_constructible() {
+    let img = ImageU8::zeros(8, 8, 3);
+    assert_eq!((img.width(), img.height()), (8, 8));
+    let _: Rect = Rect::new(0, 0, 4, 4);
+    let _: &[Layout] = &[];
+    let _: Option<TensorF32> = None;
+
+    let plan = PreprocPlan::standard(256, 224, 224);
+    let optimized = DagOptimizer::default().optimize(&plan, 640, 480);
+    assert!(optimized.ops.len() <= plan.ops.len());
+
+    let encoded = EncodedImage::encode(&img, Format::Sjpg { quality: 90 }).unwrap();
+    assert_eq!((encoded.width, encoded.height), (8, 8));
+    let _ = SjpgEncoder::new(90);
+
+    let planner = Planner::new(PlannerConfig::default());
+    let _: &Planner = &planner;
+    let _: CostModelKind = CostModelKind::Smol;
+    let _: Option<QueryPlan> = None;
+
+    let pool = BufferPool::new(2, 64, true, false);
+    assert_eq!(pool.stats().allocated, 0);
+    let _: RuntimeOptions = RuntimeOptions::default();
+    let _: Option<Personality> = None;
+
+    let device = VirtualDevice::new(GpuModel::K80, ExecutionEnv::TensorRt, 1.0);
+    assert!(device.model_throughput(ModelKind::ResNet50, 16) > 0.0);
+
+    assert!(!still_catalog().is_empty());
+    assert!(!video_catalog().is_empty());
+
+    let _: Option<SmolClassifier> = None;
+    let _: Tier = Tier::T18;
+    let _: Option<SpecializedCounter> = None;
+    let _: Option<Cascade> = None;
+    let _: Option<EncodedVideo> = None;
+    let _: Option<VideoEncoder> = None;
+}
+
+/// The facade modules alias the underlying `smol_*` crates (same types,
+/// not parallel copies), so code mixing both spellings interoperates.
+#[test]
+fn facade_modules_alias_member_crates() {
+    fn takes_member_crate_type(img: smol_imgproc::ImageU8) -> smol::imgproc::ImageU8 {
+        img
+    }
+    let img = smol::imgproc::ImageU8::zeros(2, 2, 1);
+    assert_eq!(takes_member_crate_type(img).channels(), 1);
+}

@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` bench harness.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `bench_function`, `iter`/`iter_batched`, throughput annotation, and the
+//! `criterion_group!`/`criterion_main!` macros — with a plain wall-clock
+//! measurement loop instead of criterion's statistical machinery.
+//!
+//! CLI behavior matches what CI relies on: `--test` (as in
+//! `cargo bench --bench microbench -- --test`) runs every benchmark body
+//! exactly once as a smoke test; all other flags cargo forwards (e.g.
+//! `--bench`) are ignored. Without `--test`, each benchmark is warmed up
+//! and timed for `sample_size` iterations and a mean/min/max summary line
+//! is printed, with derived throughput when annotated.
+
+use std::time::{Duration, Instant};
+
+/// Number of bytes or elements processed per iteration; used to derive a
+/// rate from the measured time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many elements (pixels, images, …).
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim times the routine per
+/// invocation, so the variants only express intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every routine call.
+    PerIteration,
+}
+
+/// Top-level harness state, configured in `criterion_group!`.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_one(name, None, sample_size, test_mode, f);
+        self
+    }
+
+    /// Prints the closing summary (no-op in the shim).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            name,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters: if test_mode { 1 } else { sample_size as u64 },
+        warmup_iters: if test_mode { 0 } else { 3 },
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("  {name}: ok (smoke)");
+        return;
+    }
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("  {name}: no samples recorded");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let rate = throughput.map(|t| {
+        let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Bytes(n) => format!(" | {:.3} MiB/s", per_sec(n) / (1024.0 * 1024.0)),
+            Throughput::Elements(n) => format!(" | {:.3} Melem/s", per_sec(n) / 1e6),
+        }
+    });
+    println!(
+        "  {name}: mean {mean:?} min {min:?} max {max:?} (n={}){}",
+        samples.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Passed to each benchmark closure; drives the measurement loop.
+pub struct Bencher {
+    iters: u64,
+    warmup_iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.warmup_iters {
+            black_box(routine());
+        }
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.warmup_iters {
+            black_box(routine(setup()));
+        }
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Opaque value barrier, re-exported for criterion API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a named group of benchmark functions with a shared config,
+/// mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records_samples() {
+        let mut c = Criterion {
+            sample_size: 4,
+            test_mode: false,
+        };
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        // 3 warmup + 4 timed.
+        assert_eq!(ran, 7);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 50,
+            test_mode: true,
+        };
+        let mut ran = 0u64;
+        c.bench_function("once", |b| {
+            b.iter_batched(|| (), |()| ran += 1, BatchSize::SmallInput)
+        });
+        assert_eq!(ran, 1);
+    }
+}

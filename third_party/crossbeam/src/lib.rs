@@ -1,0 +1,296 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` bounded MPMC channels with the same
+//! blocking and disconnection semantics the workspace relies on:
+//!
+//! * `send` blocks while the queue is full and returns `Err(SendError)`
+//!   once every receiver is gone;
+//! * `recv` blocks while the queue is empty and returns `Err(RecvError)`
+//!   once every sender is gone *and* the queue has drained;
+//! * both endpoints are cloneable (multi-producer, multi-consumer).
+//!
+//! Built on `std::sync::{Mutex, Condvar}`; correctness over raw speed.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent value back to the caller.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates a bounded MPMC channel with capacity `cap`.
+    ///
+    /// A capacity of 0 (rendezvous in real crossbeam) is rounded up to 1;
+    /// the workspace never constructs zero-capacity channels.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap: cap.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is queue space, then enqueues `value`.
+        /// Fails only when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self
+                .shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if inner.queue.len() < inner.cap {
+                    inner.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self
+                    .shared
+                    .not_full
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value is available. Fails only when the queue is
+        /// empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self
+                .shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking variant of [`Receiver::recv`].
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self
+                .shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(v) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self
+                .shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Wake all blocked receivers so they observe disconnection.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self
+                .shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                // Wake all blocked senders so they observe disconnection.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_capacity() {
+            let (tx, rx) = bounded(4);
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        }
+
+        #[test]
+        fn recv_errors_after_all_senders_drop() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_all_receivers_drop() {
+            let (tx, rx) = bounded::<u32>(2);
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn bounded_send_blocks_then_unblocks() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let handle = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            handle.join().unwrap().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn mpmc_all_items_delivered_once() {
+            let (tx, rx) = bounded::<usize>(8);
+            let n_producers = 4;
+            let per_producer = 100;
+            std::thread::scope(|scope| {
+                for p in 0..n_producers {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        for i in 0..per_producer {
+                            tx.send(p * per_producer + i).unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+                let mut seen: Vec<usize> = Vec::new();
+                let consumers: Vec<_> = (0..3)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            while let Ok(v) = rx.recv() {
+                                local.push(v);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for c in consumers {
+                    seen.extend(c.join().unwrap());
+                }
+                seen.sort_unstable();
+                assert_eq!(seen, (0..n_producers * per_producer).collect::<Vec<_>>());
+            });
+        }
+    }
+}

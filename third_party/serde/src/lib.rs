@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (nothing
+//! serializes yet — no `serde_json` and no trait-bound usage), so the
+//! derives expand to nothing. When real serialization lands, swap this
+//! shim for the registry crate by changing one line in the workspace
+//! manifest; the derive attribute sites need no edits.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
