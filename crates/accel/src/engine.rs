@@ -47,6 +47,19 @@ pub struct DeviceStats {
     pub copies: u64,
 }
 
+impl DeviceStats {
+    /// Fraction of `elapsed_s` the compute engine was busy (clamped to
+    /// [0, 1]); serving-side occupancy metric. Pass simulated-elapsed
+    /// seconds ([`VirtualDevice::uptime_s`]) so the units agree.
+    pub fn compute_occupancy(&self, elapsed_s: f64) -> f64 {
+        if elapsed_s <= 0.0 {
+            0.0
+        } else {
+            (self.compute_busy_s / elapsed_s).clamp(0.0, 1.0)
+        }
+    }
+}
+
 /// A shared, thread-safe virtual accelerator.
 #[derive(Debug, Clone)]
 pub struct VirtualDevice {
@@ -168,6 +181,13 @@ impl VirtualDevice {
     /// (images/second in *simulated* time).
     pub fn model_throughput(&self, model: ModelKind, batch: usize) -> f64 {
         throughput_scaled(model, self.device_scale(), self.env, batch)
+    }
+
+    /// Wall-clock seconds since this device was created (the denominator
+    /// for occupancy reporting; simulated and real time agree when
+    /// `time_scale == 1`).
+    pub fn uptime_s(&self) -> f64 {
+        self.state.lock().origin.elapsed().as_secs_f64()
     }
 
     /// Utilization snapshot (simulated seconds).

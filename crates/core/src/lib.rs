@@ -24,5 +24,5 @@ pub use costmodel::{
 };
 pub use pareto::{max_accuracy_with_throughput, max_throughput_with_accuracy, pareto_frontier};
 pub use placement::{choose_placement, PlacementDecision, PlacementRates};
-pub use plan::{DecodeMode, InputVariant, PlanCandidate, QueryPlan};
+pub use plan::{DecodeMode, InputVariant, PlacementSignature, PlanCandidate, QueryPlan};
 pub use planner::{CandidateSpec, Planner, PlannerConfig};

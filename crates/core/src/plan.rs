@@ -4,6 +4,7 @@
 
 use smol_accel::ModelKind;
 use smol_codec::Format;
+use smol_imgproc::dag::{OpSpec, Placement};
 use smol_imgproc::PreprocPlan;
 
 /// How much of each image the decoder touches (§6.4).
@@ -71,6 +72,57 @@ impl QueryPlan {
     pub fn label(&self) -> String {
         format!("{} @ {}", self.dnn.spec().name, self.input.name)
     }
+
+    /// The device-facing identity of this plan: everything that must agree
+    /// before items from two different queries may share one device batch.
+    ///
+    /// CPU-side differences (input format, decode mode, geometric prefix)
+    /// are deliberately *excluded* — producers resolve those per item
+    /// before the device ever sees the tensor. What must match is the
+    /// output tensor geometry, the accelerator-placed operator suffix, the
+    /// DNN (plus cascade stages), and the batch size the plan was costed
+    /// at.
+    pub fn placement_signature(&self) -> PlacementSignature {
+        let (out_w, out_h) = self
+            .preproc
+            .output_dims(self.input.width, self.input.height);
+        PlacementSignature {
+            dnn: self.dnn,
+            batch: self.batch.max(1),
+            out_w,
+            out_h,
+            accel_ops: self
+                .preproc
+                .ops
+                .iter()
+                .filter(|o| o.placement == Placement::Accel)
+                .map(|o| o.spec.clone())
+                .collect(),
+            extra_stages: self
+                .extra_stages
+                .iter()
+                .map(|&(model, selectivity)| (model, selectivity.to_bits()))
+                .collect(),
+        }
+    }
+}
+
+/// Hashable device-batch compatibility key of a [`QueryPlan`]; see
+/// [`QueryPlan::placement_signature`]. Queries whose signatures are equal
+/// may be batched together on the accelerator (the `smol_serve` scheduler
+/// does exactly that); unequal signatures must never share a batch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlacementSignature {
+    pub dnn: ModelKind,
+    /// Device batch size; cross-query batches are formed up to this bound.
+    pub batch: usize,
+    /// Output tensor geometry (`out_w × out_h × 3`).
+    pub out_w: usize,
+    pub out_h: usize,
+    /// Accelerator-placed operator suffix (empty for all-CPU plans).
+    pub accel_ops: Vec<OpSpec>,
+    /// Cascade stages with selectivities bit-encoded for `Eq`/`Hash`.
+    pub extra_stages: Vec<(ModelKind, u64)>,
 }
 
 /// A plan candidate with its resource estimates (the planner's unit of
@@ -112,5 +164,63 @@ mod tests {
             extra_stages: Vec::new(),
         };
         assert_eq!(plan.label(), "ResNet-50 @ 161 spng");
+    }
+
+    fn sig_plan(dnn: ModelKind, short: u32, crop: u32, batch: usize) -> QueryPlan {
+        QueryPlan {
+            dnn,
+            input: InputVariant::new("full", Format::Sjpg { quality: 95 }, 640, 480),
+            preproc: PreprocPlan::standard(short, crop, crop),
+            decode: DecodeMode::Full,
+            batch,
+            extra_stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn signatures_ignore_cpu_side_differences() {
+        // Same DNN, output geometry, batch — but different input variants
+        // and decode modes: these may share a device batch.
+        let a = sig_plan(ModelKind::ResNet50, 256, 224, 64);
+        let mut b = QueryPlan {
+            input: InputVariant::new("thumb", Format::Spng, 300, 300).thumbnail(),
+            preproc: PreprocPlan::thumbnail(224, 224),
+            ..a.clone()
+        };
+        b.decode = DecodeMode::EarlyStopRows { rows: 280 };
+        assert_eq!(a.placement_signature(), b.placement_signature());
+    }
+
+    #[test]
+    fn signatures_differ_on_device_side_state() {
+        let base = sig_plan(ModelKind::ResNet50, 256, 224, 64);
+        let sig = base.placement_signature();
+        assert_eq!(sig.out_w, 224);
+
+        let other_dnn = sig_plan(ModelKind::ResNet18, 256, 224, 64);
+        assert_ne!(sig, other_dnn.placement_signature());
+
+        let other_batch = sig_plan(ModelKind::ResNet50, 256, 224, 32);
+        assert_ne!(sig, other_batch.placement_signature());
+
+        let other_geometry = sig_plan(ModelKind::ResNet50, 256, 192, 64);
+        assert_ne!(sig, other_geometry.placement_signature());
+
+        let mut cascade = sig_plan(ModelKind::ResNet50, 256, 224, 64);
+        cascade.extra_stages = vec![(ModelKind::ResNet101, 0.1)];
+        assert_ne!(sig, cascade.placement_signature());
+    }
+
+    #[test]
+    fn signatures_differ_on_accel_placement() {
+        let cpu = sig_plan(ModelKind::ResNet50, 256, 224, 64);
+        let mut accel = cpu.clone();
+        for op in accel.preproc.ops.iter_mut() {
+            if op.spec.is_elementwise() {
+                op.placement = Placement::Accel;
+            }
+        }
+        assert_ne!(cpu.placement_signature(), accel.placement_signature());
+        assert!(!accel.placement_signature().accel_ops.is_empty());
     }
 }

@@ -115,6 +115,27 @@ impl BufferPool {
     pub fn stats(&self) -> PoolStats {
         *self.inner.stats.lock()
     }
+
+    /// Real heap allocations made so far (≤ capacity while reuse is on).
+    pub fn created(&self) -> usize {
+        self.inner.state.lock().created
+    }
+
+    /// Buffers currently sitting in the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.inner.state.lock().free.len()
+    }
+
+    /// Buffers currently checked out (created − free). A leak shows up as
+    /// a non-zero value after all `PooledBuffer`s have been dropped; a
+    /// double recycle shows up as a negative value (reported as a panic in
+    /// debug terms — the subtraction is checked).
+    pub fn outstanding(&self) -> usize {
+        let st = self.inner.state.lock();
+        st.created
+            .checked_sub(st.free.len())
+            .expect("free list can never exceed created buffers")
+    }
 }
 
 /// A checked-out buffer; returns to the pool on drop (when reuse is on).
@@ -185,6 +206,53 @@ mod tests {
         drop(held);
         assert!(handle.join().unwrap());
         assert!(pool.stats().waits >= 1);
+    }
+
+    /// Satellite: hammer the pool from many threads and check the
+    /// accounting invariants — every acquire is either a reuse or an
+    /// allocation, no buffer leaks, no buffer is recycled twice, and the
+    /// pool never allocates past its capacity.
+    #[test]
+    fn contention_keeps_accounting_consistent() {
+        let threads = 8;
+        let iters = 400usize;
+        let capacity = 5; // far fewer buffers than threads → heavy waiting
+        let pool = BufferPool::new(capacity, 32, true, true);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    for i in 0..iters {
+                        let mut b = pool.acquire();
+                        b.as_mut_slice()[0] = (t * iters + i) as f32;
+                        // Vary hold times to shuffle the interleavings; a
+                        // thread never holds a buffer across an acquire, so
+                        // an undersized pool cannot hold-and-wait deadlock.
+                        if i % 3 == 0 {
+                            std::thread::yield_now();
+                        }
+                        drop(b);
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        let total_acquires = (threads * iters) as u64;
+        assert_eq!(
+            stats.reused + stats.allocated,
+            total_acquires,
+            "every acquire is accounted exactly once"
+        );
+        assert!(
+            stats.allocated <= capacity as u64,
+            "reuse mode never allocates past capacity: {} > {capacity}",
+            stats.allocated
+        );
+        assert!(stats.waits > 0, "undersized pool must observe contention");
+        // All buffers returned: nothing leaked, nothing double-recycled.
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.free_buffers(), pool.created());
+        assert_eq!(pool.created(), stats.allocated as usize);
     }
 
     #[test]

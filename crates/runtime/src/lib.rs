@@ -10,6 +10,8 @@
 //!   batches). All §6.1 optimizations (threading, buffer reuse, pinned
 //!   staging) are runtime toggles for the Figure 7/8 lesion studies.
 //! * [`bufferpool`] — bounded recycled staging buffers with backpressure;
+//! * [`workers`] — persistent stage-thread pool, reused across runs (and
+//!   shared with the `smol_serve` multi-query runtime);
 //! * [`profiler`] — preprocessing/decode/execution throughput measurement;
 //! * [`personalities`] — DALI-like and PyTorch-like configurations
 //!   (Figure 10).
@@ -18,14 +20,17 @@ pub mod bufferpool;
 pub mod personalities;
 pub mod pipeline;
 pub mod profiler;
+pub mod workers;
 
 pub use bufferpool::{BufferPool, PoolStats, PooledBuffer};
 pub use personalities::Personality;
 pub use pipeline::{
-    decode_only, preproc_only, run_inference, run_throughput, PipelineReport, Result, RuntimeError,
+    decode_only, execute_device_batch, preproc_only, produce_item, run_inference, run_throughput,
+    DeviceBatchSpec, PipelineReport, PlanContext, ProducedItem, Result, RuntimeError,
     RuntimeOptions,
 };
 pub use profiler::{
     measure_decode_throughput, measure_exec_throughput, measure_preproc_pipelined,
     measure_preproc_throughput,
 };
+pub use workers::WorkerPool;

@@ -7,15 +7,24 @@
 //! (optionally pinned) buffer pool, so memory traffic, backpressure, and
 //! the `min(preproc, exec)` pipelining law are all physically realized.
 //!
+//! The per-image producer stage ([`produce_item`]) and per-batch consumer
+//! stage ([`execute_device_batch`]) are plan-parameterized free functions
+//! (with [`PlanContext`] carrying the precomputed per-plan state), so the
+//! multi-query serving runtime (`smol_serve`) executes the exact same
+//! stage code as this single-query engine. Stage threads come from a
+//! persistent [`crate::workers::WorkerPool`]: repeated runs reuse the same
+//! producer/consumer threads instead of re-spawning per query.
+//!
 //! Every §6.1 optimization is a [`RuntimeOptions`] toggle so the Figure 7/8
 //! lesion and factor studies sweep them in-process:
 //! `threading` (multi-producer), `memory_reuse` (buffer pool),
 //! `pinned` (DMA-fast transfers).
 
-use crate::bufferpool::{BufferPool, PoolStats};
+use crate::bufferpool::{BufferPool, PoolStats, PooledBuffer};
+use crate::workers::{self, WorkerPool};
 use crossbeam::channel;
 use parking_lot::Mutex;
-use smol_accel::{DeviceStats, VirtualDevice};
+use smol_accel::{DeviceStats, ModelKind, VirtualDevice};
 use smol_codec::EncodedImage;
 use smol_core::{DecodeMode, QueryPlan};
 use smol_imgproc::dag::{plan_op_costs, OpSpec, Placement, PreprocPlan};
@@ -24,6 +33,7 @@ use smol_imgproc::ops::normalize::Normalization;
 use smol_imgproc::ops::{center_crop_u8, resize_bilinear_u8, resize_short_edge_u8};
 use smol_imgproc::{ImageU8, PlacedOp, Rect};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine configuration; defaults mirror the paper's g4dn.xlarge setup
@@ -88,17 +98,6 @@ pub struct PipelineReport {
     pub pool: PoolStats,
 }
 
-struct WorkItem {
-    idx: usize,
-    /// Holds the staging buffer (and its pool slot) until the consumer is
-    /// done with the batch.
-    #[allow(dead_code)]
-    buffer: crate::bufferpool::PooledBuffer,
-    transfer_bytes: usize,
-    accel_ops: f64,
-    image: Option<ImageU8>,
-}
-
 /// Runtime error type.
 #[derive(Debug)]
 pub enum RuntimeError {
@@ -132,6 +131,160 @@ impl From<smol_imgproc::Error> for RuntimeError {
 }
 
 pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+// ---------------------------------------------------------------------------
+// Plan-parameterized stage functions (shared with `smol_serve`)
+// ---------------------------------------------------------------------------
+
+/// Precomputed per-plan execution state: everything the producer and
+/// consumer stages need that does not change per image.
+#[derive(Debug, Clone)]
+pub struct PlanContext {
+    pub decode: DecodeMode,
+    /// The plan actually executed after decoding (partial decode modes
+    /// replace the geometric prefix with a direct resize).
+    pub preproc: PreprocPlan,
+    /// Output tensor geometry.
+    pub out_w: usize,
+    pub out_h: usize,
+    /// Staging-buffer length in f32 elements (`out_w * out_h * 3`).
+    pub buf_len: usize,
+    pub norm: Normalization,
+    pub dnn: ModelKind,
+    pub batch: usize,
+    pub extra_stages: Vec<(ModelKind, f64)>,
+}
+
+impl PlanContext {
+    pub fn new(plan: &QueryPlan) -> Self {
+        let (ow, oh) = plan
+            .preproc
+            .output_dims(plan.input.width, plan.input.height);
+        PlanContext {
+            decode: plan.decode,
+            preproc: effective_preproc(plan),
+            out_w: ow,
+            out_h: oh,
+            buf_len: ow * oh * 3,
+            norm: Normalization::IMAGENET,
+            dnn: plan.dnn,
+            batch: plan.batch.max(1),
+            extra_stages: plan.extra_stages.clone(),
+        }
+    }
+
+    /// Buffer-pool capacity that guarantees producers never starve on
+    /// consumers (§6.1 over-allocation) *and* that a batch former holding
+    /// up to `batch − 1` pending items can never exhaust the pool.
+    pub fn pool_capacity(&self, producers: usize, consumers: usize) -> usize {
+        producers + self.batch + 2 * consumers * self.batch
+    }
+
+    /// The device-side batch parameters derived from this plan + options.
+    pub fn batch_spec(&self, opts: &RuntimeOptions) -> DeviceBatchSpec {
+        DeviceBatchSpec {
+            dnn: self.dnn,
+            extra_stages: self.extra_stages.clone(),
+            pinned: opts.pinned,
+            extra_copy_per_batch: opts.extra_copy_per_batch,
+        }
+    }
+}
+
+/// One decoded + CPU-preprocessed image, staged for device consumption.
+pub struct ProducedItem {
+    /// Index of the image within its query's item list.
+    pub idx: usize,
+    /// Holds the staging buffer (and its pool slot) until the consumer is
+    /// done with the batch.
+    pub buffer: PooledBuffer,
+    /// Bytes the consumer must copy to the device (u8 intermediates are 4×
+    /// smaller than f32 tensors — a real benefit of accelerator placement).
+    pub transfer_bytes: usize,
+    /// Weighted-op cost of the remaining accelerator-side operators.
+    pub accel_ops: f64,
+    /// Decoded image, kept only when an inference callback needs it.
+    pub image: Option<ImageU8>,
+    /// CPU seconds spent decoding this item.
+    pub decode_s: f64,
+    /// CPU seconds spent preprocessing this item (incl. staging/waits).
+    pub preproc_s: f64,
+}
+
+/// Runs the per-image producer stage: decode per the plan's decode mode,
+/// execute the CPU-placed preprocessing prefix into a pooled staging
+/// buffer, and return the staged work item.
+pub fn produce_item(
+    ctx: &PlanContext,
+    idx: usize,
+    enc: &EncodedImage,
+    pool: &BufferPool,
+    keep_image: bool,
+    extra_cpu_s: f64,
+) -> Result<ProducedItem> {
+    let t0 = Instant::now();
+    let decoded = decode_item(enc, ctx.decode)?;
+    let t1 = Instant::now();
+    let decode_s = (t1 - t0).as_secs_f64();
+    let mut buffer = pool.acquire();
+    let image = keep_image.then(|| decoded.clone());
+    let (transfer_bytes, accel_ops) =
+        run_cpu_prefix(&ctx.preproc, decoded, &ctx.norm, buffer.as_mut_slice())?;
+    if extra_cpu_s > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(extra_cpu_s));
+    }
+    Ok(ProducedItem {
+        idx,
+        buffer,
+        transfer_bytes,
+        accel_ops,
+        image,
+        decode_s,
+        preproc_s: t1.elapsed().as_secs_f64(),
+    })
+}
+
+/// Device-side parameters of a batch, shared by every item in it. Two
+/// queries may share one device batch only when these (plus the tensor
+/// geometry) agree — see `smol_core::PlacementSignature`.
+#[derive(Debug, Clone)]
+pub struct DeviceBatchSpec {
+    pub dnn: ModelKind,
+    pub extra_stages: Vec<(ModelKind, f64)>,
+    pub pinned: bool,
+    pub extra_copy_per_batch: bool,
+}
+
+/// Runs the per-batch consumer stage on the virtual device: host→device
+/// transfer, optional accelerator-side preprocessing kernel, the DNN batch,
+/// and any cascade stages (§3.2).
+pub fn execute_device_batch(
+    device: &VirtualDevice,
+    spec: &DeviceBatchSpec,
+    images: usize,
+    transfer_bytes: usize,
+    accel_ops: f64,
+) {
+    if images == 0 {
+        return;
+    }
+    device.transfer(transfer_bytes, spec.pinned);
+    if spec.extra_copy_per_batch {
+        device.transfer(transfer_bytes, false);
+    }
+    if accel_ops > 0.0 {
+        device.preproc_kernel(accel_ops);
+    }
+    device.dnn_batch(spec.dnn, images);
+    // Cascade stages: the expected fraction of the batch passes through to
+    // each downstream model (§3.2).
+    for &(model, selectivity) in &spec.extra_stages {
+        let passed = (images as f64 * selectivity).ceil() as usize;
+        if passed > 0 {
+            device.dnn_batch(model, passed);
+        }
+    }
+}
 
 /// Decodes an item according to the plan's decode mode.
 fn decode_item(enc: &EncodedImage, mode: DecodeMode) -> Result<ImageU8> {
@@ -179,9 +332,8 @@ fn effective_preproc(plan: &QueryPlan) -> PreprocPlan {
 /// final tensor (or staged intermediate) into `out`.
 ///
 /// Returns `(transfer_bytes, accel_ops)`: how many bytes the consumer must
-/// copy to the device (u8 intermediates are 4× smaller than f32 tensors —
-/// a real benefit of accelerator-side placement) and the weighted-op cost
-/// of the remaining accelerator-side operators.
+/// copy to the device and the weighted-op cost of the remaining
+/// accelerator-side operators.
 fn run_cpu_prefix(
     plan: &PreprocPlan,
     img: ImageU8,
@@ -255,16 +407,17 @@ pub fn decode_only(enc: &EncodedImage) -> Result<()> {
 /// Decodes one item per the plan's decode mode and runs the CPU-side
 /// preprocessing into a scratch buffer (profiling helper).
 pub fn preproc_only(enc: &EncodedImage, plan: &QueryPlan) -> Result<()> {
-    let preproc = effective_preproc(plan);
-    let (ow, oh) = plan
-        .preproc
-        .output_dims(plan.input.width, plan.input.height);
-    let mut scratch = vec![0.0f32; ow * oh * 3];
-    let decoded = decode_item(enc, plan.decode)?;
-    let (bytes, _) = run_cpu_prefix(&preproc, decoded, &Normalization::IMAGENET, &mut scratch)?;
+    let ctx = PlanContext::new(plan);
+    let mut scratch = vec![0.0f32; ctx.buf_len];
+    let decoded = decode_item(enc, ctx.decode)?;
+    let (bytes, _) = run_cpu_prefix(&ctx.preproc, decoded, &ctx.norm, &mut scratch)?;
     std::hint::black_box(bytes);
     Ok(())
 }
+
+// ---------------------------------------------------------------------------
+// Single-query engine (stage functions + persistent worker pool)
+// ---------------------------------------------------------------------------
 
 /// Runs the pipeline for throughput measurement only.
 pub fn run_throughput(
@@ -273,7 +426,14 @@ pub fn run_throughput(
     device: &VirtualDevice,
     opts: &RuntimeOptions,
 ) -> Result<PipelineReport> {
-    let (report, _) = run_pipeline(items, plan, device, opts, None::<fn(usize, &ImageU8) -> ()>)?;
+    let (report, _) = run_pipeline_on(
+        workers::global(),
+        items,
+        plan,
+        device,
+        opts,
+        None::<fn(usize, &ImageU8)>,
+    )?;
     Ok(report)
 }
 
@@ -288,13 +448,14 @@ pub fn run_inference<R, F>(
     infer: F,
 ) -> Result<(PipelineReport, Vec<Option<R>>)>
 where
-    R: Send,
-    F: Fn(usize, &ImageU8) -> R + Sync,
+    R: Send + 'static,
+    F: Fn(usize, &ImageU8) -> R + Send + Sync + 'static,
 {
-    run_pipeline(items, plan, device, opts, Some(infer))
+    run_pipeline_on(workers::global(), items, plan, device, opts, Some(infer))
 }
 
-fn run_pipeline<R, F>(
+fn run_pipeline_on<R, F>(
+    worker_pool: &WorkerPool,
     items: &[EncodedImage],
     plan: &QueryPlan,
     device: &VirtualDevice,
@@ -302,8 +463,8 @@ fn run_pipeline<R, F>(
     infer: Option<F>,
 ) -> Result<(PipelineReport, Vec<Option<R>>)>
 where
-    R: Send,
-    F: Fn(usize, &ImageU8) -> R + Sync,
+    R: Send + 'static,
+    F: Fn(usize, &ImageU8) -> R + Send + Sync + 'static,
 {
     if items.is_empty() {
         return Ok((
@@ -319,151 +480,126 @@ where
             Vec::new(),
         ));
     }
-    let batch = plan.batch.max(1);
+    let opts = *opts;
+    let ctx = Arc::new(PlanContext::new(plan));
+    let batch = ctx.batch;
     let producers = opts.effective_producers();
     let consumers = opts.consumers.max(1);
-    let preproc = effective_preproc(plan);
-    let (ow, oh) = plan
-        .preproc
-        .output_dims(plan.input.width, plan.input.height);
-    let buf_len = ow * oh * 3;
-    // Over-allocation (§6.1): enough buffers that producers don't contend
-    // with consumers under normal operation.
-    let pool_capacity = producers + 2 * consumers * batch;
-    let pool = BufferPool::new(pool_capacity, buf_len, opts.memory_reuse, opts.pinned);
-    let (tx, rx) = channel::bounded::<WorkItem>(pool_capacity);
-    let next = AtomicUsize::new(0);
-    let norm = Normalization::IMAGENET;
-    let decode_cpu = Mutex::new(0.0f64);
-    let preproc_cpu = Mutex::new(0.0f64);
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let results_mutex = Mutex::new(&mut results);
-    let error: Mutex<Option<RuntimeError>> = Mutex::new(None);
+    let pool_capacity = ctx.pool_capacity(producers, consumers);
+    let pool = BufferPool::new(pool_capacity, ctx.buf_len, opts.memory_reuse, opts.pinned);
+    let (tx, rx) = channel::bounded::<ProducedItem>(pool_capacity);
+    // `EncodedImage` holds `Bytes`, so this is a handle copy, not a deep
+    // copy — it lets the jobs be `'static` for the persistent pool.
+    let items: Arc<Vec<EncodedImage>> = Arc::new(items.to_vec());
+    let next = Arc::new(AtomicUsize::new(0));
+    let decode_cpu = Arc::new(Mutex::new(0.0f64));
+    let preproc_cpu = Arc::new(Mutex::new(0.0f64));
+    let results: Arc<Mutex<Vec<Option<R>>>> =
+        Arc::new(Mutex::new((0..items.len()).map(|_| None).collect()));
+    let error: Arc<Mutex<Option<RuntimeError>>> = Arc::new(Mutex::new(None));
+    let infer = infer.map(Arc::new);
     let keep_images = infer.is_some();
-    let infer_ref = infer.as_ref();
+    let batch_spec = Arc::new(ctx.batch_spec(&opts));
 
-    let start = Instant::now();
-    std::thread::scope(|scope| {
-        // Producers.
-        for _ in 0..producers {
-            let tx = tx.clone();
-            let pool = pool.clone();
-            let preproc = &preproc;
-            let next = &next;
-            let norm = &norm;
-            let decode_cpu = &decode_cpu;
-            let preproc_cpu = &preproc_cpu;
-            let error = &error;
-            scope.spawn(move || {
-                let mut local_decode = 0.0f64;
-                let mut local_preproc = 0.0f64;
-                loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= items.len() {
-                        break;
-                    }
-                    let t0 = Instant::now();
-                    let decoded = match decode_item(&items[idx], plan.decode) {
-                        Ok(img) => img,
-                        Err(e) => {
-                            *error.lock() = Some(e);
-                            break;
-                        }
-                    };
-                    let t1 = Instant::now();
-                    local_decode += (t1 - t0).as_secs_f64();
-                    let mut buffer = pool.acquire();
-                    let image_copy = keep_images.then(|| decoded.clone());
-                    let (transfer_bytes, accel_ops) =
-                        match run_cpu_prefix(preproc, decoded, norm, buffer.as_mut_slice()) {
-                            Ok(v) => v,
-                            Err(e) => {
-                                *error.lock() = Some(e);
-                                break;
-                            }
-                        };
-                    if opts.extra_cpu_s_per_image > 0.0 {
-                        std::thread::sleep(Duration::from_secs_f64(opts.extra_cpu_s_per_image));
-                    }
-                    local_preproc += t1.elapsed().as_secs_f64();
-                    let item = WorkItem {
-                        idx,
-                        buffer,
-                        transfer_bytes,
-                        accel_ops,
-                        image: image_copy,
-                    };
-                    if tx.send(item).is_err() {
-                        break;
-                    }
+    let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(producers + consumers);
+    for _ in 0..producers {
+        let tx = tx.clone();
+        let pool = pool.clone();
+        let ctx = Arc::clone(&ctx);
+        let items = Arc::clone(&items);
+        let next = Arc::clone(&next);
+        let decode_cpu = Arc::clone(&decode_cpu);
+        let preproc_cpu = Arc::clone(&preproc_cpu);
+        let error = Arc::clone(&error);
+        jobs.push(Box::new(move || {
+            let mut local_decode = 0.0f64;
+            let mut local_preproc = 0.0f64;
+            loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
                 }
-                *decode_cpu.lock() += local_decode;
-                *preproc_cpu.lock() += local_preproc;
-            });
-        }
-        drop(tx);
+                let item = match produce_item(
+                    &ctx,
+                    idx,
+                    &items[idx],
+                    &pool,
+                    keep_images,
+                    opts.extra_cpu_s_per_image,
+                ) {
+                    Ok(item) => item,
+                    Err(e) => {
+                        *error.lock() = Some(e);
+                        break;
+                    }
+                };
+                local_decode += item.decode_s;
+                local_preproc += item.preproc_s;
+                if tx.send(item).is_err() {
+                    break;
+                }
+            }
+            *decode_cpu.lock() += local_decode;
+            *preproc_cpu.lock() += local_preproc;
+        }));
+    }
+    drop(tx);
 
-        // Consumers (CUDA-stream lanes).
-        for _ in 0..consumers {
-            let rx = rx.clone();
-            let device = device.clone();
-            let results_mutex = &results_mutex;
-            scope.spawn(move || {
-                loop {
-                    // Assemble up to one batch.
-                    let mut batch_items: Vec<WorkItem> = Vec::with_capacity(batch);
+    // Consumers (CUDA-stream lanes).
+    for _ in 0..consumers {
+        let rx = rx.clone();
+        let device = device.clone();
+        let results = Arc::clone(&results);
+        let infer = infer.clone();
+        let batch_spec = Arc::clone(&batch_spec);
+        jobs.push(Box::new(move || {
+            loop {
+                // Assemble up to one batch.
+                let mut batch_items: Vec<ProducedItem> = Vec::with_capacity(batch);
+                match rx.recv() {
+                    Ok(first) => batch_items.push(first),
+                    Err(_) => break,
+                }
+                // Block until the batch fills; a disconnected channel
+                // (all producers done) releases the final partial batch.
+                while batch_items.len() < batch {
                     match rx.recv() {
-                        Ok(first) => batch_items.push(first),
+                        Ok(item) => batch_items.push(item),
                         Err(_) => break,
                     }
-                    // Block until the batch fills; a disconnected channel
-                    // (all producers done) releases the final partial batch.
-                    while batch_items.len() < batch {
-                        match rx.recv() {
-                            Ok(item) => batch_items.push(item),
-                            Err(_) => break,
-                        }
-                    }
-                    let bytes: usize = batch_items.iter().map(|i| i.transfer_bytes).sum();
-                    device.transfer(bytes, opts.pinned);
-                    if opts.extra_copy_per_batch {
-                        device.transfer(bytes, false);
-                    }
-                    let accel_ops: f64 = batch_items.iter().map(|i| i.accel_ops).sum();
-                    if accel_ops > 0.0 {
-                        device.preproc_kernel(accel_ops);
-                    }
-                    device.dnn_batch(plan.dnn, batch_items.len());
-                    // Cascade stages: the expected fraction of the batch
-                    // passes through to each downstream model (§3.2).
-                    for &(model, selectivity) in &plan.extra_stages {
-                        let passed = (batch_items.len() as f64 * selectivity).ceil() as usize;
-                        if passed > 0 {
-                            device.dnn_batch(model, passed);
-                        }
-                    }
-                    if let Some(f) = infer_ref {
-                        let mut outs = Vec::with_capacity(batch_items.len());
-                        for item in &batch_items {
-                            if let Some(img) = &item.image {
-                                outs.push((item.idx, f(item.idx, img)));
-                            }
-                        }
-                        let mut res = results_mutex.lock();
-                        for (idx, r) in outs {
-                            res[idx] = Some(r);
-                        }
-                    }
-                    drop(batch_items); // buffers return to the pool
                 }
-            });
-        }
-    });
+                let bytes: usize = batch_items.iter().map(|i| i.transfer_bytes).sum();
+                let accel_ops: f64 = batch_items.iter().map(|i| i.accel_ops).sum();
+                execute_device_batch(&device, &batch_spec, batch_items.len(), bytes, accel_ops);
+                if let Some(f) = infer.as_deref() {
+                    let mut outs = Vec::with_capacity(batch_items.len());
+                    for item in &batch_items {
+                        if let Some(img) = &item.image {
+                            outs.push((item.idx, f(item.idx, img)));
+                        }
+                    }
+                    let mut res = results.lock();
+                    for (idx, r) in outs {
+                        res[idx] = Some(r);
+                    }
+                }
+                drop(batch_items); // buffers return to the pool
+            }
+        }));
+    }
+    drop(rx);
 
-    if let Some(e) = error.into_inner() {
+    let start = Instant::now();
+    worker_pool.run_batch(jobs);
+    let wall = start.elapsed().as_secs_f64();
+
+    if let Some(e) = error.lock().take() {
         return Err(e);
     }
-    let wall = start.elapsed().as_secs_f64();
+    let results = Arc::try_unwrap(results)
+        .ok()
+        .expect("all stage jobs completed")
+        .into_inner();
     // Report throughput in *simulated* time: wall time is already simulated
     // because the device sleeps scaled durations, so divide the scale back
     // out only when the caller runs time_scale != 1 (they see scaled wall).
@@ -471,8 +607,8 @@ where
         images: items.len(),
         wall_s: wall,
         throughput: items.len() as f64 / wall,
-        decode_cpu_s: decode_cpu.into_inner(),
-        preproc_cpu_s: preproc_cpu.into_inner(),
+        decode_cpu_s: *decode_cpu.lock(),
+        preproc_cpu_s: *preproc_cpu.lock(),
         device: device.stats(),
         pool: pool.stats(),
     };
@@ -559,9 +695,16 @@ mod tests {
 
     #[test]
     fn memory_reuse_reduces_allocations() {
-        let items = encoded_batch(32, 64, 64);
+        // More items than the pool's capacity (producers + batch +
+        // 2·consumers·batch = 60 under default options), so reuse MUST
+        // recycle regardless of producer/consumer interleaving.
+        let items = encoded_batch(80, 64, 64);
         let plan = test_plan(64, 64, 32);
-        let on = run_throughput(&items, &plan, &fast_device(), &RuntimeOptions::default()).unwrap();
+        let opts = RuntimeOptions::default();
+        let capacity =
+            PlanContext::new(&plan).pool_capacity(opts.effective_producers(), opts.consumers);
+        assert!(capacity < items.len());
+        let on = run_throughput(&items, &plan, &fast_device(), &opts).unwrap();
         let off = run_throughput(
             &items,
             &plan,
@@ -572,8 +715,9 @@ mod tests {
             },
         )
         .unwrap();
+        assert!(on.pool.allocated <= capacity as u64);
         assert!(on.pool.allocated < off.pool.allocated);
-        assert_eq!(off.pool.allocated, 32);
+        assert_eq!(off.pool.allocated, 80);
     }
 
     #[test]
@@ -621,6 +765,35 @@ mod tests {
         let plan = test_plan(64, 64, 32);
         let result = run_throughput(&items, &plan, &fast_device(), &RuntimeOptions::default());
         assert!(result.is_err());
+    }
+
+    /// Regression for the per-query thread-pool teardown: two back-to-back
+    /// runs on the same worker pool must reuse the first run's stage
+    /// threads instead of re-spawning a fresh set per query.
+    #[test]
+    fn pool_is_reused_across_runs() {
+        let worker_pool = WorkerPool::new();
+        let items = encoded_batch(12, 64, 64);
+        let plan = test_plan(64, 64, 32);
+        let opts = RuntimeOptions::default();
+        let stage_threads = opts.effective_producers() + opts.consumers;
+        for run in 0..2 {
+            let (report, _) = run_pipeline_on(
+                &worker_pool,
+                &items,
+                &plan,
+                &fast_device(),
+                &opts,
+                None::<fn(usize, &ImageU8)>,
+            )
+            .unwrap();
+            assert_eq!(report.images, 12);
+            assert_eq!(
+                worker_pool.spawned_threads(),
+                stage_threads,
+                "run {run} must not re-spawn stage threads"
+            );
+        }
     }
 
     /// The pipelining law: end-to-end throughput ≈ min(preproc, exec), well

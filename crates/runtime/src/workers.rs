@@ -1,0 +1,247 @@
+//! Persistent worker-thread pool shared by pipeline runs.
+//!
+//! The original engine spawned (and tore down) a fresh scoped thread set on
+//! every [`crate::pipeline`] run, so back-to-back queries paid thread
+//! creation on the critical path and concurrent queries each brought their
+//! own producer army. This pool keeps workers alive across runs: a run
+//! submits one job per stage thread and blocks until all of them finish.
+//!
+//! Growth policy: before a batch of `n` jobs is enqueued, the pool spawns
+//! just enough threads that `spawned >= in_flight + n`. Every job batch is
+//! therefore guaranteed a dedicated worker per job — two concurrent
+//! pipeline runs can never deadlock by stealing each other's stage threads
+//! — while a quiet process converges to the peak concurrent demand and
+//! never re-spawns (see `pool_is_reused_across_runs` in `pipeline`).
+
+use crossbeam::channel;
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct BatchState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload from any job in the batch, re-thrown on `wait`.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Decrements the batch counter even if the job panicked.
+struct JobGuard {
+    batch: Arc<BatchState>,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::Release);
+        let mut remaining = self.batch.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.batch.done.notify_all();
+        }
+    }
+}
+
+struct Shared {
+    tx: channel::Sender<(Job, JobGuard)>,
+    rx: channel::Receiver<(Job, JobGuard)>,
+    spawn_lock: Mutex<()>,
+    spawned: AtomicUsize,
+    in_flight: Arc<AtomicUsize>,
+}
+
+/// A grow-on-demand pool of persistent worker threads.
+///
+/// Cloning shares the same pool. Dropping the last handle disconnects the
+/// job channel and lets the workers exit; the process-global pool returned
+/// by [`global`] lives for the lifetime of the process.
+#[derive(Clone)]
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerPool {
+    pub fn new() -> Self {
+        // Capacity only bounds burst submission; each job is matched to a
+        // worker before it is enqueued, so the queue never grows past the
+        // number of spawned threads in practice.
+        let (tx, rx) = channel::bounded(1024);
+        WorkerPool {
+            shared: Arc::new(Shared {
+                tx,
+                rx,
+                spawn_lock: Mutex::new(()),
+                spawned: AtomicUsize::new(0),
+                in_flight: Arc::new(AtomicUsize::new(0)),
+            }),
+        }
+    }
+
+    /// Number of worker threads spawned so far (monotonic; the reuse
+    /// regression test asserts this stays flat across repeated runs).
+    pub fn spawned_threads(&self) -> usize {
+        self.shared.spawned.load(Ordering::Acquire)
+    }
+
+    /// Atomically reserves `incoming` worker slots (bumping `in_flight`)
+    /// and spawns threads until `spawned >= in_flight`, all under one
+    /// lock — so concurrent `run_batch` calls cannot both size the pool
+    /// against a stale `in_flight` and under-spawn. Every job batch is
+    /// guaranteed a worker per job regardless of what other runs occupy.
+    fn reserve_workers(&self, incoming: usize) {
+        let _g = self.shared.spawn_lock.lock();
+        let needed = self.shared.in_flight.fetch_add(incoming, Ordering::AcqRel) + incoming;
+        while self.shared.spawned.load(Ordering::Acquire) < needed {
+            let rx = self.shared.rx.clone();
+            std::thread::Builder::new()
+                .name("smol-worker".into())
+                .spawn(move || {
+                    while let Ok((job, guard)) = rx.recv() {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        if let Err(payload) = result {
+                            let mut slot = guard.batch.panic.lock();
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                        }
+                        drop(guard);
+                    }
+                })
+                .expect("spawn worker thread");
+            self.shared.spawned.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Runs every job on a pool worker and blocks until all complete.
+    /// If any job panicked, the first payload is re-thrown here.
+    pub fn run_batch(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let n = jobs.len();
+        // Reserves all n in_flight slots; each JobGuard releases one.
+        self.reserve_workers(n);
+        let batch = Arc::new(BatchState {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        for job in jobs {
+            let guard = JobGuard {
+                batch: Arc::clone(&batch),
+                in_flight: Arc::clone(&self.shared.in_flight),
+            };
+            if self.shared.tx.send((job, guard)).is_err() {
+                unreachable!("worker pool channel open while pool handle lives");
+            }
+        }
+        let mut remaining = batch.remaining.lock();
+        while *remaining > 0 {
+            batch.done.wait(&mut remaining);
+        }
+        drop(remaining);
+        let payload = batch.panic.lock().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The process-wide pool used by the default pipeline entry points.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(WorkerPool::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = WorkerPool::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<Job> = (0..16)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as Job
+            })
+            .collect();
+        pool.run_batch(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+        assert!(pool.spawned_threads() >= 1);
+    }
+
+    #[test]
+    fn threads_are_reused_across_batches() {
+        let pool = WorkerPool::new();
+        let mk = |c: &Arc<AtomicU64>| {
+            let c = Arc::clone(c);
+            Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }) as Job
+        };
+        let counter = Arc::new(AtomicU64::new(0));
+        pool.run_batch((0..4).map(|_| mk(&counter)).collect());
+        let after_first = pool.spawned_threads();
+        for _ in 0..5 {
+            pool.run_batch((0..4).map(|_| mk(&counter)).collect());
+        }
+        assert_eq!(pool.spawned_threads(), after_first, "no re-spawn");
+        assert_eq!(counter.load(Ordering::Relaxed), 24);
+    }
+
+    #[test]
+    fn concurrent_batches_each_get_workers() {
+        let pool = WorkerPool::new();
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let pool = pool.clone();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    // 4 jobs that rendezvous across both batches: only
+                    // possible if all 8 run concurrently.
+                    let jobs: Vec<Job> = (0..4)
+                        .map(|_| {
+                            let b = Arc::clone(&barrier);
+                            Box::new(move || {
+                                b.wait();
+                            }) as Job
+                        })
+                        .collect();
+                    pool.run_batch(jobs);
+                });
+            }
+        });
+        assert!(pool.spawned_threads() >= 8);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_and_pool_survives() {
+        let pool = WorkerPool::new();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_batch(vec![Box::new(|| panic!("boom")) as Job]);
+        }));
+        assert!(res.is_err());
+        // Pool is still usable after a panicking job.
+        let ok = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&ok);
+        pool.run_batch(vec![Box::new(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        }) as Job]);
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+}

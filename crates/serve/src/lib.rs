@@ -1,0 +1,31 @@
+//! # smol-serve
+//!
+//! Multi-query serving runtime for the Smol reproduction — the layer the
+//! paper stops short of. The paper's engine (§6.1) executes one query at a
+//! time; at production scale many analytics queries arrive concurrently
+//! and must share one accelerator. This crate provides:
+//!
+//! * [`Server`] — a long-lived runtime accepting concurrent
+//!   [`smol_core::QueryPlan`] submissions over one shared
+//!   [`smol_accel::VirtualDevice`] and one shared producer pool, with a
+//!   bounded admission queue ([`ServeError::Backpressure`]);
+//! * [`scheduler`] — the fair-share + signature-batching policy: item-level
+//!   round-robin across queries, with cross-query device batches formed
+//!   whenever plans share a [`smol_core::PlacementSignature`];
+//! * [`QueryHandle`]/[`QueryReport`] — per-query resolution with p50/p95
+//!   item latency, plus server-wide [`ServerStats`] (queue depth, device
+//!   occupancy, batch mix).
+//!
+//! The per-image and per-batch stage code is `smol_runtime`'s
+//! ([`smol_runtime::produce_item`] / [`smol_runtime::execute_device_batch`]),
+//! so a query served here performs bit-identical work to the legacy
+//! single-query pipeline — `tests/serve_concurrency.rs` asserts exactly
+//! that.
+
+pub mod scheduler;
+pub mod server;
+pub mod stats;
+
+pub use scheduler::{BatchFormer, FormedBatch};
+pub use server::{run_query, QueryHandle, QueryId, ServeError, ServeResult, Server, ServerConfig};
+pub use stats::{percentile, BoxedPrediction, QueryReport, ServerStats};

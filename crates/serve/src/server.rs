@@ -1,0 +1,745 @@
+//! The long-lived multi-query serving runtime.
+//!
+//! A [`Server`] owns one shared [`VirtualDevice`], a shared pool of
+//! producer threads, and a shared pool of consumer threads. Queries are
+//! submitted as `(QueryPlan, Vec<EncodedImage>)` and resolve through a
+//! [`QueryHandle`]. Scheduling policy (fair share + signature batching)
+//! is documented in [`crate::scheduler`].
+//!
+//! Dataflow per query:
+//!
+//! ```text
+//! submit() ──► admission (bounded; blocks or errors when full)
+//!   producers: round-robin claim one item ─► decode + CPU preproc
+//!   batch former: group by PlacementSignature ─► device batches
+//!   consumers: transfer + accel kernels + DNN batch ─► per-item results
+//!   last item done ─► QueryReport through the handle
+//! ```
+//!
+//! Producers and consumers are long-lived: they are spawned once in
+//! [`Server::new`] and reused by every query until shutdown, which is the
+//! whole point — the legacy single-query engine re-built its pipeline per
+//! `QueryPlan`, serializing concurrent workloads on the device.
+
+use crate::scheduler::{BatchFormer, FormedBatch};
+use crate::stats::{percentile, BoxedPrediction, QueryReport, ServerStats};
+use crossbeam::channel;
+use parking_lot::{Condvar, Mutex};
+use smol_accel::VirtualDevice;
+use smol_codec::EncodedImage;
+use smol_core::{PlacementSignature, QueryPlan};
+use smol_imgproc::ImageU8;
+use smol_runtime::{
+    execute_device_batch, produce_item, BufferPool, DeviceBatchSpec, PlanContext, ProducedItem,
+    RuntimeOptions,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Server-assigned query identifier (monotonic).
+pub type QueryId = u64;
+
+type InferFn = Arc<dyn Fn(usize, &ImageU8) -> BoxedPrediction + Send + Sync>;
+
+/// Serving-layer errors.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The admission queue is full (`try_submit` only).
+    Backpressure { active: usize, capacity: usize },
+    /// The server is shutting down and no longer admits queries.
+    ShuttingDown,
+    /// The server went away before the query resolved.
+    Aborted,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Backpressure { active, capacity } => {
+                write!(f, "admission queue full ({active}/{capacity} queries)")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Aborted => write!(f, "server dropped before the query resolved"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+pub type ServeResult<T> = std::result::Result<T, ServeError>;
+
+/// Serving configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Stage-thread counts and §6.1 toggles, shared by all queries.
+    pub runtime: RuntimeOptions,
+    /// Admission bound: at most this many queries may be in flight;
+    /// `submit` blocks (and `try_submit` errors) past it.
+    pub max_active_queries: usize,
+    /// Capacity of the formed-batch queue between producers and
+    /// consumers; defaults to the consumer count (keeps per-query buffer
+    /// demand within the staging pool's capacity).
+    pub batch_queue: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let runtime = RuntimeOptions::default();
+        ServerConfig {
+            runtime,
+            max_active_queries: 8,
+            batch_queue: runtime.consumers,
+        }
+    }
+}
+
+/// A produced item tagged with its owning query.
+struct BatchItem {
+    query: QueryId,
+    item: ProducedItem,
+    claimed_at: Instant,
+}
+
+/// One unit of producer work: query `query`, item index `idx`.
+struct Claim {
+    query: QueryId,
+    idx: usize,
+    sig: Arc<PlacementSignature>,
+    ctx: Arc<PlanContext>,
+    items: Arc<Vec<EncodedImage>>,
+    pool: BufferPool,
+    keep_image: bool,
+    claimed_at: Instant,
+}
+
+struct QueryState {
+    id: QueryId,
+    label: String,
+    sig: Arc<PlacementSignature>,
+    ctx: Arc<PlanContext>,
+    items: Arc<Vec<EncodedImage>>,
+    pool: BufferPool,
+    infer: Option<InferFn>,
+    /// Next item index to claim.
+    next_item: usize,
+    /// One past the last claimable index (`items.len()`, truncated when a
+    /// production error stops the query early).
+    claim_end: usize,
+    /// Claims handed to producers and not yet integrated.
+    claims_out: usize,
+    produced: usize,
+    failed: usize,
+    skipped: usize,
+    completed: usize,
+    latencies: Vec<f64>,
+    results: Vec<Option<BoxedPrediction>>,
+    decode_cpu_s: f64,
+    preproc_cpu_s: f64,
+    submitted_at: Instant,
+    done_tx: channel::Sender<QueryReport>,
+    error: Option<String>,
+}
+
+impl QueryState {
+    fn production_done(&self) -> bool {
+        self.next_item >= self.claim_end && self.claims_out == 0
+    }
+}
+
+#[derive(Default)]
+struct SigCount {
+    /// Items not yet claimed by a producer, across all queries with this
+    /// signature.
+    unclaimed: usize,
+    /// Items claimed and currently mid-production.
+    producing: usize,
+}
+
+struct Sched {
+    queries: HashMap<QueryId, QueryState>,
+    /// Round-robin ring of queries with unclaimed items (fair share).
+    rr: VecDeque<QueryId>,
+    sigs: HashMap<Arc<PlacementSignature>, SigCount>,
+    former: BatchFormer<BatchItem>,
+    next_id: QueryId,
+    /// Queries admitted and not yet finalized.
+    active: usize,
+}
+
+#[derive(Default)]
+struct Agg {
+    submitted_queries: u64,
+    completed_queries: u64,
+    images_in: u64,
+    images_done: u64,
+    batches: u64,
+    cross_query_batches: u64,
+    full_batches: u64,
+}
+
+struct Inner {
+    device: VirtualDevice,
+    cfg: ServerConfig,
+    sched: Mutex<Sched>,
+    /// Producers wait here for claimable work.
+    work_cv: Condvar,
+    /// Submitters wait here for admission capacity.
+    admit_cv: Condvar,
+    shutdown: AtomicBool,
+    agg: Mutex<Agg>,
+}
+
+/// Resolves to the query's [`QueryReport`] when the last item completes.
+pub struct QueryHandle {
+    id: QueryId,
+    rx: channel::Receiver<QueryReport>,
+}
+
+impl QueryHandle {
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// Blocks until the query resolves.
+    pub fn wait(self) -> ServeResult<QueryReport> {
+        self.rx.recv().map_err(|_| ServeError::Aborted)
+    }
+
+    /// Non-blocking poll; `None` while the query is still in flight.
+    pub fn try_wait(&self) -> Option<QueryReport> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The multi-query serving runtime. See the module docs for the dataflow.
+pub struct Server {
+    inner: Arc<Inner>,
+    producer_handles: Vec<std::thread::JoinHandle<()>>,
+    consumer_handles: Vec<std::thread::JoinHandle<()>>,
+    down: bool,
+}
+
+impl Server {
+    /// Starts the serving runtime: spawns the long-lived producer and
+    /// consumer threads against `device`.
+    pub fn new(device: VirtualDevice, cfg: ServerConfig) -> Server {
+        let producers = cfg.runtime.effective_producers();
+        let consumers = cfg.runtime.consumers.max(1);
+        let inner = Arc::new(Inner {
+            device,
+            cfg,
+            sched: Mutex::new(Sched {
+                queries: HashMap::new(),
+                rr: VecDeque::new(),
+                sigs: HashMap::new(),
+                former: BatchFormer::new(),
+                next_id: 1,
+                active: 0,
+            }),
+            work_cv: Condvar::new(),
+            admit_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            agg: Mutex::new(Agg::default()),
+        });
+        let (batch_tx, batch_rx) =
+            channel::bounded::<FormedBatch<BatchItem>>(cfg.batch_queue.max(1));
+        let producer_handles = (0..producers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let tx = batch_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("smol-serve-producer-{i}"))
+                    .spawn(move || producer_loop(&inner, &tx))
+                    .expect("spawn producer")
+            })
+            .collect();
+        drop(batch_tx);
+        let consumer_handles = (0..consumers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = batch_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("smol-serve-consumer-{i}"))
+                    .spawn(move || consumer_loop(&inner, &rx))
+                    .expect("spawn consumer")
+            })
+            .collect();
+        drop(batch_rx);
+        Server {
+            inner,
+            producer_handles,
+            consumer_handles,
+            down: false,
+        }
+    }
+
+    /// Submits a query, blocking while the admission queue is full.
+    pub fn submit(&self, plan: QueryPlan, items: Vec<EncodedImage>) -> ServeResult<QueryHandle> {
+        self.submit_inner(plan, items, None, true)
+    }
+
+    /// Submits a query, erroring with [`ServeError::Backpressure`] when
+    /// the admission queue is full.
+    pub fn try_submit(
+        &self,
+        plan: QueryPlan,
+        items: Vec<EncodedImage>,
+    ) -> ServeResult<QueryHandle> {
+        self.submit_inner(plan, items, None, false)
+    }
+
+    /// Submits a query with a per-image inference callback; results come
+    /// back through [`QueryReport::take_results`].
+    pub fn submit_with_infer<R, F>(
+        &self,
+        plan: QueryPlan,
+        items: Vec<EncodedImage>,
+        infer: F,
+    ) -> ServeResult<QueryHandle>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &ImageU8) -> R + Send + Sync + 'static,
+    {
+        let erased: InferFn =
+            Arc::new(move |idx, img| Box::new(infer(idx, img)) as BoxedPrediction);
+        self.submit_inner(plan, items, Some(erased), true)
+    }
+
+    fn submit_inner(
+        &self,
+        plan: QueryPlan,
+        items: Vec<EncodedImage>,
+        infer: Option<InferFn>,
+        block: bool,
+    ) -> ServeResult<QueryHandle> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let inner = &self.inner;
+        let ctx = Arc::new(PlanContext::new(&plan));
+        let sig = Arc::new(plan.placement_signature());
+        let (done_tx, done_rx) = channel::bounded::<QueryReport>(1);
+        let n = items.len();
+        let producers = inner.cfg.runtime.effective_producers();
+        let consumers = inner.cfg.runtime.consumers.max(1);
+
+        let mut sched = inner.sched.lock();
+        let capacity = inner.cfg.max_active_queries.max(1);
+        while sched.active >= capacity {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::ShuttingDown);
+            }
+            if !block {
+                return Err(ServeError::Backpressure {
+                    active: sched.active,
+                    capacity,
+                });
+            }
+            inner.admit_cv.wait(&mut sched);
+        }
+        let id = sched.next_id;
+        sched.next_id += 1;
+        {
+            let mut agg = inner.agg.lock();
+            agg.submitted_queries += 1;
+            agg.images_in += n as u64;
+        }
+        if n == 0 {
+            // Nothing to schedule: resolve immediately.
+            let _ = done_tx.send(QueryReport {
+                id,
+                label: plan.label(),
+                images: 0,
+                failed: 0,
+                skipped: 0,
+                wall_s: 0.0,
+                throughput: 0.0,
+                latency_p50_s: 0.0,
+                latency_p95_s: 0.0,
+                decode_cpu_s: 0.0,
+                preproc_cpu_s: 0.0,
+                pool: Default::default(),
+                error: None,
+                results: Vec::new(),
+            });
+            inner.agg.lock().completed_queries += 1;
+            return Ok(QueryHandle { id, rx: done_rx });
+        }
+        let pool = BufferPool::new(
+            ctx.pool_capacity(producers, consumers),
+            ctx.buf_len,
+            inner.cfg.runtime.memory_reuse,
+            inner.cfg.runtime.pinned,
+        );
+        let state = QueryState {
+            id,
+            label: plan.label(),
+            sig: sig.clone(),
+            ctx,
+            items: Arc::new(items),
+            pool,
+            infer,
+            next_item: 0,
+            claim_end: n,
+            claims_out: 0,
+            produced: 0,
+            failed: 0,
+            skipped: 0,
+            completed: 0,
+            latencies: Vec::with_capacity(n),
+            results: (0..n).map(|_| None).collect(),
+            decode_cpu_s: 0.0,
+            preproc_cpu_s: 0.0,
+            submitted_at: Instant::now(),
+            done_tx,
+            error: None,
+        };
+        sched.queries.insert(id, state);
+        sched.rr.push_back(id);
+        sched.sigs.entry(sig).or_default().unclaimed += n;
+        sched.active += 1;
+        drop(sched);
+        inner.work_cv.notify_all();
+        Ok(QueryHandle { id, rx: done_rx })
+    }
+
+    /// Aggregate serving metrics.
+    pub fn stats(&self) -> ServerStats {
+        let (queue_depth, pending_batch_items) = {
+            let sched = self.inner.sched.lock();
+            (sched.active, sched.former.pending_total())
+        };
+        let agg = self.inner.agg.lock();
+        let device = self.inner.device.stats();
+        let elapsed = self.inner.device.uptime_s();
+        ServerStats {
+            submitted_queries: agg.submitted_queries,
+            completed_queries: agg.completed_queries,
+            queue_depth,
+            pending_batch_items,
+            images_in: agg.images_in,
+            images_done: agg.images_done,
+            batches: agg.batches,
+            cross_query_batches: agg.cross_query_batches,
+            full_batches: agg.full_batches,
+            device,
+            device_occupancy: device.compute_occupancy(elapsed),
+        }
+    }
+
+    /// Drains every admitted query, resolves all handles, and stops the
+    /// stage threads. Called automatically on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work_cv.notify_all();
+        self.inner.admit_cv.notify_all();
+        for h in self.producer_handles.drain(..) {
+            let _ = h.join();
+        }
+        // Producers dropped their batch senders; consumers drain what is
+        // left and observe the disconnect.
+        for h in self.consumer_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Runs one query on an ephemeral one-query server — the serving-runtime
+/// equivalent of the legacy `smol_runtime::run_throughput` entry point.
+pub fn run_query(
+    device: &VirtualDevice,
+    plan: QueryPlan,
+    items: Vec<EncodedImage>,
+    opts: &RuntimeOptions,
+) -> ServeResult<QueryReport> {
+    let server = Server::new(
+        device.clone(),
+        ServerConfig {
+            runtime: *opts,
+            batch_queue: opts.consumers.max(1),
+            ..Default::default()
+        },
+    );
+    let handle = server.submit(plan, items)?;
+    let report = handle.wait()?;
+    server.shutdown();
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Stage threads
+// ---------------------------------------------------------------------------
+
+/// Takes the next fair-share claim, or `None` when no query has
+/// unclaimed items.
+fn claim_next(sched: &mut Sched) -> Option<Claim> {
+    while let Some(qid) = sched.rr.pop_front() {
+        let Some(q) = sched.queries.get_mut(&qid) else {
+            continue; // finalized early (error path)
+        };
+        if q.next_item >= q.claim_end {
+            continue; // exhausted (kept out of the ring from here on)
+        }
+        let idx = q.next_item;
+        q.next_item += 1;
+        q.claims_out += 1;
+        let claim = Claim {
+            query: qid,
+            idx,
+            sig: Arc::clone(&q.sig),
+            ctx: Arc::clone(&q.ctx),
+            items: Arc::clone(&q.items),
+            pool: q.pool.clone(),
+            keep_image: q.infer.is_some(),
+            claimed_at: Instant::now(),
+        };
+        let still_has_work = q.next_item < q.claim_end;
+        let count = sched
+            .sigs
+            .get_mut(&claim.sig)
+            .expect("signature registered at admission");
+        count.unclaimed -= 1;
+        count.producing += 1;
+        if still_has_work {
+            sched.rr.push_back(qid);
+        }
+        return Some(claim);
+    }
+    None
+}
+
+/// Flushes `sig`'s partial batch when no further items of that signature
+/// can arrive (no unclaimed items, nothing mid-production).
+fn flush_if_drained(
+    sched: &mut Sched,
+    sig: &Arc<PlacementSignature>,
+    out: &mut Vec<FormedBatch<BatchItem>>,
+) {
+    let drained = sched
+        .sigs
+        .get(sig)
+        .is_none_or(|c| c.unclaimed == 0 && c.producing == 0);
+    if drained {
+        if let Some(batch) = sched.former.flush(sig) {
+            out.push(batch);
+        }
+        sched.sigs.remove(sig);
+    }
+}
+
+/// Finalizes `qid` if every claimed item has been produced and executed:
+/// builds the report, resolves the handle, and frees the admission slot.
+fn try_finalize(inner: &Inner, sched: &mut Sched, qid: QueryId) {
+    let done = sched
+        .queries
+        .get(&qid)
+        .map(|q| q.production_done() && q.completed == q.produced)
+        .unwrap_or(false);
+    if !done {
+        return;
+    }
+    let q = sched.queries.remove(&qid).expect("checked above");
+    sched.active -= 1;
+    let wall = q.submitted_at.elapsed().as_secs_f64();
+    let report = QueryReport {
+        id: q.id,
+        label: q.label,
+        images: q.completed,
+        failed: q.failed,
+        skipped: q.skipped,
+        wall_s: wall,
+        throughput: if wall > 0.0 {
+            q.completed as f64 / wall
+        } else {
+            0.0
+        },
+        latency_p50_s: percentile(&q.latencies, 0.5),
+        latency_p95_s: percentile(&q.latencies, 0.95),
+        decode_cpu_s: q.decode_cpu_s,
+        preproc_cpu_s: q.preproc_cpu_s,
+        pool: q.pool.stats(),
+        error: q.error,
+        results: q.results,
+    };
+    {
+        let mut agg = inner.agg.lock();
+        agg.completed_queries += 1;
+        agg.images_done += report.images as u64;
+    }
+    let _ = q.done_tx.send(report);
+    inner.admit_cv.notify_all();
+}
+
+fn producer_loop(inner: &Inner, batch_tx: &channel::Sender<FormedBatch<BatchItem>>) {
+    loop {
+        let claim = {
+            let mut sched = inner.sched.lock();
+            loop {
+                if let Some(c) = claim_next(&mut sched) {
+                    break Some(c);
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                inner.work_cv.wait(&mut sched);
+            }
+        };
+        let Some(claim) = claim else { return };
+
+        // The slow part runs without the scheduler lock.
+        let produced = produce_item(
+            &claim.ctx,
+            claim.idx,
+            &claim.items[claim.idx],
+            &claim.pool,
+            claim.keep_image,
+            inner.cfg.runtime.extra_cpu_s_per_image,
+        );
+
+        let mut emitted: Vec<FormedBatch<BatchItem>> = Vec::new();
+        {
+            let mut guard = inner.sched.lock();
+            let sched: &mut Sched = &mut guard;
+            let q = sched
+                .queries
+                .get_mut(&claim.query)
+                .expect("query lives until finalize");
+            q.claims_out -= 1;
+            match produced {
+                Ok(item) => {
+                    q.produced += 1;
+                    q.decode_cpu_s += item.decode_s;
+                    q.preproc_cpu_s += item.preproc_s;
+                    let count = sched
+                        .sigs
+                        .get_mut(&claim.sig)
+                        .expect("signature registered at admission");
+                    count.producing -= 1;
+                    if let Some(batch) = sched.former.push(
+                        &claim.sig,
+                        BatchItem {
+                            query: claim.query,
+                            item,
+                            claimed_at: claim.claimed_at,
+                        },
+                    ) {
+                        emitted.push(batch);
+                    }
+                    flush_if_drained(sched, &claim.sig, &mut emitted);
+                }
+                Err(e) => {
+                    // Stop claiming further items of this query; items
+                    // already produced still execute and the handle still
+                    // resolves (with the error recorded).
+                    q.failed += 1;
+                    if q.error.is_none() {
+                        q.error = Some(e.to_string());
+                    }
+                    let dropped = q.claim_end - q.next_item;
+                    q.skipped += dropped;
+                    q.claim_end = q.next_item;
+                    let count = sched
+                        .sigs
+                        .get_mut(&claim.sig)
+                        .expect("signature registered at admission");
+                    count.producing -= 1;
+                    count.unclaimed -= dropped;
+                    flush_if_drained(sched, &claim.sig, &mut emitted);
+                    try_finalize(inner, sched, claim.query);
+                }
+            }
+        }
+        // Send outside the lock: a full batch queue must not stall other
+        // producers' claims, only this thread.
+        for batch in emitted {
+            let _ = batch_tx.send(batch);
+        }
+    }
+}
+
+fn consumer_loop(inner: &Inner, batch_rx: &channel::Receiver<FormedBatch<BatchItem>>) {
+    while let Ok(batch) = batch_rx.recv() {
+        let spec = DeviceBatchSpec {
+            dnn: batch.sig.dnn,
+            extra_stages: batch
+                .sig
+                .extra_stages
+                .iter()
+                .map(|&(model, bits)| (model, f64::from_bits(bits)))
+                .collect(),
+            pinned: inner.cfg.runtime.pinned,
+            extra_copy_per_batch: inner.cfg.runtime.extra_copy_per_batch,
+        };
+        let bytes: usize = batch.items.iter().map(|b| b.item.transfer_bytes).sum();
+        let accel_ops: f64 = batch.items.iter().map(|b| b.item.accel_ops).sum();
+        execute_device_batch(&inner.device, &spec, batch.items.len(), bytes, accel_ops);
+
+        // Run inference callbacks without the scheduler lock.
+        let infers: Vec<Option<InferFn>> = {
+            let sched = inner.sched.lock();
+            batch
+                .items
+                .iter()
+                .map(|b| sched.queries.get(&b.query).and_then(|q| q.infer.clone()))
+                .collect()
+        };
+        let mut predictions: Vec<Option<BoxedPrediction>> = batch
+            .items
+            .iter()
+            .zip(&infers)
+            .map(|(b, f)| match (f, &b.item.image) {
+                (Some(f), Some(img)) => Some(f(b.item.idx, img)),
+                _ => None,
+            })
+            .collect();
+
+        {
+            let mut agg = inner.agg.lock();
+            agg.batches += 1;
+            if batch.is_full() {
+                agg.full_batches += 1;
+            }
+            let first = batch.items.first().map(|b| b.query);
+            if batch.items.iter().any(|b| Some(b.query) != first) {
+                agg.cross_query_batches += 1;
+            }
+        }
+
+        let mut sched = inner.sched.lock();
+        let mut touched: Vec<QueryId> = Vec::new();
+        for (pos, b) in batch.items.iter().enumerate() {
+            let Some(q) = sched.queries.get_mut(&b.query) else {
+                continue;
+            };
+            q.completed += 1;
+            q.latencies.push(b.claimed_at.elapsed().as_secs_f64());
+            if let Some(pred) = predictions[pos].take() {
+                q.results[b.item.idx] = Some(pred);
+            }
+            if !touched.contains(&b.query) {
+                touched.push(b.query);
+            }
+        }
+        for qid in touched {
+            try_finalize(inner, &mut sched, qid);
+        }
+        drop(sched);
+        drop(batch); // staging buffers return to their pools here
+    }
+}

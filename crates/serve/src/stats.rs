@@ -1,0 +1,136 @@
+//! Per-query and server-wide serving metrics.
+
+use smol_accel::DeviceStats;
+use smol_runtime::PoolStats;
+use std::any::Any;
+
+/// Boxed per-image inference output (type-erased so one server can host
+/// queries with different result types).
+pub type BoxedPrediction = Box<dyn Any + Send>;
+
+/// Outcome of one served query, delivered through its `QueryHandle`.
+#[derive(Debug)]
+pub struct QueryReport {
+    pub id: u64,
+    /// Human-readable plan label ("ResNet-50 @ 161 spng").
+    pub label: String,
+    /// Images that completed device execution.
+    pub images: usize,
+    /// Images whose production failed (decode/preprocess error).
+    pub failed: usize,
+    /// Images never attempted because an earlier item of this query
+    /// failed (the scheduler stops claiming after the first error), so
+    /// `images + failed + skipped` equals the submitted item count.
+    pub skipped: usize,
+    /// Submit → completion wall seconds.
+    pub wall_s: f64,
+    /// Completed images / wall seconds.
+    pub throughput: f64,
+    /// Median per-item latency (claim by a producer → device batch done).
+    pub latency_p50_s: f64,
+    /// 95th-percentile per-item latency.
+    pub latency_p95_s: f64,
+    /// CPU seconds this query spent decoding across producers.
+    pub decode_cpu_s: f64,
+    /// CPU seconds this query spent in CPU-side preprocessing.
+    pub preproc_cpu_s: f64,
+    /// This query's staging-buffer pool counters.
+    pub pool: PoolStats,
+    /// First production error, if any (the query still resolves).
+    pub error: Option<String>,
+    /// Per-item inference outputs (indexes match the submitted items);
+    /// empty unless the query was submitted with an inference callback.
+    pub results: Vec<Option<BoxedPrediction>>,
+}
+
+impl QueryReport {
+    /// Downcasts and takes the per-item results as `R`, consuming them.
+    /// Items whose prediction is missing or of a different type yield
+    /// `None`.
+    pub fn take_results<R: 'static>(&mut self) -> Vec<Option<R>> {
+        std::mem::take(&mut self.results)
+            .into_iter()
+            .map(|slot| slot.and_then(|b| b.downcast::<R>().ok().map(|b| *b)))
+            .collect()
+    }
+}
+
+/// Aggregate serving metrics, sampled by `Server::stats()`.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Queries admitted so far (including completed ones).
+    pub submitted_queries: u64,
+    /// Queries fully resolved.
+    pub completed_queries: u64,
+    /// Queries admitted and not yet resolved (the admission queue depth
+    /// that backpressure is applied against).
+    pub queue_depth: usize,
+    /// Items produced but still pending in the batch former.
+    pub pending_batch_items: usize,
+    /// Images submitted across all queries.
+    pub images_in: u64,
+    /// Images that completed device execution.
+    pub images_done: u64,
+    /// Device batches executed.
+    pub batches: u64,
+    /// Batches containing items from more than one query.
+    pub cross_query_batches: u64,
+    /// Batches that reached their signature's full batch size.
+    pub full_batches: u64,
+    /// Virtual-device counters (simulated busy seconds, kernels, copies).
+    pub device: DeviceStats,
+    /// Compute-engine busy fraction over the device's lifetime (simulated
+    /// busy seconds over real elapsed seconds — the two agree at
+    /// `time_scale == 1`).
+    pub device_occupancy: f64,
+}
+
+/// Nearest-rank percentile (`q` in [0, 1]) of an unsorted sample set.
+/// Returns 0.0 for an empty slice.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.5), 50.0);
+        assert_eq!(percentile(&xs, 0.95), 95.0);
+        assert_eq!(percentile(&xs, 0.0), 0.0);
+        assert_eq!(percentile(&xs, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.95), 7.0);
+    }
+
+    #[test]
+    fn take_results_downcasts() {
+        let mut report = QueryReport {
+            id: 1,
+            label: "t".into(),
+            images: 2,
+            failed: 0,
+            skipped: 0,
+            wall_s: 1.0,
+            throughput: 2.0,
+            latency_p50_s: 0.0,
+            latency_p95_s: 0.0,
+            decode_cpu_s: 0.0,
+            preproc_cpu_s: 0.0,
+            pool: PoolStats::default(),
+            error: None,
+            results: vec![Some(Box::new(41usize) as BoxedPrediction), None],
+        };
+        assert_eq!(report.take_results::<usize>(), vec![Some(41), None]);
+        assert!(report.results.is_empty());
+    }
+}

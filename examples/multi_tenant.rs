@@ -1,0 +1,127 @@
+//! Multi-tenant serving: several analytics tenants share one accelerator
+//! through the `smol-serve` runtime.
+//!
+//! Three tenants submit queries concurrently from their own threads:
+//! two run ResNet-50 over 161-px thumbnails (same placement signature, so
+//! the scheduler merges their items into shared device batches) and one
+//! runs ResNet-18 over full-resolution frames (different signature, so it
+//! gets its own batches — but still interleaves fairly on the producers).
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use smol::accel::{ExecutionEnv, GpuModel, VirtualDevice};
+use smol::codec::{EncodedImage, Format};
+use smol::core::{InputVariant, Planner, PlannerConfig, QueryPlan};
+use smol::imgproc::ops::resize::resize_short_edge_u8;
+use smol::serve::{Server, ServerConfig};
+
+fn main() {
+    let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
+    let server = Server::new(
+        device,
+        ServerConfig {
+            max_active_queries: 6,
+            ..Default::default()
+        },
+    );
+    let planner = Planner::new(PlannerConfig {
+        dnn_input: 112,
+        ..Default::default()
+    });
+
+    // Shared synthetic footage: full-res frames + 120-px thumbnails.
+    let spec = &smol::data::still_catalog()[3];
+    let natives = smol::data::throughput_images(spec, 11, 48);
+    let full: Vec<EncodedImage> = natives
+        .iter()
+        .map(|img| EncodedImage::encode(img, Format::Sjpg { quality: 95 }).unwrap())
+        .collect();
+    let thumbs: Vec<EncodedImage> = natives
+        .iter()
+        .map(|img| {
+            let t = resize_short_edge_u8(img, 120).unwrap();
+            EncodedImage::encode(&t, Format::Sjpg { quality: 75 }).unwrap()
+        })
+        .collect();
+
+    let plan_for = |dnn, items: &[EncodedImage], name: &str, thumb: bool| -> QueryPlan {
+        let mut input = InputVariant::new(name, items[0].format, items[0].width, items[0].height);
+        if thumb {
+            input = input.thumbnail();
+        }
+        QueryPlan {
+            dnn,
+            input: input.clone(),
+            preproc: planner.build_preproc(&input),
+            decode: planner.decode_mode(&input),
+            batch: 16,
+            extra_stages: Vec::new(),
+        }
+    };
+    let thumb_plan = plan_for(
+        smol::accel::ModelKind::ResNet50,
+        &thumbs,
+        "120 sjpg(q=75)",
+        true,
+    );
+    let full_plan = plan_for(
+        smol::accel::ModelKind::ResNet18,
+        &full,
+        "full-res sjpg(q=95)",
+        false,
+    );
+
+    println!("tenants submitting concurrently…\n");
+    let reports = std::thread::scope(|scope| {
+        let tenants = [
+            (
+                "tenant-a (RN-50 thumbs)",
+                thumb_plan.clone(),
+                thumbs.clone(),
+            ),
+            (
+                "tenant-b (RN-50 thumbs)",
+                thumb_plan.clone(),
+                thumbs.clone(),
+            ),
+            ("tenant-c (RN-18 full)", full_plan.clone(), full.clone()),
+        ];
+        let handles: Vec<_> = tenants
+            .into_iter()
+            .map(|(name, plan, items)| {
+                let server = &server;
+                scope.spawn(move || (name, server.submit(plan, items).unwrap().wait().unwrap()))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    for (name, r) in &reports {
+        println!(
+            "{name:<24} {} ({} images): {:6.1} im/s, p50 {:5.1} ms, p95 {:5.1} ms",
+            r.label,
+            r.images,
+            r.throughput,
+            r.latency_p50_s * 1e3,
+            r.latency_p95_s * 1e3
+        );
+    }
+    let stats = server.stats();
+    println!(
+        "\nserver totals: {} queries, {} images, {} batches \
+         ({} cross-query, {} full), device occupancy {:.0}%",
+        stats.completed_queries,
+        stats.images_done,
+        stats.batches,
+        stats.cross_query_batches,
+        stats.full_batches,
+        stats.device_occupancy * 100.0
+    );
+    server.shutdown();
+    println!("server drained and shut down.");
+}

@@ -19,4 +19,5 @@ pub use smol_data as data;
 pub use smol_imgproc as imgproc;
 pub use smol_nn as nn;
 pub use smol_runtime as runtime;
+pub use smol_serve as serve;
 pub use smol_video as video;

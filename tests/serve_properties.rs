@@ -1,0 +1,107 @@
+//! Property tests for the serving scheduler's batch former: under any
+//! interleaving of produced items, a device batch never mixes placement
+//! signatures, never exceeds its plan's batch size, and never loses or
+//! duplicates an item.
+
+use proptest::prelude::*;
+use smol::accel::ModelKind;
+use smol::codec::Format;
+use smol::core::{DecodeMode, InputVariant, PlacementSignature, QueryPlan};
+use smol::imgproc::PreprocPlan;
+use smol::serve::BatchFormer;
+use std::sync::Arc;
+
+/// Three genuinely different plans (DNN × geometry × batch size), with the
+/// signatures derived exactly as the server derives them.
+fn signatures() -> Vec<Arc<PlacementSignature>> {
+    let mk = |dnn: ModelKind, crop: u32, batch: usize| -> Arc<PlacementSignature> {
+        Arc::new(
+            QueryPlan {
+                dnn,
+                input: InputVariant::new("in", Format::Sjpg { quality: 85 }, 640, 480),
+                preproc: PreprocPlan::standard(256, crop, crop),
+                decode: DecodeMode::Full,
+                batch,
+                extra_stages: Vec::new(),
+            }
+            .placement_signature(),
+        )
+    };
+    vec![
+        mk(ModelKind::ResNet50, 224, 3),
+        mk(ModelKind::ResNet18, 224, 5),
+        mk(ModelKind::ResNet50, 192, 8),
+    ]
+}
+
+/// An arbitrary interleaving: for each push, which of the three plans the
+/// item belongs to.
+fn arb_interleaving() -> impl Strategy<Value = Vec<usize>> {
+    (any::<u64>(), 0usize..160).prop_map(|(seed, len)| {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % 3) as usize
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Emitted batches are homogeneous, bounded by the plan's batch size,
+    /// and full exactly when emitted by `push`.
+    #[test]
+    fn batches_never_mix_signatures_or_overflow(interleaving in arb_interleaving()) {
+        let sigs = signatures();
+        let mut former: BatchFormer<(usize, usize)> = BatchFormer::new();
+        let mut emitted = Vec::new();
+        for (token, &si) in interleaving.iter().enumerate() {
+            if let Some(batch) = former.push(&sigs[si], (si, token)) {
+                prop_assert_eq!(
+                    batch.items.len(),
+                    batch.sig.batch,
+                    "push only emits full batches"
+                );
+                emitted.push(batch);
+            }
+        }
+        emitted.extend(former.flush_all());
+        for batch in &emitted {
+            prop_assert!(batch.items.len() <= batch.sig.batch, "batch overflow");
+            prop_assert!(!batch.items.is_empty());
+            let expect_si = sigs.iter().position(|s| s == &batch.sig).expect("known sig");
+            for &(si, _) in &batch.items {
+                prop_assert_eq!(si, expect_si, "mixed placement signatures in one batch");
+            }
+        }
+    }
+
+    /// Conservation: every pushed item comes back exactly once across
+    /// emitted batches plus the final flush.
+    #[test]
+    fn every_item_batched_exactly_once(interleaving in arb_interleaving()) {
+        let sigs = signatures();
+        let mut former: BatchFormer<(usize, usize)> = BatchFormer::new();
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        for (token, &si) in interleaving.iter().enumerate() {
+            if let Some(batch) = former.push(&sigs[si], (si, token)) {
+                seen.extend(batch.items);
+            }
+        }
+        for batch in former.flush_all() {
+            seen.extend(batch.items);
+        }
+        prop_assert_eq!(former.pending_total(), 0);
+        seen.sort_unstable();
+        let mut expected: Vec<(usize, usize)> = interleaving
+            .iter()
+            .enumerate()
+            .map(|(token, &si)| (si, token))
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected);
+    }
+}
