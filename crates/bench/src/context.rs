@@ -283,6 +283,7 @@ pub fn candidate(
         input,
         accuracy,
         preproc_throughput,
+        reduced_accuracy: None,
         cascade: None,
     }
 }
@@ -313,11 +314,14 @@ pub fn naive_planner() -> Planner {
     })
 }
 
-/// Decode-mode helper for printing.
+/// Decode-mode helper for printing. Deliberately exhaustive (no `_` arm):
+/// a new `DecodeMode` variant must fail to compile here rather than
+/// silently mislabel a report.
 pub fn decode_label(mode: &DecodeMode) -> String {
     match mode {
         DecodeMode::Full => "full".to_string(),
         DecodeMode::CentralRoi { crop_w, crop_h } => format!("roi {crop_w}x{crop_h}"),
         DecodeMode::EarlyStopRows { rows } => format!("rows {rows}"),
+        DecodeMode::ReducedResolution { factor } => format!("1/{factor} scaled-idct"),
     }
 }

@@ -1,10 +1,26 @@
-//! 8×8 forward and inverse DCT-II (separable, precomputed basis).
+//! 8×8 forward and inverse DCT-II (separable, precomputed basis), plus the
+//! scaled inverse transforms used for reduced-resolution decoding.
 //!
 //! The IDCT is the compute-heavy, vectorizable part of block decoding —
 //! the counterpart to entropy decoding's branchy sequential cost (§6.4).
+//! The scaled variants ([`inverse_dct_scaled`]) take only the top-left
+//! `n × n` frequency coefficients of an 8×8 block and reconstruct an
+//! `n × n` spatial patch directly — the multi-resolution decoding feature
+//! of Table 4, which fuses a `1/f` downsample into the transform itself
+//! (`2n³` multiply-adds instead of the full transform's `2·8³`).
 
 /// Block edge length used throughout the codec.
 pub const BLOCK: usize = 8;
+
+/// Multiply-accumulate count of one full separable 8×8 IDCT
+/// (`2 · 8³`); the unit in which skipped transform work is reported.
+pub const FULL_IDCT_MACS: u64 = 2 * (BLOCK * BLOCK * BLOCK) as u64;
+
+/// Multiply-accumulate count of one scaled `n × n` inverse transform
+/// (`2n³`; both separable passes).
+pub const fn scaled_idct_macs(n: usize) -> u64 {
+    2 * (n * n * n) as u64
+}
 
 /// Precomputed `cos((2x+1)uπ/16) * scale(u)` basis, row-major `[u][x]`.
 fn basis() -> &'static [[f32; BLOCK]; BLOCK] {
@@ -80,6 +96,86 @@ pub fn inverse_dct(input: &[f32; BLOCK * BLOCK], output: &mut [f32; BLOCK * BLOC
     }
 }
 
+/// Precomputed scaled inverse basis for an `n`-point reconstruction of an
+/// 8-point DCT spectrum, padded into an 8×8 array (only `[u][x]` with
+/// `u, x < n` are used).
+///
+/// `B_n[u][x] = sqrt(n/8) · s_n(u) · cos((2x+1)uπ/(2n))` — the `sqrt(n/8)`
+/// factor rescales 8-point coefficients to the n-point normalization so a
+/// constant block reconstructs to the same level (JPEG's standard
+/// scaled-IDCT downsampling).
+fn scaled_basis(n: usize) -> &'static [[f32; BLOCK]; BLOCK] {
+    use std::sync::OnceLock;
+    static BASES: [OnceLock<[[f32; BLOCK]; BLOCK]>; 4] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    let slot = match n {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        _ => panic!("scaled basis only defined for n in {{1, 2, 4, 8}}, got {n}"),
+    };
+    BASES[slot].get_or_init(|| {
+        let mut b = [[0.0f32; BLOCK]; BLOCK];
+        let rescale = (n as f64 / BLOCK as f64).sqrt();
+        for (u, row) in b.iter_mut().enumerate().take(n) {
+            let scale = if u == 0 {
+                (1.0f64 / n as f64).sqrt()
+            } else {
+                (2.0f64 / n as f64).sqrt()
+            };
+            for (x, v) in row.iter_mut().enumerate().take(n) {
+                *v = (rescale
+                    * scale
+                    * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / (2.0 * n as f64))
+                        .cos()) as f32;
+            }
+        }
+        b
+    })
+}
+
+/// Scaled inverse DCT: reconstructs an `n × n` level-shifted patch from the
+/// top-left `n × n` coefficients of an 8×8 spectrum (`input` in natural
+/// raster order). `n` must be 1, 2, 4, or 8; `output[..n*n]` is written
+/// row-major. The result approximates a box-downsample of the full IDCT by
+/// `8/n` in each axis, computed with `2n³` MACs instead of `2·8³`.
+pub fn inverse_dct_scaled(input: &[f32; BLOCK * BLOCK], n: usize, output: &mut [f32]) {
+    if n == BLOCK {
+        let mut full = [0.0f32; BLOCK * BLOCK];
+        inverse_dct(input, &mut full);
+        output[..BLOCK * BLOCK].copy_from_slice(&full);
+        return;
+    }
+    let b = scaled_basis(n);
+    debug_assert!(output.len() >= n * n);
+    // Columns first: tmp[y][u] = sum_{v<n} input[v][u] * basis[v][y]
+    let mut tmp = [0.0f32; BLOCK * BLOCK];
+    for u in 0..n {
+        for y in 0..n {
+            let mut acc = 0.0;
+            for (v, bv) in b.iter().enumerate().take(n) {
+                acc += input[v * BLOCK + u] * bv[y];
+            }
+            tmp[y * n + u] = acc;
+        }
+    }
+    // Rows: out[y][x] = sum_{u<n} tmp[y][u] * basis[u][x]
+    for y in 0..n {
+        for x in 0..n {
+            let mut acc = 0.0;
+            for (u, bu) in b.iter().enumerate().take(n) {
+                acc += tmp[y * n + u] * bu[x];
+            }
+            output[y * n + x] = acc;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +205,79 @@ mod tests {
         for i in 0..BLOCK * BLOCK {
             assert!((input[i] - back[i]).abs() < 1e-2, "i={i}");
         }
+    }
+
+    #[test]
+    fn scaled_idct_of_constant_block_preserves_level() {
+        let input = [73.0f32; BLOCK * BLOCK];
+        let mut freq = [0.0f32; BLOCK * BLOCK];
+        forward_dct(&input, &mut freq);
+        for n in [1usize, 2, 4, 8] {
+            let mut out = [0.0f32; BLOCK * BLOCK];
+            inverse_dct_scaled(&freq, n, &mut out);
+            for (i, &v) in out[..n * n].iter().enumerate() {
+                assert!((v - 73.0).abs() < 1e-3, "n={n} i={i} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_idct_matches_box_downsample_for_smooth_block() {
+        // A block with only low-frequency content: truncating to the
+        // top-left n×n coefficients loses nothing, so the scaled IDCT must
+        // closely match the box-downsampled full reconstruction.
+        let mut freq = [0.0f32; BLOCK * BLOCK];
+        freq[0] = 400.0; // DC
+        freq[1] = 60.0; // one horizontal cycle
+        freq[BLOCK] = -45.0; // one vertical cycle
+        let mut full = [0.0f32; BLOCK * BLOCK];
+        inverse_dct(&freq, &mut full);
+        for n in [2usize, 4] {
+            let f = BLOCK / n;
+            let mut out = [0.0f32; BLOCK * BLOCK];
+            inverse_dct_scaled(&freq, n, &mut out);
+            for y in 0..n {
+                for x in 0..n {
+                    let mut acc = 0.0f32;
+                    for dy in 0..f {
+                        for dx in 0..f {
+                            acc += full[(y * f + dy) * BLOCK + (x * f + dx)];
+                        }
+                    }
+                    let boxed = acc / (f * f) as f32;
+                    let got = out[y * n + x];
+                    assert!(
+                        (got - boxed).abs() < 1.5,
+                        "n={n} ({x},{y}): scaled {got} vs box {boxed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_idct_at_full_size_is_the_full_idct() {
+        let mut input = [0.0f32; BLOCK * BLOCK];
+        for (i, v) in input.iter_mut().enumerate() {
+            *v = ((i * 29 % 251) as f32) - 120.0;
+        }
+        let mut freq = [0.0f32; BLOCK * BLOCK];
+        forward_dct(&input, &mut freq);
+        let mut a = [0.0f32; BLOCK * BLOCK];
+        let mut b = [0.0f32; BLOCK * BLOCK];
+        inverse_dct(&freq, &mut a);
+        inverse_dct_scaled(&freq, BLOCK, &mut b);
+        for i in 0..BLOCK * BLOCK {
+            assert!((a[i] - b[i]).abs() < 1e-4, "i={i}");
+        }
+    }
+
+    #[test]
+    fn mac_accounting_constants() {
+        assert_eq!(FULL_IDCT_MACS, 1024);
+        assert_eq!(scaled_idct_macs(4), 128);
+        assert_eq!(scaled_idct_macs(2), 16);
+        assert_eq!(scaled_idct_macs(1), 2);
     }
 
     #[test]

@@ -5,10 +5,30 @@
 //!
 //! * [`sjpg`] — a DCT block codec (JPEG anatomy): branchy sequential Huffman
 //!   entropy decoding + vectorizable IDCT, with **ROI/partial decoding** via
-//!   an MCU-row index and **early stopping**;
+//!   an MCU-row index, **early stopping**, and **multi-resolution decoding**
+//!   via a scaled IDCT;
 //! * [`spng`] — a lossless codec (PNG anatomy): predictive scanline filters +
-//!   LZ77/Huffman, strictly sequential, with **early stopping**;
+//!   LZ77/Huffman, strictly sequential, with **early stopping** only;
 //! * [`registry`] — the Table-4 format/feature matrix.
+//!
+//! ## Partial-decoding features and the plans that exercise them
+//!
+//! The three low-fidelity decode features (§6.4, Table 4) map one-to-one
+//! onto `smol_core::DecodeMode` variants chosen by the planner:
+//!
+//! | feature (Table 4)          | entry point            | `DecodeMode`                   |
+//! |----------------------------|------------------------|--------------------------------|
+//! | ROI / partial decoding     | [`sjpg::decode_roi`]   | `CentralRoi { crop_w, crop_h }`|
+//! | early stopping             | [`sjpg::decode_rows`], `spng::decode_rows` | `EarlyStopRows { rows }` |
+//! | multi-resolution decoding  | [`sjpg::decode_scaled`]| `ReducedResolution { factor }` |
+//!
+//! ROI decoding skips the IDCT for blocks outside a rectangle (rows skipped
+//! wholesale through the MCU-row index); early stopping truncates the
+//! sequential stream after the last needed row; multi-resolution decoding
+//! reconstructs every block at `8/factor` points per axis from the top-left
+//! coefficients of its spectrum (a scaled IDCT), fusing the downsample into
+//! the decoder so a low-resolution plan never materializes full-resolution
+//! pixels. [`sjpg::DecodeStats`] counts the work each mode actually skips.
 //!
 //! [`EncodedImage`] is the uniform container the rest of the system passes
 //! around: cheaply cloneable bytes (`bytes::Bytes`) tagged with their format.
@@ -111,6 +131,35 @@ impl EncodedImage {
         }
     }
 
+    /// Decodes directly to `1/factor` resolution (factor ∈ {1, 2, 4, 8}),
+    /// exploiting multi-resolution decoding where the format supports it:
+    ///
+    /// * sjpg: scaled-IDCT reduced-resolution decode — the downsample is
+    ///   fused into the transform, so IDCT work and pixel writes shrink
+    ///   with the scale ([`sjpg::decode_scaled`]);
+    /// * spng: no multi-resolution feature exists (Table 4), so this falls
+    ///   back to a full decode followed by a box downsample — same output
+    ///   geometry, but the full decode cost is still paid.
+    ///
+    /// Returns the reduced image and the work counters (zeroed for the
+    /// spng fallback, which skips nothing).
+    pub fn decode_scaled(&self, factor: usize) -> Result<(ImageU8, DecodeStats)> {
+        match self.format {
+            Format::Sjpg { .. } => sjpg::decode_scaled(&self.bytes, factor),
+            Format::Spng => {
+                if !matches!(factor, 1 | 2 | 4 | 8) {
+                    return Err(Error::BadRegion(format!(
+                        "reduced-resolution factor must be 1, 2, 4, or 8, got {factor}"
+                    )));
+                }
+                let full = spng::decode(&self.bytes)?;
+                let small =
+                    smol_imgproc::ops::box_downsample_u8(&full, factor).map_err(Error::Image)?;
+                Ok((small, DecodeStats::default()))
+            }
+        }
+    }
+
     /// Compressed size in bytes.
     pub fn size_bytes(&self) -> usize {
         self.bytes.len()
@@ -164,6 +213,23 @@ mod tests {
             assert!(covered.y_end() >= roi.y_end());
             assert_eq!(decoded.width(), covered.w);
             assert_eq!(decoded.height(), covered.h);
+        }
+    }
+
+    #[test]
+    fn decode_scaled_matches_geometry_for_both_formats() {
+        let img = textured(96, 64);
+        for fmt in [Format::Sjpg { quality: 90 }, Format::Spng] {
+            let enc = EncodedImage::encode(&img, fmt).unwrap();
+            let (small, stats) = enc.decode_scaled(4).unwrap();
+            assert_eq!((small.width(), small.height()), (24, 16));
+            if matches!(fmt, Format::Sjpg { .. }) {
+                assert!(stats.idct_macs > 0);
+                assert!(stats.blocks_idct < (96 / 8) * (64 / 8) * 3 / 4);
+            } else {
+                // spng pays the full decode; nothing is skipped.
+                assert_eq!(stats, DecodeStats::default());
+            }
         }
     }
 

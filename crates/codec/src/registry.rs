@@ -43,7 +43,11 @@ pub fn format_table() -> Vec<FormatEntry> {
         FormatEntry {
             name: "JPEG",
             media: Image,
-            features: &[PartialDecoding],
+            // Partial decoding is the paper's Table 4 entry; scaled-IDCT
+            // multi-resolution decoding (libjpeg's scale_num/scale_denom,
+            // §6.4's "decode at reduced resolution") is modeled by
+            // `sjpg::decode_scaled`.
+            features: &[PartialDecoding, MultiResolutionDecoding],
             modeled_by: Some("sjpg"),
         },
         FormatEntry {
@@ -100,6 +104,12 @@ mod tests {
         let t = format_table();
         let jpeg = t.iter().find(|e| e.name == "JPEG").unwrap();
         assert!(jpeg.features.contains(&LowFidelityFeature::PartialDecoding));
+        // sjpg's scaled-IDCT decode path flips JPEG to multi-resolution
+        // capable (Table 4 extension).
+        assert!(jpeg
+            .features
+            .contains(&LowFidelityFeature::MultiResolutionDecoding));
+        assert_eq!(jpeg.modeled_by, Some("sjpg"));
         let h264 = t.iter().find(|e| e.name == "H.264").unwrap();
         assert!(h264
             .features
@@ -114,5 +124,15 @@ mod tests {
         let t = format_table();
         let modeled = t.iter().filter(|e| e.modeled_by.is_some()).count();
         assert!(modeled >= 5);
+    }
+
+    #[test]
+    fn multi_resolution_decoding_is_modeled_locally() {
+        // Before `sjpg::decode_scaled` only JPEG2000 (unmodeled) carried
+        // MultiResolutionDecoding; now a local codec exercises it.
+        let t = format_table();
+        assert!(t.iter().any(|e| e.modeled_by.is_some()
+            && e.features
+                .contains(&LowFidelityFeature::MultiResolutionDecoding)));
     }
 }

@@ -16,7 +16,9 @@
 //!   **stops early** after the last ROI column / row.
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::dct::{forward_dct, inverse_dct, BLOCK};
+use crate::dct::{
+    forward_dct, inverse_dct, inverse_dct_scaled, scaled_idct_macs, BLOCK, FULL_IDCT_MACS,
+};
 use crate::error::{Error, Result};
 use crate::huffman::HuffmanTable;
 use crate::quant::{dequantize_zigzag, quantize_zigzag, scale_table, BASE_CHROMA, BASE_LUMA};
@@ -37,12 +39,18 @@ const ZRL: u16 = 0xF0;
 pub struct DecodeStats {
     /// Huffman symbols read (entropy-decode effort).
     pub symbols_decoded: u64,
-    /// Blocks that went through dequantize + IDCT (compute effort).
+    /// Inverse-transform compute effort in full 8×8 IDCT equivalents. A
+    /// fully-decoded block counts 1; a reduced-resolution block at scale
+    /// `n` counts `2n³ / 2·8³` of a block (the MAC ratio), accumulated
+    /// exactly via [`DecodeStats::idct_macs`] and floor-divided.
     pub blocks_idct: u64,
     /// Pixels color-converted and written to the output.
     pub pixels_written: u64,
     /// MCU rows skipped entirely via the row index.
     pub rows_skipped: u64,
+    /// Exact multiply-accumulate count spent in inverse transforms; the
+    /// raw quantity behind `blocks_idct`.
+    pub idct_macs: u64,
 }
 
 /// Encoder configuration.
@@ -244,6 +252,94 @@ pub fn decode_rows(data: &[u8], n_rows: usize) -> Result<(ImageU8, DecodeStats)>
     decode_region(data, &header, region)
 }
 
+/// Output dimensions of a reduced-resolution decode of a `w × h` image at
+/// `factor` (each 8×8 block reconstructs to an `8/factor`-edge patch; edge
+/// blocks are clipped to the scaled image bounds).
+pub fn reduced_dims(w: usize, h: usize, factor: usize) -> (usize, usize) {
+    (w.div_ceil(factor), h.div_ceil(factor))
+}
+
+/// Decodes directly to `1/factor` resolution via a scaled IDCT
+/// (multi-resolution decoding, Table 4): only the top-left
+/// `(8/factor) × (8/factor)` coefficients of each block feed an
+/// `8/factor`-point inverse transform, so the downsample is fused into the
+/// decoder instead of being a post-decode resize. `factor` must be 1
+/// (full decode), 2, 4, or 8 (DC-only).
+///
+/// The output approximates a box-downsample of the full decode at the same
+/// geometry; `DecodeStats::idct_macs`/`blocks_idct` prove the skipped
+/// transform work (`2n³` MACs per block instead of `2·8³`).
+pub fn decode_scaled(data: &[u8], factor: usize) -> Result<(ImageU8, DecodeStats)> {
+    if factor == 1 {
+        return decode_with_stats(data);
+    }
+    if !matches!(factor, 2 | 4 | 8) {
+        return Err(Error::BadRegion(format!(
+            "reduced-resolution factor must be 1, 2, 4, or 8, got {factor}"
+        )));
+    }
+    let n = BLOCK / factor;
+    let header = SjpgHeader::parse(data)?;
+    let luma_q = scale_table(&BASE_LUMA, header.quality)?;
+    let chroma_q = scale_table(&BASE_CHROMA, header.quality)?;
+    let bw = header.width.div_ceil(BLOCK);
+    let bh = header.height.div_ceil(BLOCK);
+    let (out_w, out_h) = reduced_dims(header.width, header.height, factor);
+    let body = &data[header.body_start..];
+    let mut r = BitReader::new(body);
+    let mut stats = DecodeStats::default();
+
+    let mut out = ImageU8::zeros(out_w, out_h, 3);
+    let mut coefs = [0i16; 64];
+    let mut freq = [0.0f32; 64];
+    let mut pixels = [[0.0f32; 64]; 3];
+
+    for by in 0..bh {
+        r.seek_bits(header.row_offsets[by] as u64 * 8)?;
+        let mut dc_pred = [0i16; 3];
+        for bx in 0..bw {
+            for comp in 0..3 {
+                decode_block(
+                    &mut r,
+                    &header.dc_table,
+                    &header.ac_table,
+                    dc_pred[comp],
+                    &mut coefs,
+                    &mut stats,
+                )?;
+                dc_pred[comp] = coefs[0];
+                let table = if comp == 0 { &luma_q } else { &chroma_q };
+                dequantize_zigzag(&coefs, table, &mut freq);
+                inverse_dct_scaled(&freq.clone(), n, &mut pixels[comp]);
+                stats.idct_macs += scaled_idct_macs(n);
+            }
+            for dy in 0..n {
+                let y = by * n + dy;
+                if y >= out_h {
+                    continue;
+                }
+                for dx in 0..n {
+                    let x = bx * n + dx;
+                    if x >= out_w {
+                        continue;
+                    }
+                    let idx = dy * n + dx;
+                    let yy = (pixels[0][idx] + 128.0).clamp(0.0, 255.0) as u8;
+                    let cb = (pixels[1][idx] + 128.0).clamp(0.0, 255.0) as u8;
+                    let cr = (pixels[2][idx] + 128.0).clamp(0.0, 255.0) as u8;
+                    let (red, green, blue) = ycbcr_pixel_to_rgb(yy, cb, cr);
+                    out.set(x, y, 0, red);
+                    out.set(x, y, 1, green);
+                    out.set(x, y, 2, blue);
+                    stats.pixels_written += 1;
+                }
+            }
+        }
+    }
+    stats.blocks_idct = stats.idct_macs / FULL_IDCT_MACS;
+    Ok((out, stats))
+}
+
 /// Core region decoder. `region` must be block-aligned (except at image
 /// edges where it is clamped).
 fn decode_region(data: &[u8], header: &SjpgHeader, region: Rect) -> Result<(ImageU8, DecodeStats)> {
@@ -287,6 +383,7 @@ fn decode_region(data: &[u8], header: &SjpgHeader, region: Rect) -> Result<(Imag
                     dequantize_zigzag(&coefs, table, &mut freq);
                     inverse_dct(&freq.clone(), &mut pixels[comp]);
                     stats.blocks_idct += 1;
+                    stats.idct_macs += crate::dct::FULL_IDCT_MACS;
                 }
             }
             if in_roi {
@@ -615,6 +712,97 @@ mod tests {
                 assert_eq!(top.at(x, y, 0), full.at(x, y, 0));
             }
         }
+    }
+
+    /// The shared reference kernel a scaled-IDCT decode is judged against
+    /// (same one `figure_lowres` and the workspace proptests use).
+    fn box_down(img: &ImageU8, f: usize) -> ImageU8 {
+        smol_imgproc::ops::box_downsample_u8(img, f).unwrap()
+    }
+
+    /// A smooth image (low-frequency gradients), where truncated-spectrum
+    /// reconstruction is near-exact.
+    fn smooth(w: usize, h: usize) -> ImageU8 {
+        let mut img = ImageU8::zeros(w, h, 3);
+        for y in 0..h {
+            for x in 0..w {
+                let fx = x as f64 / w as f64;
+                let fy = y as f64 / h as f64;
+                img.set(x, y, 0, (60.0 + 120.0 * fx) as u8);
+                img.set(x, y, 1, (200.0 - 130.0 * fy) as u8);
+                img.set(x, y, 2, (90.0 + 80.0 * fx * fy) as u8);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn scaled_decode_dims_and_stats() {
+        let img = textured(128, 96, 6);
+        let enc = SjpgEncoder::new(90).encode(&img).unwrap();
+        let (_, full) = decode_with_stats(&enc).unwrap();
+        for factor in [2usize, 4, 8] {
+            let (small, stats) = decode_scaled(&enc, factor).unwrap();
+            assert_eq!((small.width(), small.height()), (128 / factor, 96 / factor));
+            // Entropy decoding is unavoidable (the stream is sequential)…
+            assert_eq!(stats.symbols_decoded, full.symbols_decoded);
+            // …but the transform work drops with the square-cube of the
+            // scale: ≥8× fewer MACs at factor 2, ≥64× at factor 4.
+            assert!(
+                stats.idct_macs * (factor * factor * factor) as u64 <= full.idct_macs,
+                "factor {factor}: {} vs {}",
+                stats.idct_macs,
+                full.idct_macs
+            );
+            assert!(stats.blocks_idct < full.blocks_idct / 4);
+            assert_eq!(
+                stats.pixels_written,
+                (128 / factor) as u64 * (96 / factor) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_decode_factor_one_is_full_decode() {
+        let img = textured(40, 32, 3);
+        let enc = SjpgEncoder::new(85).encode(&img).unwrap();
+        let (a, sa) = decode_with_stats(&enc).unwrap();
+        let (b, sb) = decode_scaled(&enc, 1).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn scaled_decode_tracks_box_downsample_of_full_decode() {
+        let img = smooth(96, 64);
+        let enc = SjpgEncoder::new(92).encode(&img).unwrap();
+        let full = decode(&enc).unwrap();
+        for factor in [2usize, 4] {
+            let (small, _) = decode_scaled(&enc, factor).unwrap();
+            let reference = box_down(&full, factor);
+            let p = psnr(&reference, &small);
+            assert!(p > 30.0, "factor {factor}: psnr {p}");
+        }
+    }
+
+    #[test]
+    fn scaled_decode_non_multiple_dims() {
+        let img = smooth(61, 45);
+        let enc = SjpgEncoder::new(90).encode(&img).unwrap();
+        let (small, _) = decode_scaled(&enc, 4).unwrap();
+        assert_eq!((small.width(), small.height()), (16, 12));
+        // Edge pixels come from edge-replicated encode blocks — they must
+        // still be plausible (close to the true boundary pixels).
+        let reference = box_down(&decode(&enc).unwrap(), 4);
+        assert!(psnr(&reference, &small) > 25.0);
+    }
+
+    #[test]
+    fn scaled_decode_rejects_bad_factor() {
+        let img = textured(32, 32, 1);
+        let enc = SjpgEncoder::new(75).encode(&img).unwrap();
+        assert!(decode_scaled(&enc, 3).is_err());
+        assert!(decode_scaled(&enc, 16).is_err());
     }
 
     #[test]

@@ -11,13 +11,19 @@
 //! * [`pareto`] — Pareto-frontier and constrained selection (§3.1, Eq. 1);
 //! * [`placement`] — CPU/accelerator operator placement (§6.3);
 //! * [`planner`] — D × F enumeration with lesion toggles (low-res,
-//!   DAG optimization) used by the Figure 4–6 experiments.
+//!   DAG optimization, multi-resolution decoding) used by the Figure 4–6
+//!   experiments;
+//! * [`rewrite`] — decode-aware plan rewriting: elides or shrinks the
+//!   resize when a partial/reduced decode already produced the needed
+//!   geometry (§6.4), shared by the planner (costing) and runtime
+//!   (execution).
 
 pub mod costmodel;
 pub mod pareto;
 pub mod placement;
 pub mod plan;
 pub mod planner;
+pub mod rewrite;
 
 pub use costmodel::{
     cascade_exec_throughput, estimate_throughput, percent_error, CascadeStage, CostModelKind,
@@ -26,3 +32,4 @@ pub use pareto::{max_accuracy_with_throughput, max_throughput_with_accuracy, par
 pub use placement::{choose_placement, PlacementDecision, PlacementRates};
 pub use plan::{DecodeMode, InputVariant, PlacementSignature, PlanCandidate, QueryPlan};
 pub use planner::{CandidateSpec, Planner, PlannerConfig};
+pub use rewrite::{decode_cost_for_mode, idct_edge, rewrite_preproc_for_decode};

@@ -17,6 +17,31 @@ pub enum DecodeMode {
     CentralRoi { crop_w: usize, crop_h: usize },
     /// Stop after the rows needed (raster-order early stopping).
     EarlyStopRows { rows: usize },
+    /// Decode directly to `1/factor` resolution via a scaled IDCT
+    /// (multi-resolution decoding, Table 4): the downsample is fused into
+    /// the decoder, so the plan's resize can shrink or disappear entirely
+    /// (see [`crate::rewrite::rewrite_preproc_for_decode`]). `factor` must
+    /// be 2, 4, or 8.
+    ReducedResolution { factor: u8 },
+}
+
+impl DecodeMode {
+    /// Dimensions the decoder hands to preprocessing for a `w × h` source.
+    pub fn decoded_dims(&self, w: usize, h: usize) -> (usize, usize) {
+        match *self {
+            DecodeMode::Full => (w, h),
+            DecodeMode::CentralRoi { crop_w, crop_h } => {
+                // The runtime block-aligns the centered crop; the decoded
+                // region is at least the crop and at most the image.
+                (crop_w.clamp(1, w), crop_h.clamp(1, h))
+            }
+            DecodeMode::EarlyStopRows { rows } => (w, rows.clamp(1, h)),
+            DecodeMode::ReducedResolution { factor } => {
+                let f = (factor as usize).max(1);
+                (w.div_ceil(f), h.div_ceil(f))
+            }
+        }
+    }
 }
 
 /// A natively-available input variant (an element of the paper's F).

@@ -5,7 +5,9 @@
 use crate::costmodel::{estimate_throughput, CascadeStage, CostModelKind};
 use crate::pareto;
 use crate::plan::{DecodeMode, InputVariant, PlanCandidate, QueryPlan};
+use crate::rewrite::{decode_cost_for_mode, rewrite_preproc_for_decode};
 use smol_accel::{throughput, ExecutionEnv, GpuModel, ModelKind};
+use smol_imgproc::dag::plan_cost;
 use smol_imgproc::{DagOptimizer, PreprocPlan};
 
 /// One (DNN, input format) combination with its profiled resources — the
@@ -17,6 +19,11 @@ pub struct CandidateSpec {
     pub input: InputVariant,
     pub accuracy: f64,
     pub preproc_throughput: f64,
+    /// Calibrated accuracy when the input is decoded at reduced resolution
+    /// (§6.4's fidelity/throughput trade). `None` means the DNN is
+    /// low-res tolerant (e.g. trained with downsampling augmentation) and
+    /// the full-decode accuracy carries over.
+    pub reduced_accuracy: Option<f64>,
     /// When this candidate is a cascade (Tahoma-style), the stage list
     /// replaces the single-DNN execution estimate.
     pub cascade: Option<Vec<CascadeStage>>,
@@ -35,6 +42,10 @@ pub struct PlannerConfig {
     pub enable_low_res: bool,
     /// Run the preprocessing-DAG optimizer (§6.2). Off in "-Preproc opt".
     pub enable_dag_opt: bool,
+    /// Enumerate reduced-resolution (scaled-IDCT) decode plans for formats
+    /// with multi-resolution decoding (§6.4, Table 4). Off in the
+    /// "-Multi-res" lesion.
+    pub enable_multires: bool,
     /// DNN input edge (224 in the paper's pipelines).
     pub dnn_input: u32,
 }
@@ -48,6 +59,7 @@ impl Default for PlannerConfig {
             batch: 64,
             enable_low_res: true,
             enable_dag_opt: true,
+            enable_multires: true,
             dnn_input: 224,
         }
     }
@@ -106,44 +118,126 @@ impl Planner {
         }
     }
 
-    /// Turns candidate specs into estimated plan candidates.
+    /// The reduced-resolution decode mode for an input variant (§6.4,
+    /// Table 4 multi-resolution decoding): the largest factor whose decoded
+    /// short edge still covers the DNN input, so the fused downsample never
+    /// costs accuracy to upsampling. `None` when the format lacks
+    /// multi-resolution decoding, the variant is already small, or no
+    /// factor keeps the DNN input covered.
+    pub fn reduced_decode_mode(&self, input: &InputVariant) -> Option<DecodeMode> {
+        if !self.config.enable_multires
+            || input.is_thumbnail
+            || !matches!(input.format, smol_codec::Format::Sjpg { .. })
+        {
+            return None;
+        }
+        let d = self.config.dnn_input as usize;
+        [8usize, 4, 2]
+            .into_iter()
+            .find(|&f| {
+                let (dw, dh) = DecodeMode::ReducedResolution { factor: f as u8 }
+                    .decoded_dims(input.width, input.height);
+                dw.min(dh) >= d
+            })
+            .map(|f| DecodeMode::ReducedResolution { factor: f as u8 })
+    }
+
+    /// Estimated preprocessing throughput of the same input decoded under
+    /// `mode`, scaled from the measured full-decode throughput by the
+    /// joint decode+preprocess weighted-op ratio ([`decode_cost_for_mode`]
+    /// plus [`plan_cost`]): the Pareto frontier compares decode and
+    /// preprocessing as one quantity, not preprocessing alone. The base
+    /// mode's cost honors the work its decode already skips (ROI rows,
+    /// early-stopped rows), so a reduced-resolution candidate is never
+    /// credited against an inflated full-frame baseline.
+    fn scaled_preproc_throughput(
+        &self,
+        measured: f64,
+        preproc: &PreprocPlan,
+        base: DecodeMode,
+        mode: DecodeMode,
+        w: usize,
+        h: usize,
+    ) -> f64 {
+        let joint = |m: DecodeMode| {
+            let (dw, dh) = m.decoded_dims(w, h);
+            let rewritten = rewrite_preproc_for_decode(preproc, m, w, h);
+            decode_cost_for_mode(m, w, h) + plan_cost(&rewritten, dw, dh)
+        };
+        let base_cost = joint(base);
+        let mode_cost = joint(mode);
+        if base_cost <= 0.0 || mode_cost <= 0.0 {
+            return measured;
+        }
+        measured * base_cost / mode_cost
+    }
+
+    /// Builds one estimated candidate for a spec under a given decode mode.
+    fn candidate(
+        &self,
+        s: &CandidateSpec,
+        decode: DecodeMode,
+        preproc_throughput: f64,
+        accuracy: f64,
+    ) -> PlanCandidate {
+        let exec_stages = s.cascade.clone().unwrap_or_else(|| {
+            CascadeStage::single(throughput(
+                s.dnn,
+                self.config.device,
+                self.config.env,
+                self.config.batch,
+            ))
+        });
+        let exec = crate::costmodel::cascade_exec_throughput(&exec_stages);
+        let est = estimate_throughput(self.config.cost_model, preproc_throughput, &exec_stages);
+        PlanCandidate {
+            plan: QueryPlan {
+                dnn: s.dnn,
+                input: s.input.clone(),
+                preproc: self.build_preproc(&s.input),
+                decode,
+                batch: self.config.batch,
+                // Cascade stage *models* are known only to the client
+                // system (e.g. Tahoma); it fills these in when it
+                // materializes an executable plan. The throughput estimate
+                // above already accounts for the stages.
+                extra_stages: Vec::new(),
+            },
+            preproc_throughput,
+            exec_throughput: exec,
+            est_throughput: est,
+            accuracy,
+        }
+    }
+
+    /// Turns candidate specs into estimated plan candidates. Each spec
+    /// yields its base plan (full or ROI decode, per [`Self::decode_mode`])
+    /// plus, for formats with multi-resolution decoding, a
+    /// reduced-resolution plan whose decode fuses the downsample
+    /// (§6.4) and whose joint decode+preprocess cost drives its estimate.
     pub fn enumerate(&self, specs: &[CandidateSpec]) -> Vec<PlanCandidate> {
-        specs
+        let mut out = Vec::with_capacity(specs.len());
+        for s in specs
             .iter()
             .filter(|s| self.config.enable_low_res || !s.input.is_thumbnail)
-            .map(|s| {
-                let exec_stages = s.cascade.clone().unwrap_or_else(|| {
-                    CascadeStage::single(throughput(
-                        s.dnn,
-                        self.config.device,
-                        self.config.env,
-                        self.config.batch,
-                    ))
-                });
-                let exec = crate::costmodel::cascade_exec_throughput(&exec_stages);
-                let est =
-                    estimate_throughput(self.config.cost_model, s.preproc_throughput, &exec_stages);
-                PlanCandidate {
-                    plan: QueryPlan {
-                        dnn: s.dnn,
-                        input: s.input.clone(),
-                        preproc: self.build_preproc(&s.input),
-                        decode: self.decode_mode(&s.input),
-                        batch: self.config.batch,
-                        // Cascade stage *models* are known only to the
-                        // client system (e.g. Tahoma); it fills these in
-                        // when it materializes an executable plan. The
-                        // throughput estimate above already accounts for
-                        // the stages.
-                        extra_stages: Vec::new(),
-                    },
-                    preproc_throughput: s.preproc_throughput,
-                    exec_throughput: exec,
-                    est_throughput: est,
-                    accuracy: s.accuracy,
-                }
-            })
-            .collect()
+        {
+            let base = self.decode_mode(&s.input);
+            out.push(self.candidate(s, base, s.preproc_throughput, s.accuracy));
+            if let Some(reduced) = self.reduced_decode_mode(&s.input) {
+                let preproc = self.build_preproc(&s.input);
+                let tput = self.scaled_preproc_throughput(
+                    s.preproc_throughput,
+                    &preproc,
+                    base,
+                    reduced,
+                    s.input.width,
+                    s.input.height,
+                );
+                let acc = s.reduced_accuracy.unwrap_or(s.accuracy);
+                out.push(self.candidate(s, reduced, tput, acc));
+            }
+        }
+        out
     }
 
     /// The Pareto-optimal set over the enumerated candidates (§3.1).
@@ -200,6 +294,7 @@ mod tests {
                 input: full_res(527.0),
                 accuracy: 0.7516,
                 preproc_throughput: 527.0,
+                reduced_accuracy: None,
                 cascade: None,
             },
             CandidateSpec {
@@ -207,6 +302,7 @@ mod tests {
                 input: full_res(527.0),
                 accuracy: 0.7272,
                 preproc_throughput: 527.0,
+                reduced_accuracy: None,
                 cascade: None,
             },
             CandidateSpec {
@@ -214,6 +310,7 @@ mod tests {
                 input: thumb(),
                 accuracy: 0.75,
                 preproc_throughput: 1995.0,
+                reduced_accuracy: None,
                 cascade: None,
             },
             CandidateSpec {
@@ -221,6 +318,7 @@ mod tests {
                 input: thumb(),
                 accuracy: 0.725,
                 preproc_throughput: 1995.0,
+                reduced_accuracy: None,
                 cascade: None,
             },
         ]
@@ -302,6 +400,100 @@ mod tests {
             other => panic!("expected ROI decode, got {other:?}"),
         }
         assert_eq!(planner.decode_mode(&thumb()), DecodeMode::Full);
+    }
+
+    fn big_full_res() -> InputVariant {
+        // 896/4 = 224: the factor-4 reduced decode lands exactly on the
+        // DNN input, so the resize is elided.
+        InputVariant::new("big sjpg(q=95)", Format::Sjpg { quality: 95 }, 896, 896)
+    }
+
+    fn big_spec(accuracy: f64, reduced_accuracy: Option<f64>) -> CandidateSpec {
+        CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input: big_full_res(),
+            accuracy,
+            preproc_throughput: 150.0,
+            reduced_accuracy,
+            cascade: None,
+        }
+    }
+
+    #[test]
+    fn reduced_decode_mode_picks_largest_covering_factor() {
+        let planner = Planner::default();
+        assert_eq!(
+            planner.reduced_decode_mode(&big_full_res()),
+            Some(DecodeMode::ReducedResolution { factor: 4 })
+        );
+        // 480×360 at factor 2 leaves a 180-px short edge < 224: no factor
+        // covers the DNN input, so no reduced plan is offered.
+        assert_eq!(planner.reduced_decode_mode(&full_res(527.0)), None);
+        // Thumbnails and non-sjpg formats are never reduced.
+        assert_eq!(planner.reduced_decode_mode(&thumb()), None);
+        let planner = Planner::new(PlannerConfig {
+            enable_multires: false,
+            ..Default::default()
+        });
+        assert_eq!(planner.reduced_decode_mode(&big_full_res()), None);
+    }
+
+    #[test]
+    fn enumerate_emits_reduced_candidate_with_joint_cost_gain() {
+        let planner = Planner::default();
+        let cands = planner.enumerate(&[big_spec(0.75, None)]);
+        assert_eq!(cands.len(), 2, "base + reduced");
+        let base = cands
+            .iter()
+            .find(|c| !matches!(c.plan.decode, DecodeMode::ReducedResolution { .. }))
+            .unwrap();
+        let reduced = cands
+            .iter()
+            .find(|c| matches!(c.plan.decode, DecodeMode::ReducedResolution { .. }))
+            .unwrap();
+        // The joint decode+preproc cost model must credit the fused
+        // downsample with a large preprocessing speedup.
+        assert!(
+            reduced.preproc_throughput > base.preproc_throughput * 2.0,
+            "reduced {} vs base {}",
+            reduced.preproc_throughput,
+            base.preproc_throughput
+        );
+        // Low-res tolerant DNN (no reduced_accuracy): accuracy carries
+        // over, so the reduced plan lands on the Pareto frontier.
+        let frontier = planner.frontier(&[big_spec(0.75, None)]);
+        assert!(frontier
+            .iter()
+            .any(|c| matches!(c.plan.decode, DecodeMode::ReducedResolution { .. })));
+    }
+
+    #[test]
+    fn reduced_accuracy_penalty_is_respected() {
+        let planner = Planner::default();
+        let cands = planner.enumerate(&[big_spec(0.75, Some(0.71))]);
+        let reduced = cands
+            .iter()
+            .find(|c| matches!(c.plan.decode, DecodeMode::ReducedResolution { .. }))
+            .unwrap();
+        assert!((reduced.accuracy - 0.71).abs() < 1e-12);
+        // Both plans stay on the frontier: the reduced one is faster, the
+        // full one more accurate.
+        let frontier = planner.frontier(&[big_spec(0.75, Some(0.71))]);
+        assert_eq!(frontier.len(), 2);
+    }
+
+    #[test]
+    fn multires_lesion_removes_reduced_candidates() {
+        let planner = Planner::new(PlannerConfig {
+            enable_multires: false,
+            ..Default::default()
+        });
+        let cands = planner.enumerate(&[big_spec(0.75, None)]);
+        assert_eq!(cands.len(), 1);
+        assert!(!matches!(
+            cands[0].plan.decode,
+            DecodeMode::ReducedResolution { .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Decode-aware plan rewriting (§6.4 meets §6.2): once a plan's decode
+//! mode changes the geometry the decoder emits, the preprocessing DAG's
+//! geometric prefix is stale — a reduced-resolution decode has already
+//! done some (or all) of the resizing. This pass rewrites the declarative
+//! preprocessing pipeline against the decode mode so that
+//!
+//! * a decode that lands **exactly** on the DNN input geometry elides the
+//!   resize/crop prefix entirely (the paper's signature plan: decode
+//!   small, skip resize, feed the accelerator), and
+//! * any other partial decode replaces the prefix with a single direct
+//!   resize from the decoded geometry to the plan's output geometry
+//!   (a *shrunk* resize: it reads the decoder's smaller output instead of
+//!   the full frame).
+//!
+//! The pass is shared by the runtime (which executes the rewritten plan)
+//! and the planner (which costs it jointly with
+//! [`smol_imgproc::dag::decode_cost`] so the Pareto frontier compares
+//! decode+preprocess totals, not preprocessing in isolation).
+
+use crate::plan::DecodeMode;
+use smol_imgproc::dag::{OpSpec, PlacedOp, PreprocPlan};
+
+/// IDCT edge (points per axis per 8×8 block) a decode mode implies; the
+/// `idct_edge` argument of [`smol_imgproc::dag::decode_cost`].
+pub fn idct_edge(mode: DecodeMode) -> usize {
+    match mode {
+        DecodeMode::Full | DecodeMode::CentralRoi { .. } | DecodeMode::EarlyStopRows { .. } => 8,
+        DecodeMode::ReducedResolution { factor } => 8 / (factor as usize).clamp(1, 8),
+    }
+}
+
+/// Weighted-op decode cost of a `w × h` source under `mode`, charging only
+/// the region the decoder actually touches:
+///
+/// * `Full` / `ReducedResolution` read the whole frame (the latter at a
+///   reduced IDCT edge);
+/// * `EarlyStopRows` pays nothing past the last needed MCU row;
+/// * `CentralRoi` skips rows outside the crop via the MCU-row index and
+///   stops each row after the crop's last column — blocks left of the
+///   crop are entropy-decoded but skip the IDCT, approximated here by
+///   charging half the left margin at full block cost.
+pub fn decode_cost_for_mode(mode: DecodeMode, w: usize, h: usize) -> f64 {
+    use smol_imgproc::dag::decode_cost;
+    let (dec_w, dec_h) = mode.decoded_dims(w, h);
+    match mode {
+        DecodeMode::Full | DecodeMode::ReducedResolution { .. } => {
+            decode_cost(w, h, idct_edge(mode))
+        }
+        DecodeMode::EarlyStopRows { .. } => decode_cost(w, dec_h, 8),
+        DecodeMode::CentralRoi { .. } => {
+            let cols = (dec_w + (w - dec_w) / 2).min(w);
+            decode_cost(cols, dec_h, 8)
+        }
+    }
+}
+
+/// Rewrites a declarative preprocessing pipeline (authored against the
+/// full-resolution input) for execution after `mode` decoded a `w × h`
+/// source. The output geometry of the rewritten plan on the *decoded*
+/// image always equals the original plan's output on the full image.
+pub fn rewrite_preproc_for_decode(
+    preproc: &PreprocPlan,
+    mode: DecodeMode,
+    w: usize,
+    h: usize,
+) -> PreprocPlan {
+    if matches!(mode, DecodeMode::Full) {
+        return preproc.clone();
+    }
+    let (out_w, out_h) = preproc.output_dims(w, h);
+    let (dec_w, dec_h) = mode.decoded_dims(w, h);
+    let tail: Vec<PlacedOp> = preproc
+        .ops
+        .iter()
+        .filter(|o| o.spec.is_elementwise() || matches!(o.spec, OpSpec::Fused(_)))
+        .cloned()
+        .collect();
+    // The elide applies only to reduced-resolution decoding: its geometry
+    // is exact, whereas ROI/early-stop decodes emit block-aligned regions
+    // that may slightly exceed their nominal dims and still need the
+    // resize to normalize.
+    if matches!(mode, DecodeMode::ReducedResolution { .. }) && (dec_w, dec_h) == (out_w, out_h) {
+        // Decode geometry already meets the DNN input: the resize is
+        // elided — only the elementwise tail remains.
+        return PreprocPlan::new(tail);
+    }
+    // Shrunk resize: one direct resize from the decoded geometry to the
+    // output geometry replaces the geometric prefix.
+    let mut ops: Vec<PlacedOp> = vec![PlacedOp::cpu(OpSpec::ResizeExact {
+        w: out_w as u32,
+        h: out_h as u32,
+    })];
+    ops.extend(tail);
+    PreprocPlan::new(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smol_imgproc::dag::plan_cost;
+
+    #[test]
+    fn full_mode_is_identity() {
+        let plan = PreprocPlan::standard(256, 224, 224);
+        let rewritten = rewrite_preproc_for_decode(&plan, DecodeMode::Full, 640, 480);
+        assert_eq!(rewritten, plan);
+    }
+
+    #[test]
+    fn exact_reduced_decode_elides_resize() {
+        let plan = PreprocPlan::standard(256, 224, 224);
+        // 896 / 4 = 224 — the decode lands exactly on the DNN input.
+        let mode = DecodeMode::ReducedResolution { factor: 4 };
+        let rewritten = rewrite_preproc_for_decode(&plan, mode, 896, 896);
+        assert!(
+            rewritten.ops.iter().all(|o| o.spec.is_elementwise()),
+            "geometric ops must be elided: {rewritten:?}"
+        );
+        assert_eq!(rewritten.output_dims(224, 224), (224, 224));
+    }
+
+    #[test]
+    fn inexact_reduced_decode_shrinks_resize() {
+        let plan = PreprocPlan::standard(256, 224, 224);
+        let mode = DecodeMode::ReducedResolution { factor: 2 };
+        let rewritten = rewrite_preproc_for_decode(&plan, mode, 960, 720);
+        assert!(matches!(
+            rewritten.ops[0].spec,
+            OpSpec::ResizeExact { w: 224, h: 224 }
+        ));
+        // The shrunk pipeline (operating on the 480×360 decode) must be
+        // cheaper than the original on the full frame.
+        assert!(plan_cost(&rewritten, 480, 360) < plan_cost(&plan, 960, 720));
+    }
+
+    #[test]
+    fn roi_and_early_stop_get_direct_resize() {
+        let plan = PreprocPlan::standard(256, 224, 224);
+        for mode in [
+            DecodeMode::CentralRoi {
+                crop_w: 300,
+                crop_h: 300,
+            },
+            DecodeMode::EarlyStopRows { rows: 280 },
+        ] {
+            let rewritten = rewrite_preproc_for_decode(&plan, mode, 640, 480);
+            assert!(matches!(
+                rewritten.ops[0].spec,
+                OpSpec::ResizeExact { w: 224, h: 224 }
+            ));
+        }
+    }
+
+    #[test]
+    fn rewrite_preserves_fused_tail_and_placement() {
+        use smol_imgproc::dag::DagOptimizer;
+        let plan =
+            DagOptimizer::default().optimize(&PreprocPlan::standard(256, 224, 224), 896, 896);
+        let mode = DecodeMode::ReducedResolution { factor: 4 };
+        let rewritten = rewrite_preproc_for_decode(&plan, mode, 896, 896);
+        assert!(rewritten
+            .ops
+            .iter()
+            .any(|o| matches!(o.spec, OpSpec::Fused(_))));
+    }
+
+    #[test]
+    fn decode_cost_honors_skipped_work_per_mode() {
+        let full = decode_cost_for_mode(DecodeMode::Full, 896, 896);
+        let roi = decode_cost_for_mode(
+            DecodeMode::CentralRoi {
+                crop_w: 784,
+                crop_h: 784,
+            },
+            896,
+            896,
+        );
+        let early = decode_cost_for_mode(DecodeMode::EarlyStopRows { rows: 448 }, 896, 896);
+        let reduced = decode_cost_for_mode(DecodeMode::ReducedResolution { factor: 4 }, 896, 896);
+        // ROI and early-stop decodes really skip rows/columns: their cost
+        // must sit strictly below the full-frame decode.
+        assert!(roi < full, "roi {roi} vs full {full}");
+        assert!(early < full / 1.8, "early {early} vs full {full}");
+        // Reduced resolution reads every block (entropy floor) but skips
+        // almost all transform work.
+        assert!(reduced < full / 2.0, "reduced {reduced} vs full {full}");
+    }
+
+    #[test]
+    fn idct_edge_per_mode() {
+        assert_eq!(idct_edge(DecodeMode::Full), 8);
+        assert_eq!(idct_edge(DecodeMode::EarlyStopRows { rows: 10 }), 8);
+        assert_eq!(idct_edge(DecodeMode::ReducedResolution { factor: 2 }), 4);
+        assert_eq!(idct_edge(DecodeMode::ReducedResolution { factor: 8 }), 1);
+    }
+
+    #[test]
+    fn decoded_dims_per_mode() {
+        assert_eq!(DecodeMode::Full.decoded_dims(640, 480), (640, 480));
+        assert_eq!(
+            DecodeMode::ReducedResolution { factor: 4 }.decoded_dims(642, 480),
+            (161, 120)
+        );
+        assert_eq!(
+            DecodeMode::EarlyStopRows { rows: 100 }.decoded_dims(640, 480),
+            (640, 100)
+        );
+    }
+}

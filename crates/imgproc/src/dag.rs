@@ -244,6 +244,36 @@ fn op_cost(spec: &OpSpec, st: &mut CostState) -> f64 {
     cost
 }
 
+/// DCT block edge of the block codecs the decode cost model describes
+/// (JPEG anatomy; `smol_codec::sjpg` concretely). Kept here rather than in
+/// the codec crate because the planner costs decode and preprocessing
+/// *jointly* through this module's weighted-op scale.
+const DCT_BLOCK: usize = 8;
+/// Weighted ops charged per component block for entropy decoding — branchy
+/// sequential Huffman work that no reduced-fidelity mode can skip (§6.4:
+/// the stream must be read even when the IDCT is not run).
+const ENTROPY_PER_BLOCK: f64 = 320.0;
+/// Arithmetic ops per written pixel for YCbCr→RGB conversion + clamping.
+const COLOR_CONVERT: f64 = 5.0;
+
+/// Weighted-op cost of decoding a `w × h` 3-channel DCT block image whose
+/// 8×8 blocks are inverse-transformed at `idct_edge` points per axis
+/// (8 = full decode; 4/2/1 = reduced-resolution decode at 1/2, 1/4, 1/8
+/// scale). The entropy term is scale-independent, the IDCT term shrinks
+/// with the cube of the edge (`2n³` MACs per separable transform), and the
+/// pixel writes shrink quadratically — so the planner's Pareto frontier
+/// sees the true joint decode+preprocess cost of a reduced-resolution plan
+/// instead of assuming every candidate pays a full decode.
+pub fn decode_cost(w: usize, h: usize, idct_edge: usize) -> f64 {
+    let n = idct_edge.clamp(1, DCT_BLOCK) as f64;
+    let blocks = (w.div_ceil(DCT_BLOCK) * h.div_ceil(DCT_BLOCK) * 3) as f64;
+    let entropy = blocks * ENTROPY_PER_BLOCK;
+    let idct = blocks * 2.0 * n * n * n * F32_FACTOR;
+    let scale = n / DCT_BLOCK as f64;
+    let written = (w as f64 * scale).ceil() * (h as f64 * scale).ceil() * 3.0;
+    entropy + idct + written * (COLOR_CONVERT + MEM_PASS)
+}
+
 /// Total weighted-operation cost of a plan on a `w × h × 3` input.
 pub fn plan_cost(plan: &PreprocPlan, w: usize, h: usize) -> f64 {
     let mut st = CostState {
@@ -647,6 +677,38 @@ mod tests {
         let per_op = plan_op_costs(&plan, 640, 480);
         let total: f64 = per_op.iter().map(|c| c.weighted_ops).sum();
         assert!((total - plan_cost(&plan, 640, 480)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decode_cost_drops_with_idct_edge_but_keeps_entropy_floor() {
+        let full = decode_cost(640, 480, 8);
+        let half = decode_cost(640, 480, 4);
+        let eighth = decode_cost(640, 480, 1);
+        assert!(half < full / 2.0, "half {half} vs full {full}");
+        assert!(eighth < half);
+        // Entropy decoding is sequential and cannot be skipped: the cost
+        // never collapses below the entropy floor.
+        let blocks = (640usize.div_ceil(8) * 480usize.div_ceil(8) * 3) as f64;
+        assert!(eighth > blocks * 300.0);
+    }
+
+    #[test]
+    fn joint_cost_favors_fused_reduced_decode() {
+        // Full decode + standard preproc vs reduced decode (exact DNN
+        // geometry) + elementwise tail only: the joint cost must prefer
+        // the fused plan.
+        let standard = PreprocPlan::standard(256, 224, 224);
+        let tail = PreprocPlan::new(vec![
+            PlacedOp::cpu(OpSpec::ConvertF32),
+            PlacedOp::cpu(OpSpec::Normalize),
+            PlacedOp::cpu(OpSpec::ChannelSplit),
+        ]);
+        let joint_full = decode_cost(896, 896, 8) + plan_cost(&standard, 896, 896);
+        let joint_reduced = decode_cost(896, 896, 2) + plan_cost(&tail, 224, 224);
+        assert!(
+            joint_reduced < joint_full / 2.0,
+            "reduced {joint_reduced} vs full {joint_full}"
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub use crop::{center_crop_u8, crop_u8};
 pub use fused::fused_convert_normalize_split;
 pub use layout::{hwc_to_chw, to_f32};
 pub use normalize::{normalize_chw, normalize_hwc, Normalization};
-pub use resize::{resize_bilinear_f32, resize_bilinear_u8, resize_short_edge_u8, scaled_dims};
+pub use resize::{
+    box_downsample_u8, resize_bilinear_f32, resize_bilinear_u8, resize_short_edge_u8, scaled_dims,
+};
 
 #[allow(unused_imports)]
 use crate::image::{ImageU8, TensorF32};

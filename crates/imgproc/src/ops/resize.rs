@@ -135,6 +135,44 @@ pub fn resize_short_edge_u8(img: &ImageU8, short: usize) -> Result<ImageU8> {
     resize_bilinear_u8(img, w, h)
 }
 
+/// Box (average-pooling) downsample by an integer `factor`; output is
+/// `ceil(w/factor) × ceil(h/factor)`, edge cells averaging only in-bounds
+/// pixels. This is the post-decode reference a fused reduced-resolution
+/// decode (scaled IDCT, `smol_codec::sjpg::decode_scaled`) is judged
+/// against, and the fallback for codecs without multi-resolution decoding.
+pub fn box_downsample_u8(img: &ImageU8, factor: usize) -> Result<ImageU8> {
+    if factor == 0 || img.width() == 0 || img.height() == 0 {
+        return Err(Error::EmptyDimension {
+            op: "box_downsample_u8",
+        });
+    }
+    if factor == 1 {
+        return Ok(img.clone());
+    }
+    let c = img.channels();
+    let (ow, oh) = (img.width().div_ceil(factor), img.height().div_ceil(factor));
+    let mut out = ImageU8::zeros(ow, oh, c);
+    for y in 0..oh {
+        let y0 = y * factor;
+        let y1 = (y0 + factor).min(img.height());
+        for x in 0..ow {
+            let x0 = x * factor;
+            let x1 = (x0 + factor).min(img.width());
+            let count = ((y1 - y0) * (x1 - x0)) as u32;
+            for ch in 0..c {
+                let mut acc = 0u32;
+                for sy in y0..y1 {
+                    for sx in x0..x1 {
+                        acc += img.at(sx, sy, ch) as u32;
+                    }
+                }
+                out.set(x, y, ch, ((acc + count / 2) / count) as u8);
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +249,36 @@ mod tests {
         let out = resize_short_edge_u8(&img, 40).unwrap();
         assert_eq!(out.height(), 40);
         assert_eq!(out.width(), 50);
+    }
+
+    #[test]
+    fn box_downsample_dims_and_averaging() {
+        let img = gradient(64, 48);
+        let out = box_downsample_u8(&img, 4).unwrap();
+        assert_eq!((out.width(), out.height()), (16, 12));
+        // Cell (0,0) averages x in 0..4 → red mean of (0+1+2+3)*255/64 / 4.
+        let expect: u32 = (0..4).map(|x| (x * 255 / 64) as u32).sum::<u32>() / 4;
+        assert!((out.at(0, 0, 0) as i32 - expect as i32).abs() <= 1);
+        // Constant channel stays constant.
+        assert!(out.data().iter().skip(2).step_by(3).all(|&v| v == 128));
+    }
+
+    #[test]
+    fn box_downsample_clips_edge_cells() {
+        let img = gradient(10, 7);
+        let out = box_downsample_u8(&img, 4).unwrap();
+        assert_eq!((out.width(), out.height()), (3, 2));
+    }
+
+    #[test]
+    fn box_downsample_factor_one_is_identity() {
+        let img = gradient(9, 5);
+        let out = box_downsample_u8(&img, 1).unwrap();
+        assert_eq!(img.data(), out.data());
+    }
+
+    #[test]
+    fn box_downsample_rejects_zero_factor() {
+        assert!(box_downsample_u8(&gradient(8, 8), 0).is_err());
     }
 }

@@ -20,9 +20,12 @@ pub struct Dense {
 }
 
 impl Dense {
-    /// He-style initialization scaled for ReLU networks.
+    /// He-uniform initialization for ReLU networks: `U(-b, b)` with
+    /// `b = sqrt(6 / fan_in)`, whose variance matches He-normal's
+    /// `2 / fan_in` (a uniform bound of `sqrt(2 / fan_in)` yields only a
+    /// third of that variance and starves deep heads of gradient signal).
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
-        let scale = (2.0 / in_dim as f32).sqrt();
+        let scale = (6.0 / in_dim as f32).sqrt();
         let w = (0..in_dim * out_dim)
             .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
             .collect();

@@ -25,9 +25,9 @@ pub mod workers;
 pub use bufferpool::{BufferPool, PoolStats, PooledBuffer};
 pub use personalities::Personality;
 pub use pipeline::{
-    decode_only, execute_device_batch, preproc_only, produce_item, run_inference, run_throughput,
-    DeviceBatchSpec, PipelineReport, PlanContext, ProducedItem, Result, RuntimeError,
-    RuntimeOptions,
+    decode_item, decode_only, execute_device_batch, preproc_only, produce_item, run_inference,
+    run_throughput, DeviceBatchSpec, PipelineReport, PlanContext, ProducedItem, Result,
+    RuntimeError, RuntimeOptions,
 };
 pub use profiler::{
     measure_decode_throughput, measure_exec_throughput, measure_preproc_pipelined,

@@ -31,7 +31,7 @@ use smol_imgproc::dag::{plan_op_costs, OpSpec, Placement, PreprocPlan};
 use smol_imgproc::ops::fused::fused_convert_normalize_split_into;
 use smol_imgproc::ops::normalize::Normalization;
 use smol_imgproc::ops::{center_crop_u8, resize_bilinear_u8, resize_short_edge_u8};
-use smol_imgproc::{ImageU8, PlacedOp, Rect};
+use smol_imgproc::{ImageU8, Rect};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -287,7 +287,7 @@ pub fn execute_device_batch(
 }
 
 /// Decodes an item according to the plan's decode mode.
-fn decode_item(enc: &EncodedImage, mode: DecodeMode) -> Result<ImageU8> {
+pub fn decode_item(enc: &EncodedImage, mode: DecodeMode) -> Result<ImageU8> {
     match mode {
         DecodeMode::Full => Ok(enc.decode()?),
         DecodeMode::CentralRoi { crop_w, crop_h } => {
@@ -300,32 +300,24 @@ fn decode_item(enc: &EncodedImage, mode: DecodeMode) -> Result<ImageU8> {
             let (img, _) = enc.decode_roi(roi)?;
             Ok(img)
         }
+        DecodeMode::ReducedResolution { factor } => {
+            let (img, _) = enc.decode_scaled(factor as usize)?;
+            Ok(img)
+        }
     }
 }
 
-/// The plan actually executed after decoding: partial decode modes replace
-/// the geometric prefix with a direct resize to the plan's output size.
+/// The plan actually executed after decoding: the shared decode-aware
+/// rewrite pass (`smol_core::rewrite`) elides the resize when the decode
+/// geometry already meets the DNN input (reduced-resolution decoding) and
+/// otherwise replaces the geometric prefix with one direct resize.
 fn effective_preproc(plan: &QueryPlan) -> PreprocPlan {
-    let (ow, oh) = plan
-        .preproc
-        .output_dims(plan.input.width, plan.input.height);
-    match plan.decode {
-        DecodeMode::Full => plan.preproc.clone(),
-        _ => {
-            let mut ops: Vec<PlacedOp> = vec![PlacedOp::cpu(OpSpec::ResizeExact {
-                w: ow as u32,
-                h: oh as u32,
-            })];
-            ops.extend(
-                plan.preproc
-                    .ops
-                    .iter()
-                    .filter(|o| o.spec.is_elementwise() || matches!(o.spec, OpSpec::Fused(_)))
-                    .cloned(),
-            );
-            PreprocPlan::new(ops)
-        }
-    }
+    smol_core::rewrite_preproc_for_decode(
+        &plan.preproc,
+        plan.decode,
+        plan.input.width,
+        plan.input.height,
+    )
 }
 
 /// Executes the CPU-placed prefix of `plan` on a decoded image, writing the
@@ -744,6 +736,47 @@ mod tests {
         let report =
             run_throughput(&items, &plan, &fast_device(), &RuntimeOptions::default()).unwrap();
         assert_eq!(report.images, 6);
+    }
+
+    #[test]
+    fn reduced_resolution_decode_mode_runs_with_elided_resize() {
+        // 256 / 8 = 32 = DNN input: the rewrite pass must elide the resize
+        // entirely (decode geometry meets the DNN input).
+        let items = encoded_batch(6, 256, 256);
+        let mut plan = test_plan(256, 256, 32);
+        plan.decode = smol_core::DecodeMode::ReducedResolution { factor: 8 };
+        let ctx = PlanContext::new(&plan);
+        assert!(
+            ctx.preproc.ops.iter().all(|o| !matches!(
+                o.spec,
+                OpSpec::ResizeShortEdge { .. }
+                    | OpSpec::ResizeExact { .. }
+                    | OpSpec::CenterCrop { .. }
+                    | OpSpec::FusedCropResize { .. }
+            )),
+            "resize must be elided: {:?}",
+            ctx.preproc
+        );
+        assert_eq!((ctx.out_w, ctx.out_h), (32, 32));
+        let report =
+            run_throughput(&items, &plan, &fast_device(), &RuntimeOptions::default()).unwrap();
+        assert_eq!(report.images, 6);
+    }
+
+    #[test]
+    fn reduced_resolution_inexact_geometry_shrinks_resize() {
+        // 192 / 4 = 48 ≠ 32: the rewrite keeps one direct resize.
+        let items = encoded_batch(4, 192, 160);
+        let mut plan = test_plan(192, 160, 32);
+        plan.decode = smol_core::DecodeMode::ReducedResolution { factor: 4 };
+        let ctx = PlanContext::new(&plan);
+        assert!(matches!(
+            ctx.preproc.ops[0].spec,
+            OpSpec::ResizeExact { w: 32, h: 32 }
+        ));
+        let report =
+            run_throughput(&items, &plan, &fast_device(), &RuntimeOptions::default()).unwrap();
+        assert_eq!(report.images, 4);
     }
 
     #[test]

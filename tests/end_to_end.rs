@@ -184,6 +184,7 @@ fn planner_prefers_thumbnails_with_measured_rates() {
             input: full_input,
             accuracy: 0.75,
             preproc_throughput: full_rate,
+            reduced_accuracy: None,
             cascade: None,
         },
         smol::core::CandidateSpec {
@@ -191,6 +192,7 @@ fn planner_prefers_thumbnails_with_measured_rates() {
             input: thumb_input,
             accuracy: 0.748,
             preproc_throughput: thumb_rate,
+            reduced_accuracy: None,
             cascade: None,
         },
     ];

@@ -187,6 +187,59 @@ fn homogeneous_queries_share_device_batches() {
     server.shutdown();
 }
 
+/// Decode mode is CPU-side state: a reduced-resolution (scaled-IDCT)
+/// query and a full-decode query whose `PlacementSignature`s agree must
+/// still share device batches — the regression guard for
+/// `DecodeMode::ReducedResolution` staying out of the signature.
+#[test]
+fn reduced_resolution_and_full_decode_queries_co_batch() {
+    let server = Server::new(
+        fast_device(),
+        ServerConfig {
+            runtime: RuntimeOptions {
+                producers: 2,
+                consumers: 1,
+                // Same deterministic-merge trick as
+                // `homogeneous_queries_share_device_batches`: production is
+                // slow enough that both queries are admitted before either
+                // can drain.
+                extra_cpu_s_per_image: 0.02,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    // Query A: 64×64 inputs, full decode. Query B: 256×256 inputs decoded
+    // at 1/8 resolution — the decoder emits 32×32 (the DNN input), the
+    // rewrite pass elides the resize, and the output tensor geometry
+    // matches query A's.
+    let plan_full = plan_for(ModelKind::ResNet50, 64, 64, 32, 8);
+    let mut plan_reduced = plan_for(ModelKind::ResNet50, 256, 256, 32, 8);
+    plan_reduced.decode = smol::core::DecodeMode::ReducedResolution { factor: 8 };
+    assert_eq!(
+        plan_full.placement_signature(),
+        plan_reduced.placement_signature(),
+        "decode mode must not leak into the placement signature"
+    );
+    let h1 = server
+        .submit(plan_full, encoded_batch(4, 64, 64, 21))
+        .unwrap();
+    let h2 = server
+        .submit(plan_reduced, encoded_batch(4, 256, 256, 22))
+        .unwrap();
+    let r1 = h1.wait().unwrap();
+    let r2 = h2.wait().unwrap();
+    assert_eq!(r1.images + r2.images, 8);
+    assert_eq!(r1.failed + r2.failed, 0);
+    let stats = server.stats();
+    assert_eq!(
+        stats.batches, 1,
+        "4 full + 4 reduced items at batch 8 → one shared device batch"
+    );
+    assert_eq!(stats.cross_query_batches, 1);
+    server.shutdown();
+}
+
 /// `try_submit` applies backpressure at the admission bound instead of
 /// queueing unboundedly.
 #[test]
