@@ -85,7 +85,10 @@ fn main() {
     let reduced_mode = planner
         .reduced_decode_mode(&input)
         .expect("planner offers a reduced-resolution mode for this geometry");
-    assert_eq!(reduced_mode, DecodeMode::ReducedResolution { factor: 8 });
+    assert_eq!(
+        reduced_mode,
+        DecodeMode::reduced(8).expect("8 is a valid scaled-IDCT factor")
+    );
     let reduced_plan = mk_plan(reduced_mode);
 
     // Fidelity: fused decode vs the reference path (full decode + box

@@ -8,7 +8,7 @@ use smol_data::{generate_stills, throughput_images, StillDataset, StillSpec};
 use smol_imgproc::ops::resize::resize_short_edge_u8;
 use smol_imgproc::ImageU8;
 use smol_nn::{ClassifierConfig, InputFormat, SmolClassifier, ThumbCodec, Tier};
-use smol_runtime::{measure_preproc_pipelined, RuntimeOptions};
+use smol_runtime::{Profiler, RuntimeOptions};
 
 /// Whether the harness runs in quick mode (`SMOL_QUICK=1`): smaller image
 /// counts and clips, same code paths. Full mode reproduces the shapes with
@@ -170,7 +170,7 @@ impl VariantSet {
             producers: threads,
             ..Default::default()
         };
-        let tput = measure_preproc_pipelined(self.items(kind), &plan, &opts);
+        let tput = Profiler::new(opts).preproc_throughput(self.items(kind), &plan);
         (plan, tput)
     }
 }

@@ -1,0 +1,437 @@
+//! Declarative query constraints and typed planning errors (§3.1).
+//!
+//! The paper's user-facing contract is declarative: "the user provides an
+//! accuracy target, Smol picks the plan." This module is that contract's
+//! vocabulary — a [`Constraint`] states *what* the caller needs and
+//! [`Constraint::select`] resolves it over enumerated [`PlanCandidate`]s,
+//! returning a typed [`PlanError`] instead of a panic, `None`, or an empty
+//! `Vec` when no plan qualifies.
+//!
+//! # Constraint semantics
+//!
+//! Every constraint is a **floor, not a target**: it partitions the
+//! candidate set into feasible and infeasible plans and then optimizes the
+//! *other* axis over the feasible set. Concretely:
+//!
+//! * [`Constraint::MinAccuracy`] — feasible plans have `accuracy >= floor`;
+//!   among them the **fastest** (highest estimated throughput) wins.
+//! * [`Constraint::MaxAccuracyLoss`] — a relative accuracy floor: the floor
+//!   is `best_accuracy - loss`, where `best_accuracy` is the highest
+//!   accuracy any candidate achieves. A loss of `0.0` therefore asks for
+//!   the most accurate plan (fastest among accuracy ties).
+//! * [`Constraint::MinThroughput`] — feasible plans have
+//!   `est_throughput >= floor`; among them the **most accurate** wins.
+//! * [`Constraint::MaxCost`] — a cost ceiling in ¢ per million images at a
+//!   given instance price (§7's accounting, `smol_accel::economics`). Cost
+//!   is inversely proportional to throughput, so this is the throughput
+//!   floor `price_per_hour × 100 × 1e6 / (3600 × cents)` in disguise.
+//!
+//! **Tie-breaking on the frontier:** when two feasible plans tie on the
+//! optimized axis, the one better on the *constrained* axis wins (for
+//! accuracy floors: the more accurate of two equally fast plans; for
+//! throughput/cost floors: the faster of two equally accurate plans). This
+//! keeps selection deterministic and means a selected plan is always
+//! Pareto-optimal within the feasible set.
+//!
+//! Selection is monotone: tightening an accuracy floor never yields a
+//! *less* accurate plan than a looser one (it can only shrink the feasible
+//! set from the fast/inaccurate end), and symmetrically for throughput
+//! floors. `tests/session_api.rs` property-tests exactly this.
+
+use crate::costmodel::CostModelKind;
+use crate::plan::PlanCandidate;
+use crate::planner::PlannerConfig;
+use smol_accel::{ExecutionEnv, GpuModel};
+
+/// Typed planning failures. The planner and the serve-layer `Session`
+/// surface these instead of panicking or returning empty collections.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// No candidate plans exist: the spec list was empty, every spec was
+    /// filtered out by a lesion toggle, or no (DNN, variant) pair had
+    /// calibration data.
+    NoCandidates,
+    /// Candidates exist but none satisfies the constraint.
+    /// `best_accuracy` is the highest accuracy any candidate achieves, so
+    /// callers can relax toward something attainable.
+    Infeasible { best_accuracy: f64 },
+    /// `select_for_format` was asked about an input-variant name absent
+    /// from the candidate set.
+    UnknownFormat { format: String },
+    /// Reduced-resolution decoding exists only for factors 2, 4, and 8
+    /// (the scaled-IDCT bases; §6.4).
+    InvalidDecodeFactor { factor: u8 },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoCandidates => write!(f, "no candidate plans to choose from"),
+            PlanError::Infeasible { best_accuracy } => write!(
+                f,
+                "no plan satisfies the constraint (best achievable accuracy: {:.4})",
+                best_accuracy
+            ),
+            PlanError::UnknownFormat { format } => {
+                write!(f, "no candidate uses input variant {format:?}")
+            }
+            PlanError::InvalidDecodeFactor { factor } => {
+                write!(
+                    f,
+                    "reduced-resolution decode factor {factor} not in {{2, 4, 8}}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A declarative query constraint. See the module docs for the exact
+/// floor/tie-breaking semantics of each variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constraint {
+    /// Accuracy within `loss` of the best candidate; fastest such plan.
+    MaxAccuracyLoss(f64),
+    /// Absolute accuracy floor; fastest plan at or above it.
+    MinAccuracy(f64),
+    /// Estimated-throughput floor (im/s); most accurate plan at or above.
+    MinThroughput(f64),
+    /// Serving-cost ceiling in ¢ per million images at `price_per_hour`
+    /// dollars (§7); most accurate plan at or below the ceiling.
+    MaxCost {
+        cents_per_million: f64,
+        price_per_hour: f64,
+    },
+}
+
+impl Constraint {
+    /// On-demand g4dn.xlarge price at publication time (us-east-1), the
+    /// default instance for [`Constraint::MaxCost`].
+    pub const DEFAULT_PRICE_PER_HOUR: f64 = 0.526;
+
+    /// The throughput floor a cost ceiling implies: serving one million
+    /// images takes `1e6 / throughput / 3600` hours, so
+    /// `cents = price × 100 × 1e6 / (3600 × throughput)`.
+    fn throughput_floor(cents_per_million: f64, price_per_hour: f64) -> f64 {
+        if cents_per_million <= 0.0 {
+            return f64::INFINITY;
+        }
+        price_per_hour * 100.0 * 1e6 / (3600.0 * cents_per_million)
+    }
+
+    /// Resolves the constraint over a candidate set. Errors with
+    /// [`PlanError::NoCandidates`] on an empty set and
+    /// [`PlanError::Infeasible`] when no candidate qualifies.
+    ///
+    /// Accuracies and throughput estimates must be finite (they come from
+    /// calibration and profiling, which only produce finite values).
+    pub fn select<'a>(
+        &self,
+        candidates: &'a [PlanCandidate],
+    ) -> Result<&'a PlanCandidate, PlanError> {
+        if candidates.is_empty() {
+            return Err(PlanError::NoCandidates);
+        }
+        let best_accuracy = candidates
+            .iter()
+            .map(|c| c.accuracy)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let infeasible = PlanError::Infeasible { best_accuracy };
+        match *self {
+            Constraint::MaxAccuracyLoss(loss) => {
+                Self::fastest_above(candidates, best_accuracy - loss).ok_or(infeasible)
+            }
+            Constraint::MinAccuracy(floor) => {
+                Self::fastest_above(candidates, floor).ok_or(infeasible)
+            }
+            Constraint::MinThroughput(floor) => {
+                Self::most_accurate_above(candidates, floor).ok_or(infeasible)
+            }
+            Constraint::MaxCost {
+                cents_per_million,
+                price_per_hour,
+            } => {
+                let floor = Self::throughput_floor(cents_per_million, price_per_hour);
+                Self::most_accurate_above(candidates, floor).ok_or(infeasible)
+            }
+        }
+    }
+
+    /// Fastest plan with `accuracy >= floor`; accuracy breaks throughput
+    /// ties.
+    fn fastest_above(candidates: &[PlanCandidate], floor: f64) -> Option<&PlanCandidate> {
+        candidates
+            .iter()
+            .filter(|c| c.accuracy >= floor)
+            .max_by(|a, b| {
+                a.est_throughput
+                    .partial_cmp(&b.est_throughput)
+                    .expect("finite throughput")
+                    .then(
+                        a.accuracy
+                            .partial_cmp(&b.accuracy)
+                            .expect("finite accuracy"),
+                    )
+            })
+    }
+
+    /// Most accurate plan with `est_throughput >= floor`; throughput breaks
+    /// accuracy ties.
+    fn most_accurate_above(candidates: &[PlanCandidate], floor: f64) -> Option<&PlanCandidate> {
+        candidates
+            .iter()
+            .filter(|c| c.est_throughput >= floor)
+            .max_by(|a, b| {
+                a.accuracy
+                    .partial_cmp(&b.accuracy)
+                    .expect("finite accuracy")
+                    .then(
+                        a.est_throughput
+                            .partial_cmp(&b.est_throughput)
+                            .expect("finite throughput"),
+                    )
+            })
+    }
+
+    /// Hashable identity of this constraint (f64 payloads bit-encoded),
+    /// for plan-cache keys.
+    pub fn key(&self) -> ConstraintKey {
+        match *self {
+            Constraint::MaxAccuracyLoss(x) => ConstraintKey {
+                tag: 0,
+                a: x.to_bits(),
+                b: 0,
+            },
+            Constraint::MinAccuracy(x) => ConstraintKey {
+                tag: 1,
+                a: x.to_bits(),
+                b: 0,
+            },
+            Constraint::MinThroughput(x) => ConstraintKey {
+                tag: 2,
+                a: x.to_bits(),
+                b: 0,
+            },
+            Constraint::MaxCost {
+                cents_per_million,
+                price_per_hour,
+            } => ConstraintKey {
+                tag: 3,
+                a: cents_per_million.to_bits(),
+                b: price_per_hour.to_bits(),
+            },
+        }
+    }
+}
+
+/// Bit-exact, hashable encoding of a [`Constraint`] (plan-cache key part).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstraintKey {
+    tag: u8,
+    a: u64,
+    b: u64,
+}
+
+/// Hashable identity of a [`PlannerConfig`]: two configs with equal keys
+/// enumerate and cost candidates identically, so a plan cached under one
+/// is valid under the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlannerKey {
+    pub cost_model: CostModelKind,
+    pub device: GpuModel,
+    pub env: ExecutionEnv,
+    pub batch: usize,
+    pub enable_low_res: bool,
+    pub enable_dag_opt: bool,
+    pub enable_multires: bool,
+    pub dnn_input: u32,
+}
+
+impl PlannerConfig {
+    /// The cache-key identity of this configuration (every field that
+    /// influences enumeration, costing, or the built plans).
+    pub fn cache_key(&self) -> PlannerKey {
+        PlannerKey {
+            cost_model: self.cost_model,
+            device: self.device,
+            env: self.env,
+            batch: self.batch,
+            enable_low_res: self.enable_low_res,
+            enable_dag_opt: self.enable_dag_opt,
+            enable_multires: self.enable_multires,
+            dnn_input: self.dnn_input,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{DecodeMode, InputVariant, QueryPlan};
+    use smol_accel::ModelKind;
+    use smol_codec::Format;
+    use smol_imgproc::PreprocPlan;
+
+    fn cand(acc: f64, tput: f64) -> PlanCandidate {
+        PlanCandidate {
+            plan: QueryPlan {
+                dnn: ModelKind::ResNet18,
+                input: InputVariant::new("x", Format::Spng, 100, 100),
+                preproc: PreprocPlan::thumbnail(224, 224),
+                decode: DecodeMode::Full,
+                batch: 64,
+                extra_stages: Vec::new(),
+            },
+            preproc_throughput: tput,
+            exec_throughput: tput,
+            est_throughput: tput,
+            accuracy: acc,
+        }
+    }
+
+    fn ladder() -> Vec<PlanCandidate> {
+        vec![cand(0.70, 1000.0), cand(0.80, 500.0), cand(0.90, 100.0)]
+    }
+
+    #[test]
+    fn accuracy_floor_picks_fastest_feasible() {
+        let c = ladder();
+        let sel = Constraint::MinAccuracy(0.75).select(&c).unwrap();
+        assert_eq!(sel.accuracy, 0.80);
+        assert_eq!(sel.est_throughput, 500.0);
+    }
+
+    #[test]
+    fn accuracy_loss_is_relative_to_best() {
+        let c = ladder();
+        // best = 0.90; loss 0.12 → floor 0.78 → 0.80 @ 500 wins.
+        let sel = Constraint::MaxAccuracyLoss(0.12).select(&c).unwrap();
+        assert_eq!(sel.accuracy, 0.80);
+        // loss 0 → the most accurate plan.
+        let sel = Constraint::MaxAccuracyLoss(0.0).select(&c).unwrap();
+        assert_eq!(sel.accuracy, 0.90);
+    }
+
+    #[test]
+    fn throughput_floor_picks_most_accurate_feasible() {
+        let c = ladder();
+        let sel = Constraint::MinThroughput(400.0).select(&c).unwrap();
+        assert_eq!(sel.accuracy, 0.80);
+    }
+
+    #[test]
+    fn infeasible_reports_best_accuracy() {
+        let c = ladder();
+        let err = Constraint::MinAccuracy(0.95).select(&c).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::Infeasible {
+                best_accuracy: 0.90
+            }
+        );
+        let err = Constraint::MinThroughput(5000.0).select(&c).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::Infeasible {
+                best_accuracy: 0.90
+            }
+        );
+    }
+
+    #[test]
+    fn empty_candidate_set_is_typed() {
+        assert_eq!(
+            Constraint::MinAccuracy(0.5).select(&[]).unwrap_err(),
+            PlanError::NoCandidates
+        );
+    }
+
+    #[test]
+    fn ties_break_toward_the_constrained_axis() {
+        let c = vec![cand(0.70, 500.0), cand(0.80, 500.0)];
+        let sel = Constraint::MinAccuracy(0.5).select(&c).unwrap();
+        assert_eq!(sel.accuracy, 0.80, "equally fast: more accurate wins");
+        let c = vec![cand(0.80, 100.0), cand(0.80, 900.0)];
+        let sel = Constraint::MinThroughput(50.0).select(&c).unwrap();
+        assert_eq!(sel.est_throughput, 900.0, "equally accurate: faster wins");
+    }
+
+    #[test]
+    fn cost_ceiling_maps_to_throughput_floor() {
+        // 500 im/s at $0.526/h ⇒ 1e6/500/3600 h × 52.6 ¢/h ≈ 29.2 ¢/M.
+        let c = ladder();
+        let sel = Constraint::MaxCost {
+            cents_per_million: 30.0,
+            price_per_hour: Constraint::DEFAULT_PRICE_PER_HOUR,
+        }
+        .select(&c)
+        .unwrap();
+        assert_eq!(sel.est_throughput, 500.0);
+        assert_eq!(sel.accuracy, 0.80);
+        // 5 ¢/M needs ~2922 im/s: infeasible here.
+        let err = Constraint::MaxCost {
+            cents_per_million: 5.0,
+            price_per_hour: Constraint::DEFAULT_PRICE_PER_HOUR,
+        }
+        .select(&c)
+        .unwrap_err();
+        assert!(matches!(err, PlanError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn constraint_keys_are_value_sensitive() {
+        assert_eq!(
+            Constraint::MinAccuracy(0.75).key(),
+            Constraint::MinAccuracy(0.75).key()
+        );
+        assert_ne!(
+            Constraint::MinAccuracy(0.75).key(),
+            Constraint::MinAccuracy(0.76).key()
+        );
+        assert_ne!(
+            Constraint::MinAccuracy(0.75).key(),
+            Constraint::MaxAccuracyLoss(0.75).key()
+        );
+    }
+
+    #[test]
+    fn planner_keys_cover_every_config_field() {
+        let base = PlannerConfig::default();
+        assert_eq!(base.cache_key(), PlannerConfig::default().cache_key());
+        let variants = [
+            PlannerConfig {
+                cost_model: CostModelKind::ExecOnly,
+                ..base
+            },
+            PlannerConfig {
+                device: GpuModel::V100,
+                ..base
+            },
+            PlannerConfig {
+                env: ExecutionEnv::PyTorch,
+                ..base
+            },
+            PlannerConfig { batch: 16, ..base },
+            PlannerConfig {
+                enable_low_res: false,
+                ..base
+            },
+            PlannerConfig {
+                enable_dag_opt: false,
+                ..base
+            },
+            PlannerConfig {
+                enable_multires: false,
+                ..base
+            },
+            PlannerConfig {
+                dnn_input: 112,
+                ..base
+            },
+        ];
+        for v in variants {
+            assert_ne!(base.cache_key(), v.cache_key(), "{v:?}");
+        }
+    }
+}

@@ -3,6 +3,10 @@
 //! The paper's primary contribution: preprocessing-aware cost modeling and
 //! joint (DNN × input format) plan optimization.
 //!
+//! * [`constraints`] — declarative query constraints (accuracy floors,
+//!   throughput floors, cost ceilings) with typed [`PlanError`] failures
+//!   and plan-cache key derivation — the vocabulary of the §3.1 contract
+//!   ("the user provides an accuracy target, Smol picks the plan");
 //! * [`costmodel`] — the three throughput estimators of §4/Table 3:
 //!   Smol's `min(preproc, exec)`, BlazeIt's exec-only, Tahoma's additive —
 //!   plus cascade throughput (Eq. 2);
@@ -18,6 +22,7 @@
 //!   geometry (§6.4), shared by the planner (costing) and runtime
 //!   (execution).
 
+pub mod constraints;
 pub mod costmodel;
 pub mod pareto;
 pub mod placement;
@@ -25,6 +30,7 @@ pub mod plan;
 pub mod planner;
 pub mod rewrite;
 
+pub use constraints::{Constraint, ConstraintKey, PlanError, PlannerKey};
 pub use costmodel::{
     cascade_exec_throughput, estimate_throughput, percent_error, CascadeStage, CostModelKind,
 };

@@ -26,6 +26,18 @@ pub enum DecodeMode {
 }
 
 impl DecodeMode {
+    /// Validated constructor for [`DecodeMode::ReducedResolution`]: the
+    /// scaled-IDCT bases exist only for factors 2, 4, and 8 (§6.4), so any
+    /// other factor is a typed
+    /// [`PlanError::InvalidDecodeFactor`](crate::constraints::PlanError::InvalidDecodeFactor)
+    /// instead of a doc-comment contract the decoder discovers at runtime.
+    pub fn reduced(factor: u8) -> Result<DecodeMode, crate::constraints::PlanError> {
+        match factor {
+            2 | 4 | 8 => Ok(DecodeMode::ReducedResolution { factor }),
+            _ => Err(crate::constraints::PlanError::InvalidDecodeFactor { factor }),
+        }
+    }
+
     /// Dimensions the decoder hands to preprocessing for a `w × h` source.
     pub fn decoded_dims(&self, w: usize, h: usize) -> (usize, usize) {
         match *self {
@@ -176,6 +188,22 @@ mod tests {
         assert_eq!(v.pixels(), 320 * 240);
         let t = InputVariant::new("thumb", Format::Sjpg { quality: 75 }, 161, 161).thumbnail();
         assert!(t.is_thumbnail);
+    }
+
+    #[test]
+    fn reduced_constructor_validates_factor() {
+        for f in [2u8, 4, 8] {
+            assert_eq!(
+                DecodeMode::reduced(f).unwrap(),
+                DecodeMode::ReducedResolution { factor: f }
+            );
+        }
+        for f in [0u8, 1, 3, 5, 16] {
+            assert_eq!(
+                DecodeMode::reduced(f).unwrap_err(),
+                crate::constraints::PlanError::InvalidDecodeFactor { factor: f }
+            );
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! with the active cost model, and hand back the Pareto frontier or a
 //! constraint-satisfying plan.
 
+use crate::constraints::{Constraint, PlanError};
 use crate::costmodel::{estimate_throughput, CascadeStage, CostModelKind};
 use crate::pareto;
 use crate::plan::{DecodeMode, InputVariant, PlanCandidate, QueryPlan};
@@ -132,14 +133,13 @@ impl Planner {
             return None;
         }
         let d = self.config.dnn_input as usize;
-        [8usize, 4, 2]
+        [8u8, 4, 2]
             .into_iter()
-            .find(|&f| {
-                let (dw, dh) = DecodeMode::ReducedResolution { factor: f as u8 }
-                    .decoded_dims(input.width, input.height);
+            .map(|f| DecodeMode::reduced(f).expect("factors 8/4/2 are valid"))
+            .find(|mode| {
+                let (dw, dh) = mode.decoded_dims(input.width, input.height);
                 dw.min(dh) >= d
             })
-            .map(|f| DecodeMode::ReducedResolution { factor: f as u8 })
     }
 
     /// Estimated preprocessing throughput of the same input decoded under
@@ -241,26 +241,47 @@ impl Planner {
     }
 
     /// The Pareto-optimal set over the enumerated candidates (§3.1).
-    pub fn frontier(&self, specs: &[CandidateSpec]) -> Vec<PlanCandidate> {
-        pareto::pareto_frontier(self.enumerate(specs))
+    /// Errors with [`PlanError::NoCandidates`] when enumeration produces
+    /// nothing (empty specs, or every spec filtered by a lesion toggle)
+    /// instead of handing back an empty frontier the caller must remember
+    /// to check.
+    pub fn frontier(&self, specs: &[CandidateSpec]) -> Result<Vec<PlanCandidate>, PlanError> {
+        let candidates = self.enumerate(specs);
+        if candidates.is_empty() {
+            return Err(PlanError::NoCandidates);
+        }
+        Ok(pareto::pareto_frontier(candidates))
+    }
+
+    /// Constraint-driven selection (§3.1's declarative contract): enumerate
+    /// every candidate for `specs` and resolve `constraint` over them. The
+    /// returned candidate's plan is fully executable. Infeasible
+    /// constraints yield [`PlanError::Infeasible`] carrying the best
+    /// achievable accuracy.
+    pub fn plan(
+        &self,
+        specs: &[CandidateSpec],
+        constraint: &Constraint,
+    ) -> Result<PlanCandidate, PlanError> {
+        constraint.select(&self.enumerate(specs)).cloned()
     }
 
     /// §5.2's selection rule for a fixed input format: among DNNs whose
     /// execution throughput meets or exceeds the preprocessing throughput,
-    /// pick the most accurate.
+    /// pick the most accurate; if no DNN keeps up with preprocessing, fall
+    /// back to the fastest DNN for the format. Errors with
+    /// [`PlanError::UnknownFormat`] when no candidate uses `input_name`.
     pub fn select_for_format<'a>(
         &self,
         candidates: &'a [PlanCandidate],
         input_name: &str,
-    ) -> Option<&'a PlanCandidate> {
+    ) -> Result<&'a PlanCandidate, PlanError> {
         candidates
             .iter()
             .filter(|c| c.plan.input.name == input_name)
             .filter(|c| c.exec_throughput >= c.preproc_throughput)
             .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
             .or_else(|| {
-                // If no DNN keeps up with preprocessing, fall back to the
-                // fastest DNN for the format.
                 candidates
                     .iter()
                     .filter(|c| c.plan.input.name == input_name)
@@ -269,6 +290,9 @@ impl Planner {
                             .partial_cmp(&b.exec_throughput)
                             .expect("finite")
                     })
+            })
+            .ok_or_else(|| PlanError::UnknownFormat {
+                format: input_name.to_string(),
             })
     }
 }
@@ -345,7 +369,7 @@ mod tests {
     #[test]
     fn frontier_prefers_thumbnail_plans() {
         let planner = Planner::default();
-        let frontier = planner.frontier(&specs());
+        let frontier = planner.frontier(&specs()).unwrap();
         assert!(frontier.iter().any(|c| c.plan.input.is_thumbnail));
         // Everything on the frontier when low-res is available should be a
         // thumbnail plan here (dominates in both axes given equal accuracy).
@@ -461,7 +485,7 @@ mod tests {
         );
         // Low-res tolerant DNN (no reduced_accuracy): accuracy carries
         // over, so the reduced plan lands on the Pareto frontier.
-        let frontier = planner.frontier(&[big_spec(0.75, None)]);
+        let frontier = planner.frontier(&[big_spec(0.75, None)]).unwrap();
         assert!(frontier
             .iter()
             .any(|c| matches!(c.plan.decode, DecodeMode::ReducedResolution { .. })));
@@ -478,7 +502,7 @@ mod tests {
         assert!((reduced.accuracy - 0.71).abs() < 1e-12);
         // Both plans stay on the frontier: the reduced one is faster, the
         // full one more accurate.
-        let frontier = planner.frontier(&[big_spec(0.75, Some(0.71))]);
+        let frontier = planner.frontier(&[big_spec(0.75, Some(0.71))]).unwrap();
         assert_eq!(frontier.len(), 2);
     }
 
@@ -504,5 +528,65 @@ mod tests {
         // Both RN-34 and RN-50 exceed 1995 im/s on the T4; RN-50 is more
         // accurate and should win.
         assert_eq!(chosen.plan.dnn, ModelKind::ResNet50);
+    }
+
+    #[test]
+    fn select_for_format_rejects_unknown_names() {
+        let planner = Planner::default();
+        let cands = planner.enumerate(&specs());
+        assert_eq!(
+            planner
+                .select_for_format(&cands, "no such variant")
+                .unwrap_err(),
+            crate::constraints::PlanError::UnknownFormat {
+                format: "no such variant".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_specs_are_a_typed_error_not_an_empty_frontier() {
+        let planner = Planner::default();
+        assert_eq!(
+            planner.frontier(&[]).unwrap_err(),
+            crate::constraints::PlanError::NoCandidates
+        );
+        // The low-res lesion filtering *every* spec is the same condition.
+        let planner = Planner::new(PlannerConfig {
+            enable_low_res: false,
+            ..Default::default()
+        });
+        let thumbs_only: Vec<CandidateSpec> = specs()
+            .into_iter()
+            .filter(|s| s.input.is_thumbnail)
+            .collect();
+        assert_eq!(
+            planner.frontier(&thumbs_only).unwrap_err(),
+            crate::constraints::PlanError::NoCandidates
+        );
+    }
+
+    #[test]
+    fn constraint_driven_plan_matches_motivating_example() {
+        use crate::constraints::Constraint;
+        let planner = Planner::default();
+        // Within 0.5 points of the best accuracy, the fastest plan is
+        // ResNet-50 on thumbnails (the §5.2 motivating example).
+        let chosen = planner
+            .plan(&specs(), &Constraint::MaxAccuracyLoss(0.005))
+            .unwrap();
+        assert_eq!(chosen.plan.dnn, ModelKind::ResNet50);
+        assert!(chosen.plan.input.is_thumbnail);
+        // An unreachable accuracy floor is a typed infeasibility carrying
+        // the best achievable accuracy.
+        let err = planner
+            .plan(&specs(), &Constraint::MinAccuracy(0.99))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::constraints::PlanError::Infeasible {
+                best_accuracy: 0.7516
+            }
+        );
     }
 }

@@ -6,17 +6,22 @@
 //! * [`catalog`] — the four still datasets (bike-bird, animals-10,
 //!   birds-200, imagenet-sim) and four video scenes (night-street, taipei,
 //!   amsterdam, rialto) with paper-reference columns and difficulty knobs;
+//! * [`registry`] — named encoded serving variants: the §5.2
+//!   natively-present storage layout (full-res + thumbnails, several
+//!   codecs) materialized for dataset registration;
 //! * [`stills`] — the class-image generator with controlled frequency
 //!   content (the mechanism behind the §5.2/§5.3 accuracy shapes);
 //! * [`video`] — traffic scenes with ground-truth per-frame counts and
 //!   temporally autocorrelated count series (the mechanism behind §8.4).
 
 pub mod catalog;
+pub mod registry;
 pub mod stills;
 pub mod video;
 
 pub use catalog::{
     still_catalog, video_catalog, StillDatasetId, StillSpec, VideoDatasetId, VideoSpec,
 };
+pub use registry::{encode_variant, serving_variants, EncodedVariant};
 pub use stills::{generate_stills, render_instance, throughput_images, StillDataset};
 pub use video::{count_autocorrelation, generate_video, SyntheticVideo};

@@ -31,6 +31,6 @@ pub use pipeline::{
 };
 pub use profiler::{
     measure_decode_throughput, measure_exec_throughput, measure_preproc_pipelined,
-    measure_preproc_throughput,
+    measure_preproc_throughput, Profiler,
 };
 pub use workers::WorkerPool;

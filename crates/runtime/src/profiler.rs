@@ -3,11 +3,70 @@
 //! execution"; §4: `T_exec` "can be directly measured using synthetic
 //! data").
 
-use crate::pipeline::{decode_item, preproc_only};
+use crate::pipeline::{decode_item, preproc_only, RuntimeOptions};
 use smol_accel::{ModelKind, VirtualDevice};
 use smol_codec::EncodedImage;
 use smol_core::{DecodeMode, QueryPlan};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Reusable profiling front-end over the free measurement functions below:
+/// one `RuntimeOptions` for every measurement, an optional per-measurement
+/// sample cap, and an invocation counter.
+///
+/// The counter is the point: callers that *cache* profiled numbers (the
+/// serve-layer `Session` plan cache, bench harnesses) can assert whether a
+/// request actually re-ran the pipeline or was served from cache — see
+/// `tests/session_api.rs`.
+#[derive(Debug)]
+pub struct Profiler {
+    opts: RuntimeOptions,
+    sample: usize,
+    calls: AtomicUsize,
+}
+
+impl Profiler {
+    /// A profiler measuring through the pipelined harness under `opts`,
+    /// with no sample cap.
+    pub fn new(opts: RuntimeOptions) -> Self {
+        Profiler {
+            opts,
+            sample: usize::MAX,
+            calls: AtomicUsize::new(0),
+        }
+    }
+
+    /// Caps every measurement at the first `sample` items (0 means
+    /// uncapped). Profiling feeds a *relative* cost comparison, so a
+    /// bounded prefix is usually enough and keeps first-use planning cheap.
+    pub fn with_sample(mut self, sample: usize) -> Self {
+        self.sample = if sample == 0 { usize::MAX } else { sample };
+        self
+    }
+
+    /// How many measurements this profiler has run (monotonic).
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::Acquire)
+    }
+
+    fn take<'a>(&self, items: &'a [EncodedImage]) -> &'a [EncodedImage] {
+        &items[..items.len().min(self.sample)]
+    }
+
+    /// Pipelined decode+preprocess throughput of `plan` over (a sample of)
+    /// `items` — [`measure_preproc_pipelined`] with counting.
+    pub fn preproc_throughput(&self, items: &[EncodedImage], plan: &QueryPlan) -> f64 {
+        self.calls.fetch_add(1, Ordering::AcqRel);
+        measure_preproc_pipelined(self.take(items), plan, &self.opts)
+    }
+
+    /// Decode-only throughput under `mode` — [`measure_decode_throughput`]
+    /// with counting, using the profiler's producer count.
+    pub fn decode_throughput(&self, items: &[EncodedImage], mode: DecodeMode) -> f64 {
+        self.calls.fetch_add(1, Ordering::AcqRel);
+        measure_decode_throughput(self.take(items), mode, self.opts.effective_producers())
+    }
+}
 
 /// Measured preprocessing throughput (decode + CPU preprocessing) in
 /// images/second using `threads` parallel workers over `items`.
@@ -177,6 +236,23 @@ mod tests {
         let (img, stats) = data[0].decode_scaled(4).unwrap();
         assert_eq!((img.width(), img.height()), (24, 24));
         assert!(stats.idct_macs > 0);
+    }
+
+    #[test]
+    fn profiler_counts_and_caps_samples() {
+        let data = items(16);
+        let p = plan();
+        let profiler = Profiler::new(crate::pipeline::RuntimeOptions::default()).with_sample(4);
+        assert_eq!(profiler.calls(), 0);
+        let t = profiler.preproc_throughput(&data, &p);
+        assert!(t > 0.0);
+        assert_eq!(profiler.calls(), 1);
+        let d = profiler.decode_throughput(&data, DecodeMode::Full);
+        assert!(d > 0.0);
+        assert_eq!(profiler.calls(), 2);
+        // A zero cap means "uncapped", not "measure nothing".
+        let uncapped = Profiler::new(crate::pipeline::RuntimeOptions::default()).with_sample(0);
+        assert!(uncapped.preproc_throughput(&data, &p) > 0.0);
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! time; at production scale many analytics queries arrive concurrently
 //! and must share one accelerator. This crate provides:
 //!
+//! * [`Session`] — the declarative, constraint-driven facade (§3.1's
+//!   contract): register a [`Dataset`] once, submit [`Query`]s stating an
+//!   accuracy/throughput/cost constraint, and the session profiles,
+//!   plans, caches, and executes — no hand-built `CandidateSpec`s or
+//!   `QueryPlan`s, and typed [`SessionError`] failures;
 //! * [`Server`] — a long-lived runtime accepting concurrent
 //!   [`smol_core::QueryPlan`] submissions over one shared
 //!   [`smol_accel::VirtualDevice`] and one shared producer pool, with a
@@ -24,8 +29,14 @@
 
 pub mod scheduler;
 pub mod server;
+pub mod session;
 pub mod stats;
 
 pub use scheduler::{BatchFormer, FormedBatch};
-pub use server::{run_query, QueryHandle, QueryId, ServeError, ServeResult, Server, ServerConfig};
+pub use server::{QueryHandle, QueryId, ServeError, ServeResult, Server, ServerConfig};
+pub use session::{
+    AccuracyTable, CacheStats, Calibration, ChosenPlan, Dataset, DatasetVariant, DeviceKey,
+    Explanation, MeasuredCalibration, PlanCache, PlanKey, PredictFn, Query, Session, SessionConfig,
+    SessionError,
+};
 pub use stats::{percentile, BoxedPrediction, QueryReport, ServerStats};

@@ -460,28 +460,6 @@ impl Drop for Server {
     }
 }
 
-/// Runs one query on an ephemeral one-query server — the serving-runtime
-/// equivalent of the legacy `smol_runtime::run_throughput` entry point.
-pub fn run_query(
-    device: &VirtualDevice,
-    plan: QueryPlan,
-    items: Vec<EncodedImage>,
-    opts: &RuntimeOptions,
-) -> ServeResult<QueryReport> {
-    let server = Server::new(
-        device.clone(),
-        ServerConfig {
-            runtime: *opts,
-            batch_queue: opts.consumers.max(1),
-            ..Default::default()
-        },
-    );
-    let handle = server.submit(plan, items)?;
-    let report = handle.wait()?;
-    server.shutdown();
-    Ok(report)
-}
-
 // ---------------------------------------------------------------------------
 // Stage threads
 // ---------------------------------------------------------------------------

@@ -1,0 +1,1078 @@
+//! The declarative, constraint-driven query interface — the §3.1 contract
+//! ("the user provides an accuracy target, Smol picks the plan") as an
+//! API, layered over the multi-query [`Server`].
+//!
+//! A [`Session`] owns one server (one shared device) and a set of
+//! registered [`Dataset`]s. Callers never build `CandidateSpec`s or
+//! `QueryPlan`s: they register a dataset once (named input variants, the
+//! DNN ladder to consider, and calibration data), then submit declarative
+//! [`Query`]s:
+//!
+//! ```text
+//! session.register(dataset)?;
+//! let report = session.run(&Query::new("photos").max_accuracy_loss(0.005))?;
+//! ```
+//!
+//! On first use of a `(dataset, constraint, planner-config, device)`
+//! combination the session
+//!
+//! 1. profiles decode+preprocess throughput per variant through the
+//!    pipelined harness ([`smol_runtime::Profiler`]),
+//! 2. derives a [`CandidateSpec`] per calibrated (DNN, variant) pair —
+//!    accuracies come from the dataset's [`Calibration`], not from
+//!    call-site literals,
+//! 3. resolves the constraint over the planner's enumeration
+//!    ([`Planner::plan`]), and
+//! 4. caches the chosen plan in a [`PlanCache`] keyed on exactly that
+//!    4-tuple; later submissions with an equal key skip profiling and
+//!    planning entirely (assertable via [`Profiler::calls`] and
+//!    [`CacheStats`]).
+//!
+//! Execution always goes through the server's fair-share, cross-query
+//! batching path, so concurrent declarative queries co-batch exactly like
+//! hand-submitted plans.
+//!
+//! Failures are typed end to end: [`SessionError`] wraps the planner's
+//! [`PlanError`] (e.g. [`PlanError::Infeasible`] with the best achievable
+//! accuracy) and the server's [`ServeError`], plus registration errors
+//! like [`SessionError::UnknownDataset`].
+//!
+//! A (DNN, variant) pair with no calibration entry is simply *not a
+//! candidate* — datasets may calibrate a sparse subset of the D × F grid
+//! (exactly like the paper, which only trains/evaluates the pairs it
+//! serves). If nothing is calibrated, planning fails with
+//! [`PlanError::NoCandidates`].
+
+use crate::server::{QueryHandle, ServeError, Server, ServerConfig};
+use crate::stats::QueryReport;
+use parking_lot::{Condvar, Mutex};
+use smol_accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
+use smol_codec::EncodedImage;
+use smol_core::{
+    pareto_frontier, CandidateSpec, Constraint, ConstraintKey, DecodeMode, InputVariant,
+    PlanCandidate, PlanError, Planner, PlannerConfig, PlannerKey, QueryPlan,
+};
+use smol_data::EncodedVariant;
+use smol_imgproc::{ops::resize_short_edge_u8, ImageU8};
+use smol_runtime::Profiler;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Session-layer errors: the workspace-level failure hierarchy
+/// (re-exported as `smol::Error`).
+#[derive(Debug)]
+pub enum SessionError {
+    /// The query names a dataset that was never registered.
+    UnknownDataset { name: String },
+    /// A dataset with this name is already registered. Re-registration is
+    /// rejected because cached plans are keyed by dataset name and would
+    /// go stale silently.
+    DuplicateDataset { name: String },
+    /// Planning failed (no candidates, infeasible constraint, …).
+    Plan(PlanError),
+    /// The serving runtime rejected or dropped the query.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::UnknownDataset { name } => write!(f, "unknown dataset {name:?}"),
+            SessionError::DuplicateDataset { name } => {
+                write!(f, "dataset {name:?} is already registered")
+            }
+            SessionError::Plan(e) => write!(f, "planning failed: {e}"),
+            SessionError::Serve(e) => write!(f, "serving failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Plan(e) => Some(e),
+            SessionError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for SessionError {
+    fn from(e: PlanError) -> Self {
+        SessionError::Plan(e)
+    }
+}
+
+impl From<ServeError> for SessionError {
+    fn from(e: ServeError) -> Self {
+        SessionError::Serve(e)
+    }
+}
+
+/// Per-image prediction function standing in for a DNN's classification
+/// head during calibration.
+pub type PredictFn = Arc<dyn Fn(&ImageU8) -> usize + Send + Sync>;
+
+/// Where a dataset's per-(DNN, variant) accuracies come from.
+pub enum Calibration {
+    /// A pre-measured accuracy table (e.g. offline evaluation, or the
+    /// paper's published numbers).
+    Table(AccuracyTable),
+    /// Accuracies measured on registration data: each calibration image is
+    /// re-encoded into the variant's stored form, decoded the way the
+    /// plan would decode it, and scored against its label.
+    Measured(MeasuredCalibration),
+}
+
+impl Calibration {
+    fn accuracy(&self, model: ModelKind, input: &InputVariant) -> Option<f64> {
+        match self {
+            Calibration::Table(t) => t.get(model, &input.name).map(|e| e.accuracy),
+            Calibration::Measured(m) => m.measure(model, input, None),
+        }
+    }
+
+    fn reduced_accuracy(
+        &self,
+        model: ModelKind,
+        input: &InputVariant,
+        mode: DecodeMode,
+    ) -> Option<f64> {
+        let DecodeMode::ReducedResolution { factor } = mode else {
+            return None;
+        };
+        match self {
+            Calibration::Table(t) => t.get(model, &input.name).and_then(|e| e.reduced_at(factor)),
+            Calibration::Measured(m) => m.measure(model, input, Some(factor)),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TableEntry {
+    accuracy: f64,
+    /// Reduced-resolution accuracy per scaled-IDCT factor.
+    reduced: BTreeMap<u8, f64>,
+}
+
+impl TableEntry {
+    /// Reduced accuracy to use when the planner decodes at `factor`:
+    /// the exact calibrated value when recorded; otherwise the value at
+    /// the closest *harsher* recorded factor (a valid lower bound — less
+    /// downsampling cannot hurt accuracy); otherwise the value at the
+    /// closest milder factor (the best available estimate). `None` when
+    /// no reduced accuracy was calibrated at all, which falls back to the
+    /// planner's low-res-tolerant assumption (accuracy carries over).
+    fn reduced_at(&self, factor: u8) -> Option<f64> {
+        if let Some(&acc) = self.reduced.get(&factor) {
+            return Some(acc);
+        }
+        if let Some((_, &acc)) = self.reduced.range(factor..).next() {
+            return Some(acc);
+        }
+        self.reduced
+            .range(..factor)
+            .next_back()
+            .map(|(_, &acc)| acc)
+    }
+}
+
+/// A sparse (DNN, variant-name) → accuracy table.
+#[derive(Debug, Default)]
+pub struct AccuracyTable {
+    entries: HashMap<(ModelKind, String), TableEntry>,
+}
+
+impl AccuracyTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the calibrated accuracy of `model` on variant `variant`.
+    pub fn with(mut self, model: ModelKind, variant: &str, accuracy: f64) -> Self {
+        self.entry(model, variant, accuracy);
+        self
+    }
+
+    /// Like [`AccuracyTable::with`], additionally recording the accuracy
+    /// measured under reduced-resolution decoding **at `factor`** (§6.4's
+    /// fidelity/throughput trade). The factor matters: a value calibrated
+    /// at factor 2 says nothing safe about factor 8, so lookups match the
+    /// factor the planner actually selects (exact match, else the closest
+    /// harsher factor's value as a lower bound, else the closest milder
+    /// one as the best available estimate). Record one entry per factor
+    /// you intend to serve.
+    pub fn with_reduced(
+        mut self,
+        model: ModelKind,
+        variant: &str,
+        accuracy: f64,
+        factor: u8,
+        reduced: f64,
+    ) -> Self {
+        self.entry(model, variant, accuracy)
+            .reduced
+            .insert(factor, reduced);
+        self
+    }
+
+    fn entry(&mut self, model: ModelKind, variant: &str, accuracy: f64) -> &mut TableEntry {
+        let e = self
+            .entries
+            .entry((model, variant.to_string()))
+            .or_insert_with(|| TableEntry {
+                accuracy,
+                reduced: BTreeMap::new(),
+            });
+        e.accuracy = accuracy;
+        e
+    }
+
+    fn get(&self, model: ModelKind, variant: &str) -> Option<&TableEntry> {
+        self.entries.get(&(model, variant.to_string()))
+    }
+}
+
+/// Measures accuracies from labeled calibration images at registration
+/// granularity: for each (DNN, variant) pair, every calibration image is
+/// resized to the variant's stored geometry, encoded in its format,
+/// decoded (fully, or at reduced resolution when scoring a scaled-decode
+/// plan), and scored by the DNN's predictor. Results are memoized.
+///
+/// Predictors must tolerate the geometry the variant produces (thumbnails
+/// and reduced decodes hand them smaller images than full decodes).
+/// Memo key: (model, variant name, reduced-decode factor).
+type MeasureKey = (ModelKind, String, Option<u8>);
+
+pub struct MeasuredCalibration {
+    images: Vec<ImageU8>,
+    labels: Vec<usize>,
+    predictors: HashMap<ModelKind, PredictFn>,
+    memo: Mutex<HashMap<MeasureKey, f64>>,
+    /// Predictors are opaque closures, so measured calibrations can't be
+    /// compared structurally; each instance gets a unique identity for
+    /// dataset fingerprinting instead.
+    nonce: u64,
+}
+
+/// Source of [`MeasuredCalibration::nonce`] values.
+static MEASURED_NONCE: AtomicU64 = AtomicU64::new(1);
+
+impl MeasuredCalibration {
+    /// A calibration set of labeled reference images (native resolution).
+    pub fn new(images: Vec<ImageU8>, labels: Vec<usize>) -> Self {
+        assert_eq!(images.len(), labels.len(), "one label per image");
+        MeasuredCalibration {
+            images,
+            labels,
+            predictors: HashMap::new(),
+            memo: Mutex::new(HashMap::new()),
+            nonce: MEASURED_NONCE.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Registers the predictor standing in for `model`'s classification
+    /// head. Models without predictors are skipped during planning.
+    pub fn with_predictor(
+        mut self,
+        model: ModelKind,
+        predict: impl Fn(&ImageU8) -> usize + Send + Sync + 'static,
+    ) -> Self {
+        self.predictors.insert(model, Arc::new(predict));
+        self
+    }
+
+    fn measure(&self, model: ModelKind, input: &InputVariant, factor: Option<u8>) -> Option<f64> {
+        let predict = self.predictors.get(&model)?;
+        if self.images.is_empty() {
+            return None;
+        }
+        let key = (model, input.name.clone(), factor);
+        if let Some(&acc) = self.memo.lock().get(&key) {
+            return Some(acc);
+        }
+        let short = input.width.min(input.height);
+        let mut correct = 0usize;
+        for (img, &label) in self.images.iter().zip(&self.labels) {
+            let staged;
+            let variant_img = if input.is_thumbnail && img.width().min(img.height()) != short {
+                staged = resize_short_edge_u8(img, short).expect("calibration resize");
+                &staged
+            } else {
+                img
+            };
+            let enc = EncodedImage::encode(variant_img, input.format).expect("calibration encode");
+            let decoded = match factor {
+                None => enc.decode().expect("calibration decode"),
+                Some(f) => enc.decode_scaled(f as usize).expect("calibration decode").0,
+            };
+            if predict(&decoded) == label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / self.images.len() as f64;
+        self.memo.lock().insert(key, acc);
+        Some(acc)
+    }
+}
+
+/// One registered input variant: the planner-facing descriptor plus the
+/// encoded serving corpus.
+pub struct DatasetVariant {
+    pub input: InputVariant,
+    pub items: Arc<Vec<EncodedImage>>,
+}
+
+/// A registered dataset: named input variants, the DNN ladder to consider
+/// (the paper's D), and calibration data the session derives accuracies
+/// from.
+pub struct Dataset {
+    name: String,
+    models: Vec<ModelKind>,
+    variants: Vec<DatasetVariant>,
+    calibration: Calibration,
+}
+
+impl Dataset {
+    /// An empty dataset; add models, variants, and calibration with the
+    /// builder methods.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dataset {
+            name: name.into(),
+            models: Vec::new(),
+            variants: Vec::new(),
+            calibration: Calibration::Table(AccuracyTable::new()),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a DNN to the candidate ladder.
+    pub fn with_model(mut self, model: ModelKind) -> Self {
+        if !self.models.contains(&model) {
+            self.models.push(model);
+        }
+        self
+    }
+
+    /// Registers one input variant with its encoded serving corpus.
+    pub fn with_variant(mut self, input: InputVariant, items: Vec<EncodedImage>) -> Self {
+        self.variants.push(DatasetVariant {
+            input,
+            items: Arc::new(items),
+        });
+        self
+    }
+
+    /// Registers every variant of a `smol_data` encoded layout (e.g.
+    /// [`smol_data::serving_variants`]) under its own name.
+    pub fn with_encoded_variants(mut self, variants: Vec<EncodedVariant>) -> Self {
+        for v in variants {
+            let mut input = InputVariant::new(v.name, v.format, v.width, v.height);
+            if v.thumbnail {
+                input = input.thumbnail();
+            }
+            self.variants.push(DatasetVariant {
+                input,
+                items: Arc::new(v.items),
+            });
+        }
+        self
+    }
+
+    /// Sets the calibration source accuracies are derived from.
+    pub fn with_calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    fn variant(&self, name: &str) -> Option<&DatasetVariant> {
+        self.variants.iter().find(|v| v.input.name == name)
+    }
+
+    /// Structural identity of this dataset for cache keys: models,
+    /// variant descriptors + corpus sizes, and the calibration contents
+    /// (table entries bit-exactly; measured calibrations by instance
+    /// nonce, since predictors are opaque). Two same-named datasets with
+    /// different contents — e.g. registered in different sessions sharing
+    /// one [`PlanCache`] — therefore never collide on cached plans or
+    /// profiles.
+    fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut models: Vec<String> = self.models.iter().map(|m| format!("{m:?}")).collect();
+        models.sort();
+        models.hash(&mut h);
+        let mut variants: Vec<String> = self
+            .variants
+            .iter()
+            .map(|v| {
+                format!(
+                    "{}|{:?}|{}x{}|{}|{}",
+                    v.input.name,
+                    v.input.format,
+                    v.input.width,
+                    v.input.height,
+                    v.input.is_thumbnail,
+                    v.items.len()
+                )
+            })
+            .collect();
+        variants.sort();
+        variants.hash(&mut h);
+        match &self.calibration {
+            Calibration::Table(t) => {
+                let mut entries: Vec<String> = t
+                    .entries
+                    .iter()
+                    .map(|((m, v), e)| {
+                        let reduced: Vec<(u8, u64)> =
+                            e.reduced.iter().map(|(&f, a)| (f, a.to_bits())).collect();
+                        format!("{m:?}|{v}|{:016x}|{reduced:?}", e.accuracy.to_bits())
+                    })
+                    .collect();
+                entries.sort();
+                entries.hash(&mut h);
+            }
+            Calibration::Measured(m) => m.nonce.hash(&mut h),
+        }
+        h.finish()
+    }
+}
+
+/// A dataset as held by a session: the registration plus its computed
+/// fingerprint.
+struct Registered {
+    dataset: Dataset,
+    fingerprint: u64,
+}
+
+/// A declarative query: a dataset name plus a [`Constraint`]. Defaults to
+/// `max_accuracy_loss(0.0)` — the most accurate plan available.
+#[derive(Debug, Clone)]
+pub struct Query {
+    dataset: String,
+    constraint: Constraint,
+    limit: Option<usize>,
+}
+
+impl Query {
+    pub fn new(dataset: impl Into<String>) -> Self {
+        Query {
+            dataset: dataset.into(),
+            constraint: Constraint::MaxAccuracyLoss(0.0),
+            limit: None,
+        }
+    }
+
+    /// Accuracy within `loss` of the best candidate; fastest such plan.
+    pub fn max_accuracy_loss(mut self, loss: f64) -> Self {
+        self.constraint = Constraint::MaxAccuracyLoss(loss);
+        self
+    }
+
+    /// Absolute accuracy floor; fastest plan at or above it.
+    pub fn min_accuracy(mut self, floor: f64) -> Self {
+        self.constraint = Constraint::MinAccuracy(floor);
+        self
+    }
+
+    /// Estimated-throughput floor in im/s; most accurate plan above it.
+    pub fn min_throughput(mut self, floor: f64) -> Self {
+        self.constraint = Constraint::MinThroughput(floor);
+        self
+    }
+
+    /// Cost ceiling in ¢ per million images at the default g4dn.xlarge
+    /// price (§7); most accurate plan under the ceiling.
+    pub fn max_cost(self, cents_per_million: f64) -> Self {
+        self.max_cost_at(cents_per_million, Constraint::DEFAULT_PRICE_PER_HOUR)
+    }
+
+    /// Cost ceiling at an explicit instance price in $/hour.
+    pub fn max_cost_at(mut self, cents_per_million: f64, price_per_hour: f64) -> Self {
+        self.constraint = Constraint::MaxCost {
+            cents_per_million,
+            price_per_hour,
+        };
+        self
+    }
+
+    /// Explicit constraint (escape hatch for programmatic construction).
+    pub fn with_constraint(mut self, constraint: Constraint) -> Self {
+        self.constraint = constraint;
+        self
+    }
+
+    /// Runs over at most the first `n` items of the chosen variant.
+    pub fn take(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    pub fn constraint(&self) -> &Constraint {
+        &self.constraint
+    }
+}
+
+/// Identity of the device a session executes on, for plan-cache keys:
+/// model + environment + the calibrated anchor and time scale (so custom
+/// [`DeviceSpec`](smol_accel::DeviceSpec)s with the same `GpuModel` tag
+/// still key distinctly).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeviceKey {
+    model: GpuModel,
+    env: ExecutionEnv,
+    anchor_bits: u64,
+    time_scale_bits: u64,
+}
+
+impl DeviceKey {
+    pub fn of(device: &VirtualDevice) -> Self {
+        DeviceKey {
+            model: device.spec().model,
+            env: device.env(),
+            anchor_bits: device.spec().resnet50_batch64.to_bits(),
+            time_scale_bits: device.time_scale().to_bits(),
+        }
+    }
+}
+
+/// Full plan-cache key: `(dataset, constraint, PlannerConfig, device)`,
+/// where "dataset" is the registered name *plus* its structural
+/// fingerprint (see `Dataset::fingerprint`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    dataset: String,
+    fingerprint: u64,
+    constraint: ConstraintKey,
+    planner: PlannerKey,
+    device: DeviceKey,
+}
+
+/// Profile-cache key: profiled preprocessing throughput depends on the
+/// dataset variant and the planner configuration (which shapes the
+/// preprocessing plan and decode mode) but *not* on the device, env, or
+/// constraint — profiling is CPU-side — so a device change re-plans
+/// without re-measuring. The planner component is therefore the config
+/// key with its device/env fields pinned (see
+/// `Session::profile_planner_key`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProfileKey {
+    dataset: String,
+    fingerprint: u64,
+    variant: String,
+    planner: PlannerKey,
+}
+
+/// A resolved, cached planning decision.
+#[derive(Debug, Clone)]
+pub struct ChosenPlan {
+    /// The winning candidate; `candidate.plan` is executable as-is.
+    pub candidate: PlanCandidate,
+    /// Name of the input variant the plan reads.
+    pub variant: String,
+    /// The Pareto frontier the winner was drawn from, cached so
+    /// [`Session::explain`] never re-derives specs.
+    pub frontier: Vec<PlanCandidate>,
+}
+
+enum PlanSlot {
+    /// Another thread is profiling/planning this key right now.
+    Pending,
+    Ready(Arc<ChosenPlan>),
+}
+
+enum ProfileSlot {
+    Pending,
+    Ready(f64),
+}
+
+/// Shared, thread-safe plan + profile cache. Construct one per session
+/// (the [`Session::new`] default) or share one `Arc<PlanCache>` across
+/// sessions over different devices/configs to pool planning work.
+///
+/// Misses are **single-flight per key**: concurrent submissions of the
+/// same `(dataset, constraint, config, device)` tuple plan once — the
+/// rest wait and count as hits. Without this, simultaneous first-use
+/// queries would profile the same variants in parallel and perturb each
+/// other's throughput measurements. A planning attempt that fails — or
+/// panics — retracts its pending slot and wakes the waiters, which then
+/// try for themselves.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, PlanSlot>>,
+    ready_cv: Condvar,
+    profiles: Mutex<HashMap<ProfileKey, ProfileSlot>>,
+    profile_cv: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Counters for [`PlanCache`] behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plan lookups answered from cache.
+    pub hits: u64,
+    /// Plan lookups that had to profile/plan.
+    pub misses: u64,
+    /// Distinct cached plans.
+    pub plans: usize,
+    /// Distinct cached per-variant profiles.
+    pub profiles: usize,
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Acquire),
+            misses: self.misses.load(Ordering::Acquire),
+            plans: self
+                .plans
+                .lock()
+                .values()
+                .filter(|s| matches!(s, PlanSlot::Ready(_)))
+                .count(),
+            profiles: self
+                .profiles
+                .lock()
+                .values()
+                .filter(|s| matches!(s, ProfileSlot::Ready(_)))
+                .count(),
+        }
+    }
+
+    /// Returns the cached plan for `key`, or runs `plan` to produce it.
+    /// Concurrent callers with the same key wait for the in-flight
+    /// planning instead of duplicating it (and count as hits). A failed
+    /// planning attempt is not cached; waiters retry it themselves.
+    fn get_or_plan(
+        &self,
+        key: &PlanKey,
+        plan: impl FnOnce() -> Result<Arc<ChosenPlan>, SessionError>,
+    ) -> Result<(Arc<ChosenPlan>, bool), SessionError> {
+        {
+            let mut plans = self.plans.lock();
+            loop {
+                match plans.get(key) {
+                    Some(PlanSlot::Ready(p)) => {
+                        self.hits.fetch_add(1, Ordering::AcqRel);
+                        return Ok((p.clone(), true));
+                    }
+                    Some(PlanSlot::Pending) => self.ready_cv.wait(&mut plans),
+                    None => break,
+                }
+            }
+            plans.insert(key.clone(), PlanSlot::Pending);
+            self.misses.fetch_add(1, Ordering::AcqRel);
+        }
+        // Plan outside the lock (profiling is slow). The guard retracts
+        // the pending slot and wakes waiters on *any* non-success exit —
+        // error return or panic — so a failed planner can never wedge
+        // concurrent submitters of the same key.
+        let mut guard = RetractPending {
+            cache: self,
+            key,
+            armed: true,
+        };
+        let result = plan();
+        if let Ok(p) = &result {
+            self.plans
+                .lock()
+                .insert(key.clone(), PlanSlot::Ready(p.clone()));
+            guard.armed = false;
+            self.ready_cv.notify_all();
+        }
+        result.map(|p| (p, false))
+    }
+
+    /// Like [`PlanCache::get_or_plan`] but for per-variant profiling:
+    /// single-flight per key, measured outside the lock. Concurrent
+    /// measurements of the same variant would contend for the CPU and
+    /// understate both throughputs, so waiters block instead.
+    fn profile_or(&self, key: ProfileKey, measure: impl FnOnce() -> f64) -> f64 {
+        {
+            let mut profiles = self.profiles.lock();
+            loop {
+                match profiles.get(&key) {
+                    Some(ProfileSlot::Ready(t)) => return *t,
+                    Some(ProfileSlot::Pending) => self.profile_cv.wait(&mut profiles),
+                    None => break,
+                }
+            }
+            profiles.insert(key.clone(), ProfileSlot::Pending);
+        }
+        let mut guard = RetractPendingProfile {
+            cache: self,
+            key: key.clone(),
+            armed: true,
+        };
+        let t = measure();
+        guard.armed = false;
+        self.profiles.lock().insert(key, ProfileSlot::Ready(t));
+        self.profile_cv.notify_all();
+        t
+    }
+}
+
+/// Removes a pending plan slot and wakes waiters if planning unwound
+/// (error or panic) before publishing a result.
+struct RetractPending<'a> {
+    cache: &'a PlanCache,
+    key: &'a PlanKey,
+    armed: bool,
+}
+
+impl Drop for RetractPending<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.plans.lock().remove(self.key);
+            self.cache.ready_cv.notify_all();
+        }
+    }
+}
+
+/// [`RetractPending`]'s counterpart for the profile map.
+struct RetractPendingProfile<'a> {
+    cache: &'a PlanCache,
+    key: ProfileKey,
+    armed: bool,
+}
+
+impl Drop for RetractPendingProfile<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.profiles.lock().remove(&self.key);
+            self.cache.profile_cv.notify_all();
+        }
+    }
+}
+
+/// Session configuration.
+pub struct SessionConfig {
+    /// Planner configuration. The `device` and `env` fields are
+    /// **overridden** from the session's [`VirtualDevice`] at
+    /// construction, so cost estimation always models the device that
+    /// actually executes the plans.
+    pub planner: PlannerConfig,
+    /// Serving configuration for the underlying [`Server`].
+    pub server: ServerConfig,
+    /// Per-variant profiling sample cap (items). 0 means profile the full
+    /// corpus.
+    pub profile_sample: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            planner: PlannerConfig::default(),
+            server: ServerConfig::default(),
+            profile_sample: 64,
+        }
+    }
+}
+
+/// Why a plan was chosen: the constraint-feasible winner plus the Pareto
+/// frontier it was drawn from (for reports and debugging).
+pub struct Explanation {
+    /// Pareto-optimal candidates over the derived specs.
+    pub frontier: Vec<PlanCandidate>,
+    /// The constraint's winner (same plan the session executes).
+    pub chosen: PlanCandidate,
+    /// Name of the input variant the chosen plan reads.
+    pub variant: String,
+    /// Whether the chosen plan came from the cache.
+    pub cache_hit: bool,
+}
+
+/// The declarative session facade. See the module docs for the lifecycle.
+pub struct Session {
+    server: Server,
+    planner: Planner,
+    device_key: DeviceKey,
+    datasets: Mutex<HashMap<String, Arc<Registered>>>,
+    profiler: Arc<Profiler>,
+    cache: Arc<PlanCache>,
+}
+
+impl Session {
+    /// A session over `device` with its own profiler and plan cache.
+    pub fn new(device: VirtualDevice, cfg: SessionConfig) -> Self {
+        let profiler = Arc::new(Profiler::new(cfg.server.runtime).with_sample(cfg.profile_sample));
+        Self::with_shared(device, cfg, profiler, Arc::new(PlanCache::new()))
+    }
+
+    /// A session sharing an externally owned profiler and plan cache —
+    /// for pooling planning work across sessions, and for tests that
+    /// assert profiling/caching behavior.
+    pub fn with_shared(
+        device: VirtualDevice,
+        mut cfg: SessionConfig,
+        profiler: Arc<Profiler>,
+        cache: Arc<PlanCache>,
+    ) -> Self {
+        // The planner must cost DNN execution on the device that will
+        // actually run the plans; otherwise a min-throughput or max-cost
+        // constraint is judged against the wrong throughput tables.
+        cfg.planner.device = device.spec().model;
+        cfg.planner.env = device.env();
+        let device_key = DeviceKey::of(&device);
+        Session {
+            server: Server::new(device, cfg.server),
+            planner: Planner::new(cfg.planner),
+            device_key,
+            datasets: Mutex::new(HashMap::new()),
+            profiler,
+            cache,
+        }
+    }
+
+    /// Registers a dataset. Names are unique per session.
+    pub fn register(&self, dataset: Dataset) -> Result<(), SessionError> {
+        let mut datasets = self.datasets.lock();
+        let name = dataset.name.clone();
+        if datasets.contains_key(&name) {
+            return Err(SessionError::DuplicateDataset { name });
+        }
+        let fingerprint = dataset.fingerprint();
+        datasets.insert(
+            name,
+            Arc::new(Registered {
+                dataset,
+                fingerprint,
+            }),
+        );
+        Ok(())
+    }
+
+    fn dataset(&self, name: &str) -> Result<Arc<Registered>, SessionError> {
+        self.datasets
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SessionError::UnknownDataset {
+                name: name.to_string(),
+            })
+    }
+
+    /// The planner-key component of profile-cache keys: device and env
+    /// pinned to fixed values, because CPU-side profiling does not depend
+    /// on them (a device change must re-plan, not re-measure).
+    fn profile_planner_key(&self) -> PlannerKey {
+        PlannerKey {
+            device: GpuModel::T4,
+            env: ExecutionEnv::TensorRt,
+            ..self.planner.config.cache_key()
+        }
+    }
+
+    /// Derives the candidate specs for a dataset: profiled preprocessing
+    /// throughput per variant (cached) × calibrated accuracy per
+    /// (DNN, variant) pair.
+    fn derive_specs(&self, reg: &Registered) -> Vec<CandidateSpec> {
+        let ds = &reg.dataset;
+        let mut specs = Vec::new();
+        for v in &ds.variants {
+            if ds.models.is_empty() || v.items.is_empty() {
+                continue;
+            }
+            // Preprocessing throughput is DNN-independent: profile the
+            // variant once under any model.
+            let probe = QueryPlan {
+                dnn: ds.models[0],
+                input: v.input.clone(),
+                preproc: self.planner.build_preproc(&v.input),
+                decode: self.planner.decode_mode(&v.input),
+                batch: self.planner.config.batch,
+                extra_stages: Vec::new(),
+            };
+            let key = ProfileKey {
+                dataset: ds.name.clone(),
+                fingerprint: reg.fingerprint,
+                variant: v.input.name.clone(),
+                planner: self.profile_planner_key(),
+            };
+            let tput = self
+                .cache
+                .profile_or(key, || self.profiler.preproc_throughput(&v.items, &probe));
+            let reduced_mode = self.planner.reduced_decode_mode(&v.input);
+            for &model in &ds.models {
+                let Some(accuracy) = ds.calibration.accuracy(model, &v.input) else {
+                    continue;
+                };
+                let reduced_accuracy = reduced_mode
+                    .and_then(|mode| ds.calibration.reduced_accuracy(model, &v.input, mode));
+                specs.push(CandidateSpec {
+                    dnn: model,
+                    input: v.input.clone(),
+                    accuracy,
+                    preproc_throughput: tput,
+                    reduced_accuracy,
+                    cascade: None,
+                });
+            }
+        }
+        specs
+    }
+
+    fn resolve(&self, query: &Query) -> Result<(Arc<ChosenPlan>, bool), SessionError> {
+        let reg = self.dataset(&query.dataset)?;
+        let key = PlanKey {
+            dataset: query.dataset.clone(),
+            fingerprint: reg.fingerprint,
+            constraint: query.constraint.key(),
+            planner: self.planner.config.cache_key(),
+            device: self.device_key.clone(),
+        };
+        self.cache.get_or_plan(&key, || {
+            let specs = self.derive_specs(&reg);
+            let candidates = self.planner.enumerate(&specs);
+            let chosen = query.constraint.select(&candidates).cloned()?;
+            Ok(Arc::new(ChosenPlan {
+                variant: chosen.plan.input.name.clone(),
+                candidate: chosen,
+                frontier: pareto_frontier(candidates),
+            }))
+        })
+    }
+
+    /// Plans (or recalls) the query's plan and explains the decision
+    /// without executing anything. Cache hits answer entirely from the
+    /// cached decision — no re-profiling, no spec re-derivation.
+    pub fn explain(&self, query: &Query) -> Result<Explanation, SessionError> {
+        let (chosen, cache_hit) = self.resolve(query)?;
+        Ok(Explanation {
+            frontier: chosen.frontier.clone(),
+            chosen: chosen.candidate.clone(),
+            variant: chosen.variant.clone(),
+            cache_hit,
+        })
+    }
+
+    /// Plans the query and submits it to the serving runtime, returning
+    /// the handle (admission may block under backpressure, like
+    /// [`Server::submit`]).
+    pub fn submit(&self, query: &Query) -> Result<QueryHandle, SessionError> {
+        let (chosen, _) = self.resolve(query)?;
+        let reg = self.dataset(&query.dataset)?;
+        let variant = reg
+            .dataset
+            .variant(&chosen.variant)
+            .expect("plan keys fingerprint the variant set, so a hit's variant exists");
+        let items: Vec<EncodedImage> = variant
+            .items
+            .iter()
+            .take(query.limit.unwrap_or(usize::MAX))
+            .cloned()
+            .collect();
+        Ok(self.server.submit(chosen.candidate.plan.clone(), items)?)
+    }
+
+    /// Plans, submits, and waits: the one-call declarative path.
+    pub fn run(&self, query: &Query) -> Result<QueryReport, SessionError> {
+        let handle = self.submit(query)?;
+        Ok(handle.wait()?)
+    }
+
+    /// Plan/profile cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The session's profiler (its call counter tells whether a submission
+    /// re-profiled or planned from cache).
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
+    }
+
+    /// Aggregate serving metrics of the underlying server.
+    pub fn stats(&self) -> crate::stats::ServerStats {
+        self.server.stats()
+    }
+
+    /// Direct access to the underlying server (e.g. to co-submit
+    /// hand-built plans next to declarative queries).
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Drains in-flight queries and stops the serving threads.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(reduced: &[(u8, f64)]) -> TableEntry {
+        TableEntry {
+            accuracy: 0.9,
+            reduced: reduced.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn reduced_accuracy_lookup_is_factor_aware() {
+        // Exact factor match.
+        assert_eq!(entry(&[(4, 0.8)]).reduced_at(4), Some(0.8));
+        // Selected milder than calibrated: the harsher value is a valid
+        // lower bound.
+        assert_eq!(entry(&[(8, 0.7)]).reduced_at(2), Some(0.7));
+        // Selected harsher than anything calibrated: best available
+        // estimate is the closest milder factor.
+        assert_eq!(entry(&[(2, 0.85)]).reduced_at(8), Some(0.85));
+        // Multiple entries: exact wins; otherwise closest harsher.
+        let e = entry(&[(2, 0.88), (8, 0.70)]);
+        assert_eq!(e.reduced_at(2), Some(0.88));
+        assert_eq!(e.reduced_at(4), Some(0.70), "closest harsher bound");
+        assert_eq!(e.reduced_at(8), Some(0.70));
+        // Nothing calibrated: fall back to the tolerant assumption.
+        assert_eq!(entry(&[]).reduced_at(4), None);
+    }
+
+    #[test]
+    fn dataset_fingerprints_track_contents() {
+        let ds = |acc: f64| {
+            Dataset::new("same-name")
+                .with_model(ModelKind::ResNet50)
+                .with_calibration(Calibration::Table(AccuracyTable::new().with(
+                    ModelKind::ResNet50,
+                    "full",
+                    acc,
+                )))
+        };
+        assert_eq!(
+            ds(0.8).fingerprint(),
+            ds(0.8).fingerprint(),
+            "structurally identical datasets share cache entries"
+        );
+        assert_ne!(
+            ds(0.8).fingerprint(),
+            ds(0.7).fingerprint(),
+            "different calibration must key differently"
+        );
+        // Measured calibrations are identity-keyed (opaque predictors).
+        let measured = |imgs: Vec<ImageU8>| {
+            Dataset::new("same-name").with_calibration(Calibration::Measured(
+                MeasuredCalibration::new(imgs, Vec::new()),
+            ))
+        };
+        assert_ne!(
+            measured(Vec::new()).fingerprint(),
+            measured(Vec::new()).fingerprint()
+        );
+    }
+}

@@ -1,37 +1,45 @@
 //! Multi-tenant serving: several analytics tenants share one accelerator
-//! through the `smol-serve` runtime.
+//! through a declarative [`smol::Session`].
 //!
-//! Three tenants submit queries concurrently from their own threads:
-//! two run ResNet-50 over 161-px thumbnails (same placement signature, so
-//! the scheduler merges their items into shared device batches) and one
-//! runs ResNet-18 over full-resolution frames (different signature, so it
-//! gets its own batches — but still interleaves fairly on the producers).
+//! Three tenants submit constraint-driven queries concurrently from their
+//! own threads. Two tolerate a point of accuracy loss, so the planner
+//! gives both the same fast thumbnail plan — their items merge into shared
+//! device batches (same placement signature), and the second tenant's
+//! planning is a pure cache hit. The third demands full-fidelity accuracy
+//! and gets the full-resolution plan in its own batches, interleaving
+//! fairly on the producers.
 //!
 //! ```sh
 //! cargo run --release --example multi_tenant
 //! ```
 
-use smol::accel::{ExecutionEnv, GpuModel, VirtualDevice};
+use smol::accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
 use smol::codec::{EncodedImage, Format};
-use smol::core::{InputVariant, Planner, PlannerConfig, QueryPlan};
+use smol::core::{InputVariant, PlannerConfig};
 use smol::imgproc::ops::resize::resize_short_edge_u8;
-use smol::serve::{Server, ServerConfig};
+use smol::serve::ServerConfig;
+use smol::{AccuracyTable, Calibration, Dataset, Query, Session, SessionConfig};
 
-fn main() {
+fn main() -> Result<(), smol::Error> {
     let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
-    let server = Server::new(
+    let session = Session::new(
         device,
-        ServerConfig {
-            max_active_queries: 6,
+        SessionConfig {
+            planner: PlannerConfig {
+                dnn_input: 112,
+                batch: 16,
+                ..Default::default()
+            },
+            server: ServerConfig {
+                max_active_queries: 6,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
-    let planner = Planner::new(PlannerConfig {
-        dnn_input: 112,
-        ..Default::default()
-    });
 
-    // Shared synthetic footage: full-res frames + 120-px thumbnails.
+    // Shared synthetic footage, stored two ways: full-res frames and
+    // natively-present 120-px thumbnails.
     let spec = &smol::data::still_catalog()[3];
     let natives = smol::data::throughput_images(spec, 11, 48);
     let full: Vec<EncodedImage> = natives
@@ -46,53 +54,56 @@ fn main() {
         })
         .collect();
 
-    let plan_for = |dnn, items: &[EncodedImage], name: &str, thumb: bool| -> QueryPlan {
-        let mut input = InputVariant::new(name, items[0].format, items[0].width, items[0].height);
-        if thumb {
-            input = input.thumbnail();
-        }
-        QueryPlan {
-            dnn,
-            input: input.clone(),
-            preproc: planner.build_preproc(&input),
-            decode: planner.decode_mode(&input),
-            batch: 16,
-            extra_stages: Vec::new(),
-        }
-    };
-    let thumb_plan = plan_for(
-        smol::accel::ModelKind::ResNet50,
-        &thumbs,
-        "120 sjpg(q=75)",
-        true,
-    );
-    let full_plan = plan_for(
-        smol::accel::ModelKind::ResNet18,
-        &full,
-        "full-res sjpg(q=95)",
-        false,
-    );
+    session.register(
+        Dataset::new("footage")
+            .with_model(ModelKind::ResNet50)
+            .with_model(ModelKind::ResNet18)
+            .with_variant(
+                InputVariant::new(
+                    "full-res sjpg(q=95)",
+                    Format::Sjpg { quality: 95 },
+                    320,
+                    240,
+                ),
+                full,
+            )
+            .with_variant(
+                InputVariant::new("120 sjpg(q=75)", Format::Sjpg { quality: 75 }, 160, 120)
+                    .thumbnail(),
+                thumbs,
+            )
+            .with_calibration(Calibration::Table(
+                AccuracyTable::new()
+                    .with(ModelKind::ResNet50, "full-res sjpg(q=95)", 0.750)
+                    .with(ModelKind::ResNet50, "120 sjpg(q=75)", 0.740)
+                    .with(ModelKind::ResNet18, "full-res sjpg(q=95)", 0.710)
+                    .with(ModelKind::ResNet18, "120 sjpg(q=75)", 0.705),
+            )),
+    )?;
+
+    // Each tenant states *requirements*; nobody picks DNNs or formats.
+    let tenants = [
+        (
+            "tenant-a (loss ≤ 1.5 pt)",
+            Query::new("footage").max_accuracy_loss(0.015),
+        ),
+        (
+            "tenant-b (loss ≤ 1.5 pt)",
+            Query::new("footage").max_accuracy_loss(0.015),
+        ),
+        (
+            "tenant-c (acc ≥ 0.745)",
+            Query::new("footage").min_accuracy(0.745),
+        ),
+    ];
 
     println!("tenants submitting concurrently…\n");
     let reports = std::thread::scope(|scope| {
-        let tenants = [
-            (
-                "tenant-a (RN-50 thumbs)",
-                thumb_plan.clone(),
-                thumbs.clone(),
-            ),
-            (
-                "tenant-b (RN-50 thumbs)",
-                thumb_plan.clone(),
-                thumbs.clone(),
-            ),
-            ("tenant-c (RN-18 full)", full_plan.clone(), full.clone()),
-        ];
         let handles: Vec<_> = tenants
-            .into_iter()
-            .map(|(name, plan, items)| {
-                let server = &server;
-                scope.spawn(move || (name, server.submit(plan, items).unwrap().wait().unwrap()))
+            .iter()
+            .map(|(name, query)| {
+                let session = &session;
+                scope.spawn(move || (*name, session.run(query).unwrap()))
             })
             .collect();
         handles
@@ -103,7 +114,7 @@ fn main() {
 
     for (name, r) in &reports {
         println!(
-            "{name:<24} {} ({} images): {:6.1} im/s, p50 {:5.1} ms, p95 {:5.1} ms",
+            "{name:<26} {} ({} images): {:6.1} im/s, p50 {:5.1} ms, p95 {:5.1} ms",
             r.label,
             r.images,
             r.throughput,
@@ -111,7 +122,8 @@ fn main() {
             r.latency_p95_s * 1e3
         );
     }
-    let stats = server.stats();
+    let stats = session.stats();
+    let cache = session.cache_stats();
     println!(
         "\nserver totals: {} queries, {} images, {} batches \
          ({} cross-query, {} full), device occupancy {:.0}%",
@@ -122,6 +134,11 @@ fn main() {
         stats.full_batches,
         stats.device_occupancy * 100.0
     );
-    server.shutdown();
-    println!("server drained and shut down.");
+    println!(
+        "plan cache: {} plans for 3 tenants ({} hits / {} misses)",
+        cache.plans, cache.hits, cache.misses
+    );
+    session.shutdown();
+    println!("session drained and shut down.");
+    Ok(())
 }

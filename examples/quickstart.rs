@@ -1,121 +1,106 @@
-//! Quickstart: plan and execute an end-to-end visual inference job.
+//! Quickstart: declarative, constraint-driven visual inference.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Encodes a batch of synthetic images as full-resolution sjpg and 161-px
-//! spng thumbnails, lets the planner pick the best (DNN, format) plan under
-//! Smol's preprocessing-aware cost model, and runs both the chosen plan and
-//! the naive plan through the pipelined engine.
+//! Registers a dataset (the §8.1 serving layout: full-resolution sjpg plus
+//! natively-present thumbnails) with calibrated accuracies, then submits
+//! two declarative queries: one tolerating 0.5 points of accuracy loss
+//! (Smol picks the fast thumbnail plan) and one demanding full-fidelity
+//! accuracy (forcing the naive full-resolution plan). No `CandidateSpec`s,
+//! no hand-assembled `QueryPlan`s — profiling, calibration lookup, plan
+//! selection, and caching all happen inside the session.
 
 use smol::accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
-use smol::codec::{EncodedImage, Format};
-use smol::core::{CandidateSpec, InputVariant, Planner, QueryPlan};
-use smol::data::{still_catalog, throughput_images};
-use smol::imgproc::ops::resize::resize_short_edge_u8;
-use smol::runtime::{measure_preproc_pipelined, run_throughput, RuntimeOptions};
+use smol::data::{serving_variants, still_catalog};
+use smol::{AccuracyTable, Calibration, Dataset, Query, Session, SessionConfig};
 
-fn main() {
-    // 1. Data: 96 synthetic "photos" at 320x240, stored two ways — as
-    //    full-resolution sjpg(q=95) and as natively-present 161-px
-    //    thumbnails (spng), like a serving site would.
+fn main() -> Result<(), smol::Error> {
+    // 1. One session = one device + one serving runtime + one plan cache.
+    let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
+    let session = Session::new(device, SessionConfig::default());
+
+    // 2. Register the dataset once: 96 synthetic "photos" in the standard
+    //    serving layout (full-res sjpg(q=95) + 161-px thumbnails), the DNN
+    //    ladder to consider, and the calibration table accuracies are
+    //    derived from (here the paper's published values; see
+    //    `MeasuredCalibration` for deriving them from labeled images).
     let spec = &still_catalog()[3];
-    let natives = throughput_images(spec, 1, 96);
-    let full: Vec<EncodedImage> = natives
-        .iter()
-        .map(|img| EncodedImage::encode(img, Format::Sjpg { quality: 95 }).unwrap())
-        .collect();
-    let thumbs: Vec<EncodedImage> = natives
-        .iter()
-        .map(|img| {
-            let t = resize_short_edge_u8(img, 161).unwrap();
-            EncodedImage::encode(&t, Format::Spng).unwrap()
-        })
-        .collect();
-    println!(
-        "encoded {} images: full-res {:.0} KiB avg, thumbnail {:.0} KiB avg",
-        natives.len(),
-        full.iter().map(|e| e.size_bytes()).sum::<usize>() as f64 / 96.0 / 1024.0,
-        thumbs.iter().map(|e| e.size_bytes()).sum::<usize>() as f64 / 96.0 / 1024.0
-    );
-
-    // 2. Profile preprocessing for each variant and enumerate plans.
-    let planner = Planner::default();
-    let opts = RuntimeOptions::default();
-    let mk_plan = |input: &InputVariant| QueryPlan {
-        dnn: ModelKind::ResNet50,
-        input: input.clone(),
-        preproc: planner.build_preproc(input),
-        decode: planner.decode_mode(input),
-        batch: 32,
-        extra_stages: Vec::new(),
-    };
-    let full_input = InputVariant::new("full sjpg(q=95)", Format::Sjpg { quality: 95 }, 320, 240);
-    let thumb_input = InputVariant::new("161 spng", Format::Spng, 215, 161).thumbnail();
-    let full_rate = measure_preproc_pipelined(&full, &mk_plan(&full_input), &opts);
-    let thumb_rate = measure_preproc_pipelined(&thumbs, &mk_plan(&thumb_input), &opts);
-    println!("preprocessing: full-res {full_rate:.0} im/s, thumbnails {thumb_rate:.0} im/s");
-
-    // Accuracies would come from a calibration set; here we use the paper's
-    // published values to keep the example self-contained.
-    let specs = vec![
-        CandidateSpec {
-            dnn: ModelKind::ResNet50,
-            input: full_input.clone(),
-            accuracy: 0.7516,
-            preproc_throughput: full_rate,
-            reduced_accuracy: None,
-            cascade: None,
-        },
-        CandidateSpec {
-            dnn: ModelKind::ResNet50,
-            input: thumb_input.clone(),
-            accuracy: 0.7500,
-            preproc_throughput: thumb_rate,
-            reduced_accuracy: None,
-            cascade: None,
-        },
-        CandidateSpec {
-            dnn: ModelKind::ResNet34,
-            input: full_input.clone(),
-            accuracy: 0.7272,
-            preproc_throughput: full_rate,
-            reduced_accuracy: None,
-            cascade: None,
-        },
-    ];
-    let frontier = planner.frontier(&specs);
-    println!("\nPareto frontier:");
-    for c in &frontier {
+    let variants = serving_variants(spec, 1, 96).expect("encode serving variants");
+    for v in &variants {
         println!(
-            "  {:30} est {:.0} im/s @ {:.2}% accuracy",
+            "registered {:22} {:4} KiB avg over {} images",
+            v.name,
+            v.items.iter().map(|e| e.size_bytes()).sum::<usize>() / v.items.len() / 1024,
+            v.items.len()
+        );
+    }
+    session.register(
+        Dataset::new("photos")
+            .with_model(ModelKind::ResNet50)
+            .with_model(ModelKind::ResNet34)
+            .with_encoded_variants(variants)
+            .with_calibration(Calibration::Table(
+                AccuracyTable::new()
+                    .with(ModelKind::ResNet50, "full-res sjpg(q=95)", 0.7516)
+                    .with(ModelKind::ResNet50, "161 spng", 0.7500)
+                    .with(ModelKind::ResNet50, "161 sjpg(q=95)", 0.7497)
+                    .with(ModelKind::ResNet50, "161 sjpg(q=75)", 0.7490)
+                    .with(ModelKind::ResNet34, "full-res sjpg(q=95)", 0.7272),
+            )),
+    )?;
+
+    // 3. Declarative query: "within half a point of the best accuracy,
+    //    go as fast as possible." The session profiles each variant's
+    //    decode+preprocess throughput, derives candidates, and resolves
+    //    the constraint on the Pareto frontier.
+    let query = Query::new("photos").max_accuracy_loss(0.005);
+    let explanation = session.explain(&query)?;
+    println!("\nPareto frontier:");
+    for c in &explanation.frontier {
+        println!(
+            "  {:30} est {:6.0} im/s @ {:.2}% accuracy",
             c.plan.label(),
             c.est_throughput,
             c.accuracy * 100.0
         );
     }
+    println!(
+        "chosen under max_accuracy_loss(0.005): {}",
+        explanation.chosen.plan.label()
+    );
 
-    // 3. Execute the best plan and the naive plan on a virtual T4.
-    let best = &frontier[0];
-    let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
-    let items = if best.plan.input.is_thumbnail {
-        &thumbs
-    } else {
-        &full
-    };
-    let report = run_throughput(items, &best.plan, &device, &opts).unwrap();
+    let report = session.run(&query)?;
     println!(
-        "\nexecuted best plan ({}): {:.0} im/s measured (estimate was {:.0})",
-        best.plan.label(),
-        report.throughput,
-        best.est_throughput
+        "\nexecuted {}: {:.0} im/s measured (estimate was {:.0})",
+        report.label, report.throughput, explanation.chosen.est_throughput
     );
-    let naive_device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
-    let naive_report = run_throughput(&full, &mk_plan(&full_input), &naive_device, &opts).unwrap();
+
+    // 4. A stricter tenant: full-fidelity accuracy only. The same session
+    //    answers from the same calibrated candidates — the constraint, not
+    //    the caller, picks the (slower) full-resolution plan.
+    let strict = Query::new("photos").min_accuracy(0.7516);
+    let strict_report = session.run(&strict)?;
     println!(
-        "naive full-resolution plan: {:.0} im/s — Smol speedup {:.1}x",
-        naive_report.throughput,
-        report.throughput / naive_report.throughput
+        "strict min_accuracy(0.7516) fell back to {}: {:.0} im/s — Smol speedup {:.1}x",
+        strict_report.label,
+        strict_report.throughput,
+        report.throughput / strict_report.throughput
     );
+
+    // 5. Identical queries replan for free: the plan cache answers them.
+    let _ = session.explain(&query)?;
+    let stats = session.cache_stats();
+    println!(
+        "\nplan cache: {} plans, {} profiled variants, {} hits / {} misses; \
+         profiler ran {} measurements",
+        stats.plans,
+        stats.profiles,
+        stats.hits,
+        stats.misses,
+        session.profiler().calls()
+    );
+    session.shutdown();
+    Ok(())
 }

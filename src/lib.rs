@@ -4,12 +4,42 @@
 //! downstream users can depend on a single crate. See the workspace README
 //! for the architecture overview and `DESIGN.md` for the system inventory.
 //!
+//! The front door is the declarative [`Session`] (§3.1's contract):
+//! register a [`Dataset`], state a constraint, get a served result —
+//!
+//! ```no_run
+//! use smol::accel::{ExecutionEnv, GpuModel, VirtualDevice};
+//! use smol::{Dataset, Query, Session, SessionConfig};
+//!
+//! # fn main() -> Result<(), smol::Error> {
+//! let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
+//! let session = Session::new(device, SessionConfig::default());
+//! session.register(Dataset::new("photos") /* …variants + calibration… */)?;
+//! let report = session.run(&Query::new("photos").max_accuracy_loss(0.005))?;
+//! println!("{}: {:.0} im/s", report.label, report.throughput);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The lower layers stay addressable for harnesses and lesion studies:
+//!
 //! ```
 //! use smol::imgproc::{DagOptimizer, PreprocPlan};
 //! let plan = PreprocPlan::standard(256, 224, 224);
 //! let optimized = DagOptimizer::default().optimize(&plan, 640, 480);
 //! assert!(optimized.ops.len() <= plan.ops.len());
 //! ```
+
+// The declarative top of the stack, at the crate root.
+pub use smol_core::{Constraint, PlanError};
+pub use smol_serve::{
+    AccuracyTable, CacheStats, Calibration, Dataset, Explanation, MeasuredCalibration, PlanCache,
+    Query, Session, SessionConfig, SessionError,
+};
+
+/// The workspace-level error type: everything `Session` operations can
+/// fail with (planning, serving, registration).
+pub use smol_serve::SessionError as Error;
 
 pub use smol_accel as accel;
 pub use smol_analytics as analytics;

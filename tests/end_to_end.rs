@@ -196,6 +196,119 @@ fn planner_prefers_thumbnails_with_measured_rates() {
             cascade: None,
         },
     ];
-    let frontier = planner.frontier(&specs);
+    let frontier = planner.frontier(&specs).unwrap();
     assert!(frontier[0].plan.input.is_thumbnail);
+}
+
+/// Regression for the declarative `Session` path: registering a dataset
+/// and stating `max_accuracy_loss(0.005)` must select the same plan the
+/// old manual path (hand-built `CandidateSpec`s → `Planner::frontier` →
+/// fastest frontier plan) selected, and execute it end to end.
+#[test]
+fn session_matches_manual_plan_selection() {
+    use smol::{AccuracyTable, Calibration, Dataset, Query, Session, SessionConfig};
+
+    let n = 32;
+    let full_items: Vec<EncodedImage> = {
+        let spec = &still_catalog()[3];
+        throughput_images(spec, 6, n)
+            .iter()
+            .map(|img| EncodedImage::encode(img, Format::Sjpg { quality: 95 }).unwrap())
+            .collect()
+    };
+    let thumb_items = encode_batch(n, Format::Sjpg { quality: 75 });
+    let full_input = InputVariant::new("full", Format::Sjpg { quality: 95 }, 320, 240);
+    let thumb_input = InputVariant::new(
+        "thumb",
+        Format::Sjpg { quality: 75 },
+        thumb_items[0].width,
+        thumb_items[0].height,
+    )
+    .thumbnail();
+
+    // --- the old manual path: profile, hand-build specs, take the
+    // fastest frontier plan (what `examples/quickstart.rs` used to do).
+    let planner = Planner::default();
+    let measure = |items: &[EncodedImage], input: &InputVariant| {
+        let plan = QueryPlan {
+            dnn: ModelKind::ResNet50,
+            input: input.clone(),
+            preproc: planner.build_preproc(input),
+            decode: planner.decode_mode(input),
+            batch: planner.config.batch,
+            extra_stages: Vec::new(),
+        };
+        smol::runtime::measure_preproc_pipelined(items, &plan, &RuntimeOptions::default())
+    };
+    let full_rate = measure(&full_items, &full_input);
+    let thumb_rate = measure(&thumb_items, &thumb_input);
+    assert!(
+        thumb_rate > full_rate * 1.2,
+        "thumbnails must preprocess decisively faster ({thumb_rate} vs {full_rate})"
+    );
+    let specs = vec![
+        smol::core::CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input: full_input.clone(),
+            accuracy: 0.7516,
+            preproc_throughput: full_rate,
+            reduced_accuracy: None,
+            cascade: None,
+        },
+        smol::core::CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input: thumb_input.clone(),
+            accuracy: 0.7500,
+            preproc_throughput: thumb_rate,
+            reduced_accuracy: None,
+            cascade: None,
+        },
+        smol::core::CandidateSpec {
+            dnn: ModelKind::ResNet34,
+            input: full_input.clone(),
+            accuracy: 0.7272,
+            preproc_throughput: full_rate,
+            reduced_accuracy: None,
+            cascade: None,
+        },
+    ];
+    let frontier = planner.frontier(&specs).unwrap();
+    let manual = &frontier[0]; // sorted by descending throughput
+
+    // --- the declarative path over the same corpus and calibration.
+    let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
+    let session = Session::new(device, SessionConfig::default());
+    session
+        .register(
+            Dataset::new("photos")
+                .with_model(ModelKind::ResNet50)
+                .with_model(ModelKind::ResNet34)
+                .with_variant(full_input.clone(), full_items)
+                .with_variant(thumb_input.clone(), thumb_items)
+                .with_calibration(Calibration::Table(
+                    AccuracyTable::new()
+                        .with(ModelKind::ResNet50, "full", 0.7516)
+                        .with(ModelKind::ResNet50, "thumb", 0.7500)
+                        .with(ModelKind::ResNet34, "full", 0.7272),
+                )),
+        )
+        .unwrap();
+    let query = Query::new("photos").max_accuracy_loss(0.005);
+    let explanation = session.explain(&query).unwrap();
+    assert_eq!(
+        explanation.chosen.plan.label(),
+        manual.plan.label(),
+        "declarative selection must match the manual path"
+    );
+    assert_eq!(explanation.chosen.plan.decode, manual.plan.decode);
+    assert_eq!(
+        explanation.chosen.accuracy, manual.accuracy,
+        "calibrated accuracy must round-trip through the session"
+    );
+
+    let report = session.run(&query).unwrap();
+    assert_eq!(report.label, manual.plan.label());
+    assert_eq!(report.images, n);
+    assert!(report.error.is_none(), "query failed: {:?}", report.error);
+    session.shutdown();
 }

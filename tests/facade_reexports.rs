@@ -14,6 +14,7 @@ use smol::imgproc::{ImageU8, Layout, Rect, TensorF32};
 use smol::nn::{SmolClassifier, Tier};
 use smol::runtime::{BufferPool, Personality, RuntimeOptions};
 use smol::video::{EncodedVideo, VideoEncoder};
+use smol::{AccuracyTable, Constraint, Dataset, PlanError, Query, Session, SessionConfig};
 
 /// Every facade module path resolves and its flagship types are usable
 /// (not just importable) through `smol::*`.
@@ -48,6 +49,17 @@ fn facade_types_are_constructible() {
 
     assert!(!still_catalog().is_empty());
     assert!(!video_catalog().is_empty());
+
+    // The declarative top of the stack lives at the crate root, and
+    // `smol::Error` aliases the session error type.
+    let _: Query = Query::new("photos").max_accuracy_loss(0.005);
+    let _: Dataset = Dataset::new("photos");
+    let _: AccuracyTable = AccuracyTable::new();
+    let _: Constraint = Constraint::MinThroughput(100.0);
+    let typed: smol::Error = PlanError::NoCandidates.into();
+    assert!(matches!(typed, smol::Error::Plan(PlanError::NoCandidates)));
+    let _: Option<Session> = None;
+    let _: SessionConfig = SessionConfig::default();
 
     let _: Option<SmolClassifier> = None;
     let _: Tier = Tier::T18;

@@ -1,0 +1,452 @@
+//! The declarative `Session` API: plan-cache behavior (hit ⇒ no
+//! re-profiling; config/device change ⇒ miss), typed failures, measured
+//! calibration, and the constraint-selection monotonicity property.
+
+use proptest::prelude::*;
+use smol::accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
+use smol::codec::{EncodedImage, Format};
+use smol::core::{Constraint, DecodeMode, InputVariant, PlanCandidate, PlanError, QueryPlan};
+use smol::imgproc::ops::resize::resize_short_edge_u8;
+use smol::imgproc::{ImageU8, PreprocPlan};
+use smol::runtime::{Profiler, RuntimeOptions};
+use smol::{
+    AccuracyTable, Calibration, Dataset, MeasuredCalibration, PlanCache, Query, Session,
+    SessionConfig, SessionError,
+};
+use std::sync::Arc;
+
+/// Deterministic 96×96 test images with per-index texture.
+fn tiny_images(n: usize) -> Vec<ImageU8> {
+    (0..n)
+        .map(|i| {
+            let mut img = ImageU8::zeros(96, 96, 3);
+            for (j, v) in img.data_mut().iter_mut().enumerate() {
+                *v = ((i * 31 + j * 7) % 256) as u8;
+            }
+            img
+        })
+        .collect()
+}
+
+fn encode_all(images: &[ImageU8], fmt: Format) -> Vec<EncodedImage> {
+    images
+        .iter()
+        .map(|img| EncodedImage::encode(img, fmt).unwrap())
+        .collect()
+}
+
+/// A two-variant dataset (full 96px sjpg + 64px sjpg thumbnails) with a
+/// table calibration whose best accuracy is exactly 0.80 (RN-50 @ full).
+fn table_dataset(name: &str) -> Dataset {
+    let natives = tiny_images(12);
+    let thumbs: Vec<ImageU8> = natives
+        .iter()
+        .map(|img| resize_short_edge_u8(img, 64).unwrap())
+        .collect();
+    Dataset::new(name)
+        .with_model(ModelKind::ResNet50)
+        .with_model(ModelKind::ResNet34)
+        .with_variant(
+            InputVariant::new("full", Format::Sjpg { quality: 95 }, 96, 96),
+            encode_all(&natives, Format::Sjpg { quality: 95 }),
+        )
+        .with_variant(
+            InputVariant::new("thumb", Format::Sjpg { quality: 75 }, 64, 64).thumbnail(),
+            encode_all(&thumbs, Format::Sjpg { quality: 75 }),
+        )
+        .with_calibration(Calibration::Table(
+            AccuracyTable::new()
+                .with(ModelKind::ResNet50, "full", 0.80)
+                .with(ModelKind::ResNet50, "thumb", 0.78)
+                .with(ModelKind::ResNet34, "full", 0.70),
+        ))
+}
+
+fn t4() -> VirtualDevice {
+    VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0)
+}
+
+fn shared_session(
+    device: VirtualDevice,
+    cfg: SessionConfig,
+) -> (Session, Arc<Profiler>, Arc<PlanCache>) {
+    let profiler = Arc::new(Profiler::new(RuntimeOptions::default()).with_sample(8));
+    let cache = Arc::new(PlanCache::new());
+    let session = Session::with_shared(device, cfg, profiler.clone(), cache.clone());
+    (session, profiler, cache)
+}
+
+/// Same dataset + same constraint + same config + same device ⇒ the
+/// second submission is a pure cache hit: no new profiler measurements,
+/// no new plans.
+#[test]
+fn repeated_query_hits_cache_without_reprofiling() {
+    let (session, profiler, _cache) = shared_session(t4(), SessionConfig::default());
+    session.register(table_dataset("tiny")).unwrap();
+    // max_accuracy_loss(0.0) always selects the most accurate candidate:
+    // deterministic regardless of measured throughputs.
+    let q = Query::new("tiny").max_accuracy_loss(0.0);
+
+    let r1 = session.run(&q).unwrap();
+    let calls_after_first = profiler.calls();
+    assert_eq!(calls_after_first, 2, "one measurement per variant");
+    assert_eq!(r1.label, "ResNet-50 @ full");
+
+    let r2 = session.run(&q).unwrap();
+    assert_eq!(
+        profiler.calls(),
+        calls_after_first,
+        "cache hit must not re-profile"
+    );
+    assert_eq!(r2.label, r1.label);
+
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.plans, 1);
+    assert_eq!(stats.profiles, 2);
+    session.shutdown();
+}
+
+/// A different `PlannerConfig` keys differently: the cached plan is not
+/// reused and the variants are re-profiled (geometry changed).
+#[test]
+fn planner_config_change_misses_cache() {
+    let profiler = Arc::new(Profiler::new(RuntimeOptions::default()).with_sample(8));
+    let cache = Arc::new(PlanCache::new());
+    let q = Query::new("tiny").max_accuracy_loss(0.0);
+
+    let a = Session::with_shared(
+        t4(),
+        SessionConfig::default(),
+        profiler.clone(),
+        cache.clone(),
+    );
+    a.register(table_dataset("tiny")).unwrap();
+    a.run(&q).unwrap();
+    let calls = profiler.calls();
+    a.shutdown();
+
+    let b = Session::with_shared(
+        t4(),
+        SessionConfig {
+            planner: smol::core::PlannerConfig {
+                dnn_input: 112,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        profiler.clone(),
+        cache.clone(),
+    );
+    b.register(table_dataset("tiny")).unwrap();
+    b.run(&q).unwrap();
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 2, "changed PlannerConfig must miss");
+    assert_eq!(stats.plans, 2);
+    assert!(
+        profiler.calls() > calls,
+        "a new preprocessing geometry must be re-profiled"
+    );
+    b.shutdown();
+}
+
+/// A different device keys differently — but profiling is CPU-side and
+/// device-independent, so the miss re-plans *without* re-measuring.
+#[test]
+fn device_change_misses_cache_but_reuses_profiles() {
+    let profiler = Arc::new(Profiler::new(RuntimeOptions::default()).with_sample(8));
+    let cache = Arc::new(PlanCache::new());
+    let q = Query::new("tiny").max_accuracy_loss(0.0);
+
+    let a = Session::with_shared(
+        t4(),
+        SessionConfig::default(),
+        profiler.clone(),
+        cache.clone(),
+    );
+    a.register(table_dataset("tiny")).unwrap();
+    a.run(&q).unwrap();
+    let calls = profiler.calls();
+
+    let v100 = VirtualDevice::new(GpuModel::V100, ExecutionEnv::TensorRt, 1.0);
+    let b = Session::with_shared(
+        v100,
+        SessionConfig::default(),
+        profiler.clone(),
+        cache.clone(),
+    );
+    b.register(table_dataset("tiny")).unwrap();
+    b.run(&q).unwrap();
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 2, "changed device must miss");
+    assert_eq!(stats.plans, 2);
+    assert_eq!(
+        profiler.calls(),
+        calls,
+        "device change must not re-profile the CPU side"
+    );
+    // The planner's execution estimates follow the *session's* device,
+    // regardless of what SessionConfig::planner carried: the V100 runs
+    // ResNet-50 faster than the T4.
+    let ea = a.explain(&q).unwrap();
+    let eb = b.explain(&q).unwrap();
+    assert!(
+        eb.chosen.exec_throughput > ea.chosen.exec_throughput * 1.2,
+        "V100 exec estimate {} must exceed T4's {}",
+        eb.chosen.exec_throughput,
+        ea.chosen.exec_throughput
+    );
+    a.shutdown();
+    b.shutdown();
+}
+
+/// Two sessions sharing one `PlanCache` may register *different* datasets
+/// under the same name: plan keys fingerprint the dataset contents, so the
+/// second session re-plans against its own data instead of hitting the
+/// first session's cached plan (which could reference variants it doesn't
+/// have).
+#[test]
+fn shared_cache_distinguishes_same_named_datasets() {
+    let profiler = Arc::new(Profiler::new(RuntimeOptions::default()).with_sample(8));
+    let cache = Arc::new(PlanCache::new());
+    let q = Query::new("tiny").max_accuracy_loss(0.0);
+
+    let a = Session::with_shared(
+        t4(),
+        SessionConfig::default(),
+        profiler.clone(),
+        cache.clone(),
+    );
+    a.register(table_dataset("tiny")).unwrap();
+    let ra = a.run(&q).unwrap();
+    assert_eq!(ra.label, "ResNet-50 @ full");
+    a.shutdown();
+
+    // Same name, different contents: only one variant, differently named,
+    // and a different calibration.
+    let natives = tiny_images(8);
+    let other = Dataset::new("tiny")
+        .with_model(ModelKind::ResNet34)
+        .with_variant(
+            InputVariant::new("only", Format::Sjpg { quality: 85 }, 96, 96),
+            encode_all(&natives, Format::Sjpg { quality: 85 }),
+        )
+        .with_calibration(Calibration::Table(AccuracyTable::new().with(
+            ModelKind::ResNet34,
+            "only",
+            0.60,
+        )));
+    let b = Session::with_shared(t4(), SessionConfig::default(), profiler, cache.clone());
+    b.register(other).unwrap();
+    let rb = b.run(&q).unwrap();
+    assert_eq!(rb.label, "ResNet-34 @ only", "planned against its own data");
+    assert_eq!(cache.stats().misses, 2, "no cross-dataset collision");
+    b.shutdown();
+}
+
+/// Infeasible constraints are typed, not empty: the error carries the
+/// best achievable accuracy so callers can relax toward it.
+#[test]
+fn infeasible_constraint_reports_best_accuracy() {
+    let session = Session::new(t4(), SessionConfig::default());
+    session.register(table_dataset("tiny")).unwrap();
+    let err = session
+        .run(&Query::new("tiny").min_accuracy(0.99))
+        .unwrap_err();
+    match err {
+        SessionError::Plan(PlanError::Infeasible { best_accuracy }) => {
+            assert!((best_accuracy - 0.80).abs() < 1e-12);
+        }
+        other => panic!("expected Infeasible, got {other:?}"),
+    }
+    session.shutdown();
+}
+
+#[test]
+fn unknown_and_duplicate_datasets_are_typed() {
+    let session = Session::new(t4(), SessionConfig::default());
+    match session.run(&Query::new("nope")).unwrap_err() {
+        SessionError::UnknownDataset { name } => assert_eq!(name, "nope"),
+        other => panic!("expected UnknownDataset, got {other:?}"),
+    }
+    session.register(table_dataset("tiny")).unwrap();
+    match session.register(table_dataset("tiny")).unwrap_err() {
+        SessionError::DuplicateDataset { name } => assert_eq!(name, "tiny"),
+        other => panic!("expected DuplicateDataset, got {other:?}"),
+    }
+    session.shutdown();
+}
+
+/// An uncalibrated dataset has no candidates: typed NoCandidates, not a
+/// panic or an empty frontier.
+#[test]
+fn uncalibrated_dataset_yields_no_candidates() {
+    let session = Session::new(t4(), SessionConfig::default());
+    let natives = tiny_images(4);
+    session
+        .register(
+            Dataset::new("blank")
+                .with_model(ModelKind::ResNet50)
+                .with_variant(
+                    InputVariant::new("full", Format::Sjpg { quality: 95 }, 96, 96),
+                    encode_all(&natives, Format::Sjpg { quality: 95 }),
+                ),
+        )
+        .unwrap();
+    match session.run(&Query::new("blank")).unwrap_err() {
+        SessionError::Plan(PlanError::NoCandidates) => {}
+        other => panic!("expected NoCandidates, got {other:?}"),
+    }
+    session.shutdown();
+}
+
+/// Measured calibration: accuracies derived by re-encoding labeled
+/// calibration images into each variant's stored form and scoring a
+/// predictor. The class signal (left half brighter than right) survives
+/// thumbnailing and lossy encoding, so both variants calibrate at 1.0 and
+/// the session picks the thumbnail plan for a loss-tolerant query. Models
+/// without predictors are skipped.
+#[test]
+fn measured_calibration_derives_candidates() {
+    // 24 labeled calibration images: class 1 ⇔ left half brighter.
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..24usize {
+        let class = i % 2;
+        let mut img = ImageU8::zeros(96, 96, 3);
+        let (w, c) = (96usize, 3usize);
+        for (j, v) in img.data_mut().iter_mut().enumerate() {
+            let x = (j / c) % w;
+            let left = x < w / 2;
+            let bright = (class == 1) == left;
+            *v = if bright { 200 } else { 40 };
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    let brighter_left = |img: &ImageU8| -> usize {
+        let (w, c) = (img.width(), img.channels());
+        let mut left = 0u64;
+        let mut right = 0u64;
+        for (j, &v) in img.data().iter().enumerate() {
+            let x = (j / c) % w;
+            if x < w / 2 {
+                left += v as u64;
+            } else {
+                right += v as u64;
+            }
+        }
+        usize::from(left > right)
+    };
+
+    let thumbs: Vec<ImageU8> = images
+        .iter()
+        .map(|img| resize_short_edge_u8(img, 64).unwrap())
+        .collect();
+    let session = Session::new(t4(), SessionConfig::default());
+    session
+        .register(
+            Dataset::new("halves")
+                .with_model(ModelKind::ResNet50)
+                .with_model(ModelKind::ResNet34) // no predictor: skipped
+                .with_variant(
+                    InputVariant::new("full", Format::Sjpg { quality: 95 }, 96, 96),
+                    encode_all(&images, Format::Sjpg { quality: 95 }),
+                )
+                .with_variant(
+                    InputVariant::new("thumb", Format::Sjpg { quality: 75 }, 64, 64).thumbnail(),
+                    encode_all(&thumbs, Format::Sjpg { quality: 75 }),
+                )
+                .with_calibration(Calibration::Measured(
+                    MeasuredCalibration::new(images, labels)
+                        .with_predictor(ModelKind::ResNet50, brighter_left),
+                )),
+        )
+        .unwrap();
+
+    let explanation = session
+        .explain(&Query::new("halves").max_accuracy_loss(0.0))
+        .unwrap();
+    assert!(
+        explanation
+            .frontier
+            .iter()
+            .all(|c| c.plan.dnn == ModelKind::ResNet50),
+        "models without predictors must not become candidates"
+    );
+    assert!(
+        (explanation.chosen.accuracy - 1.0).abs() < 1e-12,
+        "the halves signal survives every variant: measured accuracy 1.0"
+    );
+    let report = session
+        .run(&Query::new("halves").max_accuracy_loss(0.0).take(8))
+        .unwrap();
+    assert_eq!(report.images, 8);
+    session.shutdown();
+}
+
+fn cand(acc: f64, tput: f64) -> PlanCandidate {
+    PlanCandidate {
+        plan: QueryPlan {
+            dnn: ModelKind::ResNet18,
+            input: InputVariant::new("x", Format::Spng, 100, 100),
+            preproc: PreprocPlan::thumbnail(224, 224),
+            decode: DecodeMode::Full,
+            batch: 64,
+            extra_stages: Vec::new(),
+        },
+        preproc_throughput: tput,
+        exec_throughput: tput,
+        est_throughput: tput,
+        accuracy: acc,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tightening an accuracy floor never selects a *less* accurate plan
+    /// than a looser floor, and a floor that was feasible stays feasible
+    /// when loosened.
+    #[test]
+    fn tightening_accuracy_floor_is_monotone(
+        pairs in prop::collection::vec((0.0f64..1.0, 1.0f64..10_000.0), 1usize..10),
+        f1 in 0.0f64..1.0,
+        f2 in 0.0f64..1.0,
+    ) {
+        let cands: Vec<PlanCandidate> = pairs.iter().map(|&(a, t)| cand(a, t)).collect();
+        let (loose, tight) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let loose_sel = Constraint::MinAccuracy(loose).select(&cands);
+        let tight_sel = Constraint::MinAccuracy(tight).select(&cands);
+        match (loose_sel, tight_sel) {
+            (Ok(l), Ok(t)) => prop_assert!(
+                t.accuracy >= l.accuracy,
+                "tight floor {tight} chose accuracy {} below loose floor {loose}'s {}",
+                t.accuracy, l.accuracy
+            ),
+            (Err(_), Ok(_)) => prop_assert!(false, "loose floor infeasible but tight feasible"),
+            (Ok(_), Err(_)) | (Err(_), Err(_)) => {}
+        }
+    }
+
+    /// The same monotonicity holds for throughput floors: tightening never
+    /// yields a slower plan.
+    #[test]
+    fn tightening_throughput_floor_is_monotone(
+        pairs in prop::collection::vec((0.0f64..1.0, 1.0f64..10_000.0), 1usize..10),
+        f1 in 0.0f64..10_000.0,
+        f2 in 0.0f64..10_000.0,
+    ) {
+        let cands: Vec<PlanCandidate> = pairs.iter().map(|&(a, t)| cand(a, t)).collect();
+        let (loose, tight) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        match (
+            Constraint::MinThroughput(loose).select(&cands),
+            Constraint::MinThroughput(tight).select(&cands),
+        ) {
+            (Ok(l), Ok(t)) => prop_assert!(t.est_throughput >= l.est_throughput * (1.0 - 1e-12)),
+            (Err(_), Ok(_)) => prop_assert!(false, "loose floor infeasible but tight feasible"),
+            _ => {}
+        }
+    }
+}
