@@ -285,6 +285,7 @@ pub fn candidate(
         preproc_throughput,
         reduced_accuracy: None,
         cascade: None,
+        video: None,
     }
 }
 
@@ -323,5 +324,13 @@ pub fn decode_label(mode: &DecodeMode) -> String {
         DecodeMode::CentralRoi { crop_w, crop_h } => format!("roi {crop_w}x{crop_h}"),
         DecodeMode::EarlyStopRows { rows } => format!("rows {rows}"),
         DecodeMode::ReducedResolution { factor } => format!("1/{factor} scaled-idct"),
+        DecodeMode::Video { selection, deblock } => {
+            let sel = match selection {
+                smol_core::FrameSelection::All => "all frames".to_string(),
+                smol_core::FrameSelection::Keyframes => "keyframes".to_string(),
+                smol_core::FrameSelection::Stride(n) => format!("every {n}th frame"),
+            };
+            format!("{sel}{}", if *deblock { "" } else { ", no deblock" })
+        }
     }
 }

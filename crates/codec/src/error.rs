@@ -21,6 +21,9 @@ pub enum Error {
     Image(smol_imgproc::Error),
     /// Quality parameter out of the accepted 1..=100 range.
     BadQuality(u8),
+    /// The operation is not defined for this format (e.g. image-decoding
+    /// an `svid` video container: GOP items decode through `smol_video`).
+    UnsupportedFormat { format: String, op: &'static str },
 }
 
 impl fmt::Display for Error {
@@ -34,6 +37,9 @@ impl fmt::Display for Error {
             Error::BadRegion(msg) => write!(f, "bad region: {msg}"),
             Error::Image(e) => write!(f, "image error: {e}"),
             Error::BadQuality(q) => write!(f, "quality {q} outside 1..=100"),
+            Error::UnsupportedFormat { format, op } => {
+                write!(f, "{op} is not supported for format {format}")
+            }
         }
     }
 }

@@ -21,6 +21,7 @@
 //! | ROI / partial decoding     | [`sjpg::decode_roi`]   | `CentralRoi { crop_w, crop_h }`|
 //! | early stopping             | [`sjpg::decode_rows`], `spng::decode_rows` | `EarlyStopRows { rows }` |
 //! | multi-resolution decoding  | [`sjpg::decode_scaled`]| `ReducedResolution { factor }` |
+//! | reduced fidelity + frame selection (video) | `smol_video::gop::decode_selected` | `Video { selection, deblock }` |
 //!
 //! ROI decoding skips the IDCT for blocks outside a rectangle (rows skipped
 //! wholesale through the MCU-row index); early stopping truncates the
@@ -55,6 +56,15 @@ pub enum Format {
     Sjpg { quality: u8 },
     /// Lossless predictive+LZ codec.
     Spng,
+    /// GOP-structured video container (H.264 anatomy: sjpg-coded I-frames,
+    /// motion-compensated P-frames, in-loop deblocking); `quality` is the
+    /// shared I/P quantizer quality. This is a *format tag only* at this
+    /// layer: the encoder/decoder live in `smol_video` (which builds on
+    /// this crate), and the image entry points below return
+    /// [`Error::UnsupportedFormat`] for it. The tag exists here so the
+    /// planner's `InputVariant` vocabulary spans stills and video with one
+    /// type.
+    Svid { quality: u8 },
 }
 
 impl Format {
@@ -62,11 +72,24 @@ impl Format {
         match self {
             Format::Sjpg { quality } => format!("sjpg(q={quality})"),
             Format::Spng => "spng".to_string(),
+            Format::Svid { quality } => format!("svid(q={quality})"),
         }
     }
 
     pub fn is_lossless(&self) -> bool {
         matches!(self, Format::Spng)
+    }
+
+    /// True for GOP-structured video containers.
+    pub fn is_video(&self) -> bool {
+        matches!(self, Format::Svid { .. })
+    }
+
+    fn unsupported(&self, op: &'static str) -> Error {
+        Error::UnsupportedFormat {
+            format: self.name(),
+            op,
+        }
     }
 }
 
@@ -85,6 +108,7 @@ impl EncodedImage {
         let bytes = match format {
             Format::Sjpg { quality } => SjpgEncoder::new(quality).encode(img)?,
             Format::Spng => spng::encode(img)?,
+            Format::Svid { .. } => return Err(format.unsupported("single-image encode")),
         };
         Ok(EncodedImage {
             format,
@@ -99,6 +123,7 @@ impl EncodedImage {
         match self.format {
             Format::Sjpg { .. } => sjpg::decode(&self.bytes),
             Format::Spng => spng::decode(&self.bytes),
+            Format::Svid { .. } => Err(self.format.unsupported("image decode")),
         }
     }
 
@@ -128,6 +153,7 @@ impl EncodedImage {
                 let (img, _) = spng::decode_rows(&self.bytes, rows)?;
                 Ok((img, Rect::new(0, 0, self.width, rows)))
             }
+            Format::Svid { .. } => Err(self.format.unsupported("ROI decode")),
         }
     }
 
@@ -157,6 +183,7 @@ impl EncodedImage {
                     smol_imgproc::ops::box_downsample_u8(&full, factor).map_err(Error::Image)?;
                 Ok((small, DecodeStats::default()))
             }
+            Format::Svid { .. } => Err(self.format.unsupported("scaled decode")),
         }
     }
 
@@ -244,5 +271,27 @@ mod tests {
     fn format_names_stable() {
         assert_eq!(Format::Sjpg { quality: 75 }.name(), "sjpg(q=75)");
         assert_eq!(Format::Spng.name(), "spng");
+        assert_eq!(Format::Svid { quality: 80 }.name(), "svid(q=80)");
+    }
+
+    #[test]
+    fn svid_is_a_tag_only_at_this_layer() {
+        let fmt = Format::Svid { quality: 80 };
+        assert!(fmt.is_video() && !fmt.is_lossless());
+        assert!(!Format::Spng.is_video());
+        let img = textured(32, 32);
+        assert!(matches!(
+            EncodedImage::encode(&img, fmt),
+            Err(Error::UnsupportedFormat { .. })
+        ));
+        let enc = EncodedImage {
+            format: fmt,
+            width: 32,
+            height: 32,
+            bytes: Bytes::new(),
+        };
+        assert!(matches!(enc.decode(), Err(Error::UnsupportedFormat { .. })));
+        assert!(enc.decode_roi(Rect::new(0, 0, 8, 8)).is_err());
+        assert!(enc.decode_scaled(2).is_err());
     }
 }

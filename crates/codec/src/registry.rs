@@ -71,7 +71,11 @@ pub fn format_table() -> Vec<FormatEntry> {
         FormatEntry {
             name: "H.264",
             media: Video,
-            features: &[ReducedFidelityDecoding],
+            // Reduced-fidelity decoding (deblock skipping) is the paper's
+            // Table 4 entry; frame selection (keyframe-only / strided
+            // decode of the GOP's random-access points) is the partial-
+            // decoding analogue the video plan path exercises.
+            features: &[ReducedFidelityDecoding, PartialDecoding],
             modeled_by: Some("smol-video"),
         },
         FormatEntry {

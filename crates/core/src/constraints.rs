@@ -89,6 +89,39 @@ impl std::error::Error for PlanError {}
 
 /// A declarative query constraint. See the module docs for the exact
 /// floor/tie-breaking semantics of each variant.
+///
+/// ```
+/// use smol_accel::ModelKind;
+/// use smol_codec::Format;
+/// use smol_core::{
+///     Constraint, DecodeMode, InputVariant, PlanCandidate, PlanError, QueryPlan,
+/// };
+/// use smol_imgproc::PreprocPlan;
+///
+/// let cand = |accuracy: f64, tput: f64| PlanCandidate {
+///     plan: QueryPlan {
+///         dnn: ModelKind::ResNet50,
+///         input: InputVariant::new("v", Format::Spng, 100, 100),
+///         preproc: PreprocPlan::thumbnail(224, 224),
+///         decode: DecodeMode::Full,
+///         batch: 64,
+///         extra_stages: Vec::new(),
+///     },
+///     preproc_throughput: tput,
+///     exec_throughput: tput,
+///     est_throughput: tput,
+///     accuracy,
+/// };
+/// let ladder = vec![cand(0.70, 1000.0), cand(0.80, 500.0), cand(0.90, 100.0)];
+/// // Floors, not targets: the fastest plan at or above the floor wins.
+/// let chosen = Constraint::MinAccuracy(0.75).select(&ladder).unwrap();
+/// assert_eq!((chosen.accuracy, chosen.est_throughput), (0.80, 500.0));
+/// // Infeasible floors fail typed, carrying the best achievable accuracy.
+/// assert_eq!(
+///     Constraint::MinAccuracy(0.95).select(&ladder).unwrap_err(),
+///     PlanError::Infeasible { best_accuracy: 0.90 },
+/// );
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Constraint {
     /// Accuracy within `loss` of the best candidate; fastest such plan.
@@ -245,6 +278,7 @@ pub struct PlannerKey {
     pub enable_low_res: bool,
     pub enable_dag_opt: bool,
     pub enable_multires: bool,
+    pub enable_video: bool,
     pub dnn_input: u32,
 }
 
@@ -260,6 +294,7 @@ impl PlannerConfig {
             enable_low_res: self.enable_low_res,
             enable_dag_opt: self.enable_dag_opt,
             enable_multires: self.enable_multires,
+            enable_video: self.enable_video,
             dnn_input: self.dnn_input,
         }
     }
@@ -423,6 +458,10 @@ mod tests {
             },
             PlannerConfig {
                 enable_multires: false,
+                ..base
+            },
+            PlannerConfig {
+                enable_video: false,
                 ..base
             },
             PlannerConfig {

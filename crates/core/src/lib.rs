@@ -15,12 +15,18 @@
 //! * [`pareto`] — Pareto-frontier and constrained selection (§3.1, Eq. 1);
 //! * [`placement`] — CPU/accelerator operator placement (§6.3);
 //! * [`planner`] — D × F enumeration with lesion toggles (low-res,
-//!   DAG optimization, multi-resolution decoding) used by the Figure 4–6
-//!   experiments;
+//!   DAG optimization, multi-resolution decoding, reduced-fidelity
+//!   video) used by the Figure 4–6 experiments. GOP-structured video
+//!   inputs get their own decode ladder — [`plan::FrameSelection`]
+//!   (all / keyframe-only / strided) × an in-loop-deblock knob — costed
+//!   per *source* frame with the I-frame amortized over the GOP and
+//!   accuracies discounted through [`planner::VideoFidelity`];
 //! * [`rewrite`] — decode-aware plan rewriting: elides or shrinks the
 //!   resize when a partial/reduced decode already produced the needed
 //!   geometry (§6.4), shared by the planner (costing) and runtime
-//!   (execution).
+//!   (execution); plus the weighted-op decode cost models for both the
+//!   image modes ([`rewrite::decode_cost_for_mode`]) and video GOPs
+//!   ([`rewrite::video_gop_decode_cost`]).
 
 pub mod constraints;
 pub mod costmodel;
@@ -36,6 +42,10 @@ pub use costmodel::{
 };
 pub use pareto::{max_accuracy_with_throughput, max_throughput_with_accuracy, pareto_frontier};
 pub use placement::{choose_placement, PlacementDecision, PlacementRates};
-pub use plan::{DecodeMode, InputVariant, PlacementSignature, PlanCandidate, QueryPlan};
-pub use planner::{CandidateSpec, Planner, PlannerConfig};
-pub use rewrite::{decode_cost_for_mode, idct_edge, rewrite_preproc_for_decode};
+pub use plan::{
+    DecodeMode, FrameSelection, InputVariant, PlacementSignature, PlanCandidate, QueryPlan,
+};
+pub use planner::{CandidateSpec, Planner, PlannerConfig, VideoFidelity};
+pub use rewrite::{
+    decode_cost_for_mode, idct_edge, rewrite_preproc_for_decode, video_gop_decode_cost,
+};

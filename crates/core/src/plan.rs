@@ -7,6 +7,69 @@ use smol_codec::Format;
 use smol_imgproc::dag::{OpSpec, Placement};
 use smol_imgproc::PreprocPlan;
 
+/// Which frames of a GOP-structured video item the decoder materializes
+/// (§6.4 applied to video: the decode work a plan performs is a planner
+/// decision, not a fixed cost).
+///
+/// The selection changes *both* the decode cost and the number of tensors
+/// an item contributes to the device, so it is part of
+/// [`PlacementSignature`] — a keyframe-only query and a full-GOP query
+/// must never share a device batch (their per-item fan-out differs, which
+/// would make batch-drain accounting depend on the other query's GOP
+/// structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameSelection {
+    /// Decode and infer every frame of the GOP.
+    All,
+    /// Decode only I-frames (the GOP's random-access points). This skips
+    /// the motion-compensated P-frame path *entirely* — no motion vectors,
+    /// no residual IDCT, no reference chain — which is the big video
+    /// analogue of reduced-resolution decoding.
+    Keyframes,
+    /// Infer every `n`-th frame of the GOP (positions `0, n, 2n, …`).
+    /// P-frames between selected positions must still be decoded to keep
+    /// the reference chain intact, so this thins *inference and output*
+    /// work but not decode work past the last selected frame.
+    Stride(usize),
+}
+
+impl FrameSelection {
+    /// Whether the frame at `pos` within its GOP is selected for output.
+    pub fn selects(&self, pos: usize) -> bool {
+        match *self {
+            FrameSelection::All => true,
+            FrameSelection::Keyframes => pos == 0,
+            FrameSelection::Stride(n) => pos.is_multiple_of(n.max(1)),
+        }
+    }
+
+    /// How many of a GOP's `len` frames this selection outputs.
+    pub fn count(&self, len: usize) -> usize {
+        match *self {
+            FrameSelection::All => len,
+            FrameSelection::Keyframes => len.min(1),
+            FrameSelection::Stride(n) => len.div_ceil(n.max(1)),
+        }
+    }
+
+    /// Index of the last frame that must be *decoded* (not necessarily
+    /// output) in a GOP of `len` frames; decode may stop after it.
+    pub fn last_decoded(&self, len: usize) -> usize {
+        match *self {
+            FrameSelection::All => len.saturating_sub(1),
+            FrameSelection::Keyframes => 0,
+            FrameSelection::Stride(n) => {
+                let n = n.max(1);
+                if len == 0 {
+                    0
+                } else {
+                    ((len - 1) / n) * n
+                }
+            }
+        }
+    }
+}
+
 /// How much of each image the decoder touches (§6.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecodeMode {
@@ -23,6 +86,17 @@ pub enum DecodeMode {
     /// (see [`crate::rewrite::rewrite_preproc_for_decode`]). `factor` must
     /// be 2, 4, or 8.
     ReducedResolution { factor: u8 },
+    /// GOP-structured video decoding: which frames to materialize and
+    /// whether to run the in-loop deblocking filter. `deblock: false` is
+    /// the reduced-fidelity fast path (H.264/HEVC expose exactly this
+    /// knob): genuinely cheaper per frame, genuinely drift-inducing on
+    /// P-frames, and therefore accuracy-discounted through calibration
+    /// exactly like `ReducedResolution` (see
+    /// [`CandidateSpec::video`](crate::planner::CandidateSpec)).
+    Video {
+        selection: FrameSelection,
+        deblock: bool,
+    },
 }
 
 impl DecodeMode {
@@ -52,6 +126,18 @@ impl DecodeMode {
                 let f = (factor as usize).max(1);
                 (w.div_ceil(f), h.div_ceil(f))
             }
+            // Video decoding emits full frames; the selection thins which
+            // frames exist, not their geometry.
+            DecodeMode::Video { .. } => (w, h),
+        }
+    }
+
+    /// The frame selection of a video decode mode (`None` for image
+    /// modes, which decode exactly one output per item).
+    pub fn frame_selection(&self) -> Option<FrameSelection> {
+        match *self {
+            DecodeMode::Video { selection, .. } => Some(selection),
+            _ => None,
         }
     }
 }
@@ -67,6 +153,10 @@ pub struct InputVariant {
     pub height: usize,
     /// True when this is a natively-present low-resolution variant (§5.2).
     pub is_thumbnail: bool,
+    /// GOP length for video variants (frames per group-of-pictures); `0`
+    /// for still images. The planner uses it to amortize the I-frame
+    /// decode cost over a GOP's outputs when costing [`FrameSelection`]s.
+    pub gop_len: usize,
 }
 
 impl InputVariant {
@@ -77,12 +167,25 @@ impl InputVariant {
             width,
             height,
             is_thumbnail: false,
+            gop_len: 0,
         }
     }
 
     pub fn thumbnail(mut self) -> Self {
         self.is_thumbnail = true;
         self
+    }
+
+    /// Marks this variant as GOP-structured video with `gop_len` frames
+    /// per GOP (items are GOPs; outputs are frames).
+    pub fn video(mut self, gop_len: usize) -> Self {
+        self.gop_len = gop_len.max(1);
+        self
+    }
+
+    /// True when this variant stores GOP-structured video.
+    pub fn is_video(&self) -> bool {
+        self.gop_len > 0
     }
 
     pub fn pixels(&self) -> usize {
@@ -128,6 +231,7 @@ impl QueryPlan {
             batch: self.batch.max(1),
             out_w,
             out_h,
+            frame_selection: self.decode.frame_selection(),
             accel_ops: self
                 .preproc
                 .ops
@@ -156,6 +260,17 @@ pub struct PlacementSignature {
     /// Output tensor geometry (`out_w × out_h × 3`).
     pub out_w: usize,
     pub out_h: usize,
+    /// Video frame selection (`None` for image plans). Selection stays in
+    /// the signature — unlike the image decode modes, which are CPU-side
+    /// details — because it changes how many tensors one *item* fans out
+    /// into mid-flight: a full-GOP item still mid-production may
+    /// contribute up to `gop` more tensors while a keyframe item
+    /// contributes exactly one, so mixing them would make partial-batch
+    /// drain timing depend on the other query's GOP structure. The
+    /// `deblock` knob, by contrast, is a pure CPU-side fidelity choice and
+    /// is deliberately excluded (deblock-on and deblock-off plans of the
+    /// same selection co-batch).
+    pub frame_selection: Option<FrameSelection>,
     /// Accelerator-placed operator suffix (empty for all-CPU plans).
     pub accel_ops: Vec<OpSpec>,
     /// Cascade stages with selectivities bit-encoded for `Eq`/`Hash`.
@@ -262,6 +377,60 @@ mod tests {
         let mut cascade = sig_plan(ModelKind::ResNet50, 256, 224, 64);
         cascade.extra_stages = vec![(ModelKind::ResNet101, 0.1)];
         assert_ne!(sig, cascade.placement_signature());
+    }
+
+    #[test]
+    fn frame_selection_math() {
+        assert_eq!(FrameSelection::All.count(12), 12);
+        assert_eq!(FrameSelection::Keyframes.count(12), 1);
+        assert_eq!(FrameSelection::Keyframes.count(0), 0);
+        assert_eq!(FrameSelection::Stride(4).count(12), 3);
+        assert_eq!(FrameSelection::Stride(5).count(12), 3); // 0, 5, 10
+        assert_eq!(FrameSelection::Stride(0).count(7), 7, "stride 0 = every");
+        assert_eq!(FrameSelection::All.last_decoded(12), 11);
+        assert_eq!(FrameSelection::Keyframes.last_decoded(12), 0);
+        assert_eq!(FrameSelection::Stride(5).last_decoded(12), 10);
+        assert!(FrameSelection::Stride(3).selects(6));
+        assert!(!FrameSelection::Stride(3).selects(7));
+        assert!(FrameSelection::Keyframes.selects(0));
+        assert!(!FrameSelection::Keyframes.selects(1));
+    }
+
+    #[test]
+    fn video_mode_keeps_frame_geometry() {
+        let mode = DecodeMode::Video {
+            selection: FrameSelection::Keyframes,
+            deblock: false,
+        };
+        assert_eq!(mode.decoded_dims(320, 240), (320, 240));
+        assert_eq!(mode.frame_selection(), Some(FrameSelection::Keyframes));
+        assert_eq!(DecodeMode::Full.frame_selection(), None);
+    }
+
+    #[test]
+    fn signatures_split_on_frame_selection_but_not_deblock() {
+        let base = sig_plan(ModelKind::ResNet50, 256, 224, 64);
+        let video = |selection, deblock| {
+            let mut p = base.clone();
+            p.input = p.input.video(8);
+            p.decode = DecodeMode::Video { selection, deblock };
+            p
+        };
+        let keyframes = video(FrameSelection::Keyframes, true);
+        let full_gop = video(FrameSelection::All, true);
+        // Image plans never batch with video plans, and keyframe-only
+        // never batches with full-GOP (per-item fan-out differs).
+        assert_ne!(base.placement_signature(), keyframes.placement_signature());
+        assert_ne!(
+            keyframes.placement_signature(),
+            full_gop.placement_signature()
+        );
+        // The deblock knob is CPU-side fidelity only: it must co-batch.
+        let no_deblock = video(FrameSelection::Keyframes, false);
+        assert_eq!(
+            keyframes.placement_signature(),
+            no_deblock.placement_signature()
+        );
     }
 
     #[test]

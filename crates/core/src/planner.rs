@@ -5,8 +5,8 @@
 use crate::constraints::{Constraint, PlanError};
 use crate::costmodel::{estimate_throughput, CascadeStage, CostModelKind};
 use crate::pareto;
-use crate::plan::{DecodeMode, InputVariant, PlanCandidate, QueryPlan};
-use crate::rewrite::{decode_cost_for_mode, rewrite_preproc_for_decode};
+use crate::plan::{DecodeMode, FrameSelection, InputVariant, PlanCandidate, QueryPlan};
+use crate::rewrite::{decode_cost_for_mode, rewrite_preproc_for_decode, video_gop_decode_cost};
 use smol_accel::{throughput, ExecutionEnv, GpuModel, ModelKind};
 use smol_imgproc::dag::plan_cost;
 use smol_imgproc::{DagOptimizer, PreprocPlan};
@@ -28,6 +28,49 @@ pub struct CandidateSpec {
     /// When this candidate is a cascade (Tahoma-style), the stage list
     /// replaces the single-DNN execution estimate.
     pub cascade: Option<Vec<CascadeStage>>,
+    /// Calibrated accuracies under reduced-fidelity *video* decoding, for
+    /// GOP-structured inputs ([`InputVariant::is_video`]). `None` on a
+    /// video spec means the query is tolerant of both knobs (accuracy
+    /// carries over), mirroring `reduced_accuracy`'s semantics. Ignored
+    /// for still inputs.
+    pub video: Option<VideoFidelity>,
+}
+
+/// Per-knob calibrated accuracies for reduced-fidelity video decoding
+/// (§6.4 applied to the GOP path). Each `None` field means "not
+/// calibrated: the full-decode accuracy carries over". When a candidate
+/// combines both knobs (keyframe-only **and** deblock-skip), the harsher
+/// calibrated value wins — `min` is a conservative floor, exactly what
+/// the constraint semantics need.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VideoFidelity {
+    /// Accuracy when only I-frames are decoded and scored
+    /// ([`FrameSelection::Keyframes`]): the aggregate answer is computed
+    /// from a 1-in-`gop` temporal sample.
+    pub keyframe_accuracy: Option<f64>,
+    /// Accuracy when the in-loop deblocking filter is skipped
+    /// (`deblock: false`): blocking artifacts on I-frames plus reference
+    /// drift on P-frames.
+    pub deblock_skip_accuracy: Option<f64>,
+}
+
+impl VideoFidelity {
+    /// Resolves the accuracy of a video candidate decoded under
+    /// `selection` / `deblock`, starting from the full-fidelity
+    /// `accuracy`.
+    pub fn accuracy_for(&self, accuracy: f64, selection: FrameSelection, deblock: bool) -> f64 {
+        let mut acc = accuracy;
+        if !matches!(selection, FrameSelection::All) {
+            // Stride sampling is bounded by the keyframe calibration: it
+            // samples at least as densely as keyframe-only, so the
+            // keyframe value is a valid lower bound.
+            acc = acc.min(self.keyframe_accuracy.unwrap_or(accuracy));
+        }
+        if !deblock {
+            acc = acc.min(self.deblock_skip_accuracy.unwrap_or(accuracy));
+        }
+        acc
+    }
 }
 
 /// Planner configuration; the toggles drive the lesion/factor studies
@@ -47,6 +90,10 @@ pub struct PlannerConfig {
     /// with multi-resolution decoding (§6.4, Table 4). Off in the
     /// "-Multi-res" lesion.
     pub enable_multires: bool,
+    /// Enumerate reduced-fidelity video decode plans (keyframe-only
+    /// selection, deblock skipping) for GOP-structured inputs. Off in the
+    /// "-Video" lesion, which leaves only the full-GOP full-fidelity plan.
+    pub enable_video: bool,
     /// DNN input edge (224 in the paper's pipelines).
     pub dnn_input: u32,
 }
@@ -61,6 +108,7 @@ impl Default for PlannerConfig {
             enable_low_res: true,
             enable_dag_opt: true,
             enable_multires: true,
+            enable_video: true,
             dnn_input: 224,
         }
     }
@@ -98,9 +146,18 @@ impl Planner {
     }
 
     /// Chooses the decode mode for an input variant (§6.4): full-resolution
-    /// sjpg images use ROI decoding of the central crop; everything else
-    /// decodes fully (thumbnails are already near the DNN input size).
+    /// sjpg images use ROI decoding of the central crop; GOP-structured
+    /// video decodes every frame at full fidelity (the reduced-fidelity
+    /// video plans come from [`Self::video_decode_modes`]); everything
+    /// else decodes fully (thumbnails are already near the DNN input
+    /// size).
     pub fn decode_mode(&self, input: &InputVariant) -> DecodeMode {
+        if input.is_video() {
+            return DecodeMode::Video {
+                selection: FrameSelection::All,
+                deblock: true,
+            };
+        }
         if self.config.enable_dag_opt
             && !input.is_thumbnail
             && matches!(input.format, smol_codec::Format::Sjpg { .. })
@@ -128,6 +185,7 @@ impl Planner {
     pub fn reduced_decode_mode(&self, input: &InputVariant) -> Option<DecodeMode> {
         if !self.config.enable_multires
             || input.is_thumbnail
+            || input.is_video()
             || !matches!(input.format, smol_codec::Format::Sjpg { .. })
         {
             return None;
@@ -172,15 +230,21 @@ impl Planner {
         measured * base_cost / mode_cost
     }
 
-    /// Builds one estimated candidate for a spec under a given decode mode.
+    /// Builds one estimated candidate for a spec under a given decode
+    /// mode. `exec_scale` converts the device's per-inference rate into
+    /// the plan's accounting unit: `1.0` for stills (one inference per
+    /// item), and the temporal sampling factor `gop / outputs` for video
+    /// plans, whose throughput is measured in *source* frames per second
+    /// (a keyframe-only plan covers `gop` frames of video per inference).
     fn candidate(
         &self,
         s: &CandidateSpec,
         decode: DecodeMode,
         preproc_throughput: f64,
         accuracy: f64,
+        exec_scale: f64,
     ) -> PlanCandidate {
-        let exec_stages = s.cascade.clone().unwrap_or_else(|| {
+        let mut exec_stages = s.cascade.clone().unwrap_or_else(|| {
             CascadeStage::single(throughput(
                 s.dnn,
                 self.config.device,
@@ -188,6 +252,11 @@ impl Planner {
                 self.config.batch,
             ))
         });
+        if exec_scale != 1.0 {
+            for stage in &mut exec_stages {
+                stage.throughput *= exec_scale;
+            }
+        }
         let exec = crate::costmodel::cascade_exec_throughput(&exec_stages);
         let est = estimate_throughput(self.config.cost_model, preproc_throughput, &exec_stages);
         PlanCandidate {
@@ -210,11 +279,74 @@ impl Planner {
         }
     }
 
-    /// Turns candidate specs into estimated plan candidates. Each spec
-    /// yields its base plan (full or ROI decode, per [`Self::decode_mode`])
-    /// plus, for formats with multi-resolution decoding, a
-    /// reduced-resolution plan whose decode fuses the downsample
-    /// (§6.4) and whose joint decode+preprocess cost drives its estimate.
+    /// The reduced-fidelity video decode modes enumerated next to a
+    /// GOP-structured input's base (full-GOP, in-loop-filtered) plan:
+    /// deblock skipping, keyframe-only selection, and their combination —
+    /// the video analogues of the §6.4 partial-decode ladder. Empty for
+    /// still inputs and under the "-Video" lesion.
+    pub fn video_decode_modes(&self, input: &InputVariant) -> Vec<DecodeMode> {
+        if !input.is_video() || !self.config.enable_video {
+            return Vec::new();
+        }
+        let mut modes = vec![DecodeMode::Video {
+            selection: FrameSelection::All,
+            deblock: false,
+        }];
+        if input.gop_len > 1 {
+            modes.push(DecodeMode::Video {
+                selection: FrameSelection::Keyframes,
+                deblock: true,
+            });
+            modes.push(DecodeMode::Video {
+                selection: FrameSelection::Keyframes,
+                deblock: false,
+            });
+        }
+        modes
+    }
+
+    /// Estimated preprocessing throughput (source frames/s) of a video
+    /// input decoded under `mode`, scaled from the measured full-GOP
+    /// throughput by the joint per-source-frame decode+preprocess cost
+    /// ratio. Decode cost amortizes over the whole GOP
+    /// ([`video_gop_decode_cost`]); CPU preprocessing runs only on the
+    /// frames the selection materializes for the device.
+    fn scaled_video_throughput(
+        &self,
+        measured: f64,
+        preproc: &PreprocPlan,
+        base: DecodeMode,
+        mode: DecodeMode,
+        input: &InputVariant,
+    ) -> f64 {
+        let g = input.gop_len.max(1);
+        let per_frame = plan_cost(preproc, input.width, input.height);
+        let joint = |m: DecodeMode| -> f64 {
+            let DecodeMode::Video { selection, deblock } = m else {
+                return 0.0;
+            };
+            let outputs = selection.count(g) as f64;
+            (video_gop_decode_cost(selection, deblock, g, input.width, input.height)
+                + outputs * per_frame)
+                / g as f64
+        };
+        let base_cost = joint(base);
+        let mode_cost = joint(mode);
+        if base_cost <= 0.0 || mode_cost <= 0.0 {
+            return measured;
+        }
+        measured * base_cost / mode_cost
+    }
+
+    /// Turns candidate specs into estimated plan candidates. Each still
+    /// spec yields its base plan (full or ROI decode, per
+    /// [`Self::decode_mode`]) plus, for formats with multi-resolution
+    /// decoding, a reduced-resolution plan whose decode fuses the
+    /// downsample (§6.4) and whose joint decode+preprocess cost drives its
+    /// estimate. Each video spec yields its full-GOP base plan plus the
+    /// reduced-fidelity ladder of [`Self::video_decode_modes`], with
+    /// accuracies discounted through the spec's [`VideoFidelity`]
+    /// calibration and throughput in source frames per second.
     pub fn enumerate(&self, specs: &[CandidateSpec]) -> Vec<PlanCandidate> {
         let mut out = Vec::with_capacity(specs.len());
         for s in specs
@@ -222,7 +354,29 @@ impl Planner {
             .filter(|s| self.config.enable_low_res || !s.input.is_thumbnail)
         {
             let base = self.decode_mode(&s.input);
-            out.push(self.candidate(s, base, s.preproc_throughput, s.accuracy));
+            if s.input.is_video() {
+                let g = s.input.gop_len.max(1);
+                let preproc = self.build_preproc(&s.input);
+                let fidelity = s.video.unwrap_or_default();
+                out.push(self.candidate(s, base, s.preproc_throughput, s.accuracy, 1.0));
+                for mode in self.video_decode_modes(&s.input) {
+                    let DecodeMode::Video { selection, deblock } = mode else {
+                        continue;
+                    };
+                    let tput = self.scaled_video_throughput(
+                        s.preproc_throughput,
+                        &preproc,
+                        base,
+                        mode,
+                        &s.input,
+                    );
+                    let acc = fidelity.accuracy_for(s.accuracy, selection, deblock);
+                    let sampling = g as f64 / selection.count(g).max(1) as f64;
+                    out.push(self.candidate(s, mode, tput, acc, sampling));
+                }
+                continue;
+            }
+            out.push(self.candidate(s, base, s.preproc_throughput, s.accuracy, 1.0));
             if let Some(reduced) = self.reduced_decode_mode(&s.input) {
                 let preproc = self.build_preproc(&s.input);
                 let tput = self.scaled_preproc_throughput(
@@ -234,7 +388,7 @@ impl Planner {
                     s.input.height,
                 );
                 let acc = s.reduced_accuracy.unwrap_or(s.accuracy);
-                out.push(self.candidate(s, reduced, tput, acc));
+                out.push(self.candidate(s, reduced, tput, acc, 1.0));
             }
         }
         out
@@ -320,6 +474,7 @@ mod tests {
                 preproc_throughput: 527.0,
                 reduced_accuracy: None,
                 cascade: None,
+                video: None,
             },
             CandidateSpec {
                 dnn: ModelKind::ResNet34,
@@ -328,6 +483,7 @@ mod tests {
                 preproc_throughput: 527.0,
                 reduced_accuracy: None,
                 cascade: None,
+                video: None,
             },
             CandidateSpec {
                 dnn: ModelKind::ResNet50,
@@ -336,6 +492,7 @@ mod tests {
                 preproc_throughput: 1995.0,
                 reduced_accuracy: None,
                 cascade: None,
+                video: None,
             },
             CandidateSpec {
                 dnn: ModelKind::ResNet34,
@@ -344,6 +501,7 @@ mod tests {
                 preproc_throughput: 1995.0,
                 reduced_accuracy: None,
                 cascade: None,
+                video: None,
             },
         ]
     }
@@ -440,6 +598,7 @@ mod tests {
             preproc_throughput: 150.0,
             reduced_accuracy,
             cascade: None,
+            video: None,
         }
     }
 
@@ -517,6 +676,139 @@ mod tests {
         assert!(!matches!(
             cands[0].plan.decode,
             DecodeMode::ReducedResolution { .. }
+        ));
+    }
+
+    fn video_input() -> InputVariant {
+        InputVariant::new("traffic svid(q=80)", Format::Svid { quality: 80 }, 320, 240).video(12)
+    }
+
+    fn video_spec(video: Option<VideoFidelity>) -> CandidateSpec {
+        CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input: video_input(),
+            accuracy: 0.80,
+            preproc_throughput: 300.0,
+            reduced_accuracy: None,
+            cascade: None,
+            video,
+        }
+    }
+
+    #[test]
+    fn video_enumeration_emits_the_reduced_fidelity_ladder() {
+        let planner = Planner::default();
+        let cands = planner.enumerate(&[video_spec(None)]);
+        // Base (All+deblock) + All-no-deblock + Keyframes±deblock.
+        assert_eq!(cands.len(), 4);
+        let base = &cands[0];
+        assert_eq!(
+            base.plan.decode,
+            DecodeMode::Video {
+                selection: FrameSelection::All,
+                deblock: true
+            }
+        );
+        let keys_fast = cands
+            .iter()
+            .find(|c| {
+                c.plan.decode
+                    == DecodeMode::Video {
+                        selection: FrameSelection::Keyframes,
+                        deblock: false,
+                    }
+            })
+            .expect("keyframe + deblock-skip candidate");
+        // Keyframe-only decode skips the motion-compensated tail of every
+        // GOP: the joint cost model must credit it with a large speedup in
+        // source-frames/s.
+        assert!(
+            keys_fast.est_throughput > base.est_throughput * 2.0,
+            "keyframes {} vs base {}",
+            keys_fast.est_throughput,
+            base.est_throughput
+        );
+        // Tolerant spec (no calibration): accuracy carries over, so the
+        // fast plan dominates and wins a zero-loss constraint.
+        let chosen = planner
+            .plan(&[video_spec(None)], &Constraint::MaxAccuracyLoss(0.0))
+            .unwrap();
+        assert_eq!(
+            chosen.plan.decode.frame_selection(),
+            Some(FrameSelection::Keyframes)
+        );
+    }
+
+    #[test]
+    fn video_fidelity_discounts_are_respected() {
+        let planner = Planner::default();
+        let fid = VideoFidelity {
+            keyframe_accuracy: Some(0.76),
+            deblock_skip_accuracy: Some(0.78),
+        };
+        let cands = planner.enumerate(&[video_spec(Some(fid))]);
+        let find = |sel: FrameSelection, deblock: bool| {
+            cands
+                .iter()
+                .find(|c| {
+                    c.plan.decode
+                        == DecodeMode::Video {
+                            selection: sel,
+                            deblock,
+                        }
+                })
+                .unwrap()
+        };
+        assert!((find(FrameSelection::All, true).accuracy - 0.80).abs() < 1e-12);
+        assert!((find(FrameSelection::All, false).accuracy - 0.78).abs() < 1e-12);
+        assert!((find(FrameSelection::Keyframes, true).accuracy - 0.76).abs() < 1e-12);
+        // Combined knobs: the harsher discount (min) wins.
+        assert!((find(FrameSelection::Keyframes, false).accuracy - 0.76).abs() < 1e-12);
+        // A strict accuracy floor forces the full-fidelity plan.
+        let chosen = planner
+            .plan(&[video_spec(Some(fid))], &Constraint::MinAccuracy(0.80))
+            .unwrap();
+        assert_eq!(
+            chosen.plan.decode,
+            DecodeMode::Video {
+                selection: FrameSelection::All,
+                deblock: true
+            }
+        );
+        // A loose one picks the fast keyframe plan.
+        let fast = planner
+            .plan(&[video_spec(Some(fid))], &Constraint::MinAccuracy(0.75))
+            .unwrap();
+        assert_eq!(
+            fast.plan.decode.frame_selection(),
+            Some(FrameSelection::Keyframes)
+        );
+    }
+
+    #[test]
+    fn video_lesion_removes_reduced_fidelity_plans() {
+        let planner = Planner::new(PlannerConfig {
+            enable_video: false,
+            ..Default::default()
+        });
+        let cands = planner.enumerate(&[video_spec(None)]);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(
+            cands[0].plan.decode,
+            DecodeMode::Video {
+                selection: FrameSelection::All,
+                deblock: true
+            }
+        );
+    }
+
+    #[test]
+    fn video_inputs_never_get_image_partial_decodes() {
+        let planner = Planner::default();
+        assert_eq!(planner.reduced_decode_mode(&video_input()), None);
+        assert!(matches!(
+            planner.decode_mode(&video_input()),
+            DecodeMode::Video { .. }
         ));
     }
 

@@ -24,7 +24,11 @@ use smol_imgproc::dag::{OpSpec, PlacedOp, PreprocPlan};
 /// `idct_edge` argument of [`smol_imgproc::dag::decode_cost`].
 pub fn idct_edge(mode: DecodeMode) -> usize {
     match mode {
-        DecodeMode::Full | DecodeMode::CentralRoi { .. } | DecodeMode::EarlyStopRows { .. } => 8,
+        DecodeMode::Full
+        | DecodeMode::CentralRoi { .. }
+        | DecodeMode::EarlyStopRows { .. }
+        // Video I-frames and residuals run the full 8-point transform.
+        | DecodeMode::Video { .. } => 8,
         DecodeMode::ReducedResolution { factor } => 8 / (factor as usize).clamp(1, 8),
     }
 }
@@ -51,7 +55,59 @@ pub fn decode_cost_for_mode(mode: DecodeMode, w: usize, h: usize) -> f64 {
             let cols = (dec_w + (w - dec_w) / 2).min(w);
             decode_cost(cols, dec_h, 8)
         }
+        // GOP-unaware upper bound: one intra frame plus its filter. Video
+        // plans are costed with [`video_gop_decode_cost`], which amortizes
+        // the I-frame over the whole GOP.
+        DecodeMode::Video { deblock, .. } => {
+            let base = decode_cost(w, h, 8);
+            if deblock {
+                base * (1.0 + DEBLOCK_COST_RATIO)
+            } else {
+                base
+            }
+        }
     }
+}
+
+/// Decode cost of a motion-compensated P-frame relative to an intra
+/// (sjpg-anatomy) frame of the same geometry. A P-frame replaces the
+/// dense entropy+IDCT pass with a per-pixel motion-compensation copy plus
+/// sparse residual blocks — much cheaper than an I-frame, far from free.
+/// Calibrated against the `smol_video` decoder on the synthetic traffic
+/// scenes; the `figure_video` CI gate checks the resulting plan ranking
+/// against wall-clock reality.
+pub const P_FRAME_COST_RATIO: f64 = 0.35;
+
+/// Cost of one in-loop deblocking pass relative to an intra decode of the
+/// same frame: two directional sweeps over the 8-px block grid touch
+/// roughly a quarter of the samples with a few ops each.
+pub const DEBLOCK_COST_RATIO: f64 = 0.12;
+
+/// Weighted-op decode cost of **one GOP** of `gop_len` frames at `w × h`
+/// under a video decode plan (§6.4 extended to GOP-structured inputs):
+///
+/// * the I-frame always pays a full intra decode;
+/// * P-frames up to the last *selected* frame pay
+///   [`P_FRAME_COST_RATIO`] each — frames past it are never touched
+///   (keyframe-only decode therefore skips motion compensation entirely);
+/// * the in-loop filter, when enabled, runs on every decoded frame
+///   (it feeds the reference chain, so it cannot be skipped selectively).
+pub fn video_gop_decode_cost(
+    selection: crate::plan::FrameSelection,
+    deblock: bool,
+    gop_len: usize,
+    w: usize,
+    h: usize,
+) -> f64 {
+    use smol_imgproc::dag::decode_cost;
+    let g = gop_len.max(1);
+    let intra = decode_cost(w, h, 8);
+    let decoded = (selection.last_decoded(g) + 1).min(g) as f64;
+    let mut cost = intra + (decoded - 1.0) * intra * P_FRAME_COST_RATIO;
+    if deblock {
+        cost += decoded * intra * DEBLOCK_COST_RATIO;
+    }
+    cost
 }
 
 /// Rewrites a declarative preprocessing pipeline (authored against the
@@ -64,7 +120,10 @@ pub fn rewrite_preproc_for_decode(
     w: usize,
     h: usize,
 ) -> PreprocPlan {
-    if matches!(mode, DecodeMode::Full) {
+    // Video decoding emits full-geometry frames (the selection thins
+    // which frames exist, not their shape), so like `Full` the authored
+    // pipeline is already correct.
+    if matches!(mode, DecodeMode::Full | DecodeMode::Video { .. }) {
         return preproc.clone();
     }
     let (out_w, out_h) = preproc.output_dims(w, h);
@@ -184,6 +243,38 @@ mod tests {
         // Reduced resolution reads every block (entropy floor) but skips
         // almost all transform work.
         assert!(reduced < full / 2.0, "reduced {reduced} vs full {full}");
+    }
+
+    #[test]
+    fn video_mode_rewrite_is_identity() {
+        use crate::plan::FrameSelection;
+        let plan = PreprocPlan::standard(256, 224, 224);
+        let mode = DecodeMode::Video {
+            selection: FrameSelection::Keyframes,
+            deblock: false,
+        };
+        assert_eq!(rewrite_preproc_for_decode(&plan, mode, 640, 480), plan);
+    }
+
+    #[test]
+    fn gop_cost_orders_the_video_decode_plans() {
+        use crate::plan::FrameSelection;
+        let (g, w, h) = (12, 320, 240);
+        let full = video_gop_decode_cost(FrameSelection::All, true, g, w, h);
+        let full_no_filter = video_gop_decode_cost(FrameSelection::All, false, g, w, h);
+        let keys = video_gop_decode_cost(FrameSelection::Keyframes, true, g, w, h);
+        let keys_fast = video_gop_decode_cost(FrameSelection::Keyframes, false, g, w, h);
+        let stride = video_gop_decode_cost(FrameSelection::Stride(4), true, g, w, h);
+        // Skipping the filter is cheaper; skipping P-frames much cheaper.
+        assert!(full_no_filter < full);
+        assert!(keys < full_no_filter);
+        assert!(keys_fast < keys);
+        // Keyframe-only must skip the whole motion-compensated tail: its
+        // GOP cost is a single intra decode, > 4x below the full GOP.
+        assert!(keys_fast * 4.0 < full, "keys {keys_fast} vs full {full}");
+        // Striding still decodes the reference chain up to the last
+        // selected frame, so it sits between keyframes-only and full.
+        assert!(keys < stride && stride < full);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Encoded GOP corpora — the video counterpart of [`crate::registry`].
+//!
+//! A video serving site stores streams as GOP-structured containers; the
+//! query path's *items* are GOPs (the stream's random-access points) and
+//! its *outputs* are frames. This module materializes that layout for the
+//! synthetic traffic scenes of [`crate::video`]: rendered frames are
+//! encoded through the real `smol_video` codec (sjpg I-frames, motion-
+//! compensated P-frames, in-loop deblocking) and split into per-GOP items
+//! a session can register wholesale via `Dataset::video`.
+
+use crate::catalog::VideoSpec;
+use crate::video::generate_video;
+use smol_codec::Format;
+use smol_imgproc::ops::resize_short_edge_u8;
+use smol_video::{EncodedGop, EncodedVideo, VideoEncoder};
+
+/// One named, encoded GOP corpus: the unit of video dataset registration
+/// (the serve layer turns this into its planner-facing `InputVariant`
+/// plus GOP items).
+#[derive(Debug, Clone)]
+pub struct GopCorpus {
+    /// Planner-facing label ("taipei svid(q=80)", …) — also the name
+    /// calibration tables key on.
+    pub name: String,
+    /// Frame geometry.
+    pub width: usize,
+    pub height: usize,
+    /// Frames per GOP (every GOP starts with an I-frame).
+    pub gop_len: usize,
+    pub fps: f64,
+    /// Shared I/P quantizer quality.
+    pub quality: u8,
+    /// The encoded serving corpus, one item per GOP.
+    pub gops: Vec<EncodedGop>,
+    /// Ground-truth object count per source frame (for accuracy checks
+    /// and aggregation experiments), indexed by stream frame position.
+    pub counts: Vec<u32>,
+}
+
+impl GopCorpus {
+    /// The planner-facing format tag of this corpus.
+    pub fn format(&self) -> Format {
+        Format::Svid {
+            quality: self.quality,
+        }
+    }
+
+    /// Total source frames across all GOPs.
+    pub fn n_frames(&self) -> usize {
+        self.gops.iter().map(EncodedGop::n_frames).sum()
+    }
+
+    /// Compressed size of the whole corpus in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.gops.iter().map(EncodedGop::size_bytes).sum()
+    }
+}
+
+/// Generates and encodes a GOP corpus for a catalog scene: `n_gops`
+/// groups of `gop_len` frames at the spec's *low-res* geometry (the
+/// serving-friendly stand-in; full-res frames make CI-scale corpora slow
+/// without changing any trade-off), quality 80, seeded deterministically.
+pub fn gop_corpus(spec: &VideoSpec, seed: u64, n_gops: usize, gop_len: usize) -> GopCorpus {
+    let gop_len = gop_len.max(1);
+    let clip = generate_video(spec, seed, n_gops * gop_len);
+    let (w, h) = spec.low_res;
+    let short = w.min(h);
+    let frames: Vec<smol_imgproc::ImageU8> = clip
+        .frames
+        .iter()
+        .map(|f| resize_short_edge_u8(f, short).expect("resize to serving geometry"))
+        .collect();
+    let quality = 80;
+    let encoder = VideoEncoder {
+        quality,
+        gop: gop_len,
+        ..Default::default()
+    };
+    let bytes = encoder
+        .encode_frames(&frames, spec.fps)
+        .expect("encode synthetic clip");
+    let video = EncodedVideo::parse(bytes).expect("parse own container");
+    let gops = video.gops();
+    GopCorpus {
+        name: format!("{} svid(q={quality})", spec.name),
+        width: video.width,
+        height: video.height,
+        gop_len,
+        fps: spec.fps,
+        quality,
+        gops,
+        counts: clip.counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::video_catalog;
+    use smol_video::{DecodeOptions, FrameSelection};
+
+    #[test]
+    fn corpus_has_the_requested_gop_structure() {
+        let spec = &video_catalog()[1]; // taipei
+        let corpus = gop_corpus(spec, 3, 4, 6);
+        assert_eq!(corpus.gops.len(), 4);
+        assert_eq!(corpus.n_frames(), 24);
+        assert_eq!(corpus.counts.len(), 24);
+        assert_eq!(corpus.gop_len, 6);
+        for gop in &corpus.gops {
+            assert_eq!(gop.n_frames(), 6);
+            assert_eq!((gop.width, gop.height), (corpus.width, corpus.height));
+        }
+        assert_eq!(corpus.name, "taipei svid(q=80)");
+        assert!(corpus.format().is_video());
+    }
+
+    #[test]
+    fn corpus_gops_decode_independently() {
+        let spec = &video_catalog()[0];
+        let corpus = gop_corpus(spec, 1, 3, 4);
+        for gop in &corpus.gops {
+            let (frames, stats) = gop
+                .decode_selected(FrameSelection::All, DecodeOptions::default())
+                .unwrap();
+            assert_eq!(frames.len(), 4);
+            assert_eq!(stats.iframes, 1);
+            assert_eq!(stats.pframes, 3);
+        }
+        // Keyframe-only: one frame per GOP, zero motion compensation.
+        let (frames, stats) = corpus.gops[1]
+            .decode_selected(FrameSelection::Keyframes, DecodeOptions { deblock: false })
+            .unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(stats.mc_macroblocks, 0);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let spec = &video_catalog()[2];
+        let a = gop_corpus(spec, 9, 2, 5);
+        let b = gop_corpus(spec, 9, 2, 5);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.size_bytes(), b.size_bytes());
+    }
+}

@@ -12,9 +12,13 @@
 //! * [`stills`] — the class-image generator with controlled frequency
 //!   content (the mechanism behind the §5.2/§5.3 accuracy shapes);
 //! * [`video`] — traffic scenes with ground-truth per-frame counts and
-//!   temporally autocorrelated count series (the mechanism behind §8.4).
+//!   temporally autocorrelated count series (the mechanism behind §8.4);
+//! * [`gops`] — the traffic scenes encoded through the real `smol_video`
+//!   codec and split into per-GOP serving items, for registration through
+//!   the declarative video query path.
 
 pub mod catalog;
+pub mod gops;
 pub mod registry;
 pub mod stills;
 pub mod video;
@@ -22,6 +26,7 @@ pub mod video;
 pub use catalog::{
     still_catalog, video_catalog, StillDatasetId, StillSpec, VideoDatasetId, VideoSpec,
 };
+pub use gops::{gop_corpus, GopCorpus};
 pub use registry::{encode_variant, serving_variants, EncodedVariant};
 pub use stills::{generate_stills, render_instance, throughput_images, StillDataset};
 pub use video::{count_autocorrelation, generate_video, SyntheticVideo};

@@ -9,6 +9,10 @@
 //!   accelerator (transfer → accelerator-side preprocessing kernels → DNN
 //!   batches). All §6.1 optimizations (threading, buffer reuse, pinned
 //!   staging) are runtime toggles for the Figure 7/8 lesion studies.
+//! * [`media`] — the unit of decode work: a [`MediaItem`] is a still
+//!   image or a video GOP; GOP items fan out into one staged tensor per
+//!   frame the plan's frame selection materializes
+//!   ([`pipeline::produce_media_item`]).
 //! * [`bufferpool`] — bounded recycled staging buffers with backpressure;
 //! * [`workers`] — persistent stage-thread pool, reused across runs (and
 //!   shared with the `smol_serve` multi-query runtime);
@@ -17,20 +21,22 @@
 //!   (Figure 10).
 
 pub mod bufferpool;
+pub mod media;
 pub mod personalities;
 pub mod pipeline;
 pub mod profiler;
 pub mod workers;
 
 pub use bufferpool::{BufferPool, PoolStats, PooledBuffer};
+pub use media::{video_decode_params, wrap_gops, wrap_images, MediaItem, OutputLayout};
 pub use personalities::Personality;
 pub use pipeline::{
-    decode_item, decode_only, execute_device_batch, preproc_only, produce_item, run_inference,
-    run_throughput, DeviceBatchSpec, PipelineReport, PlanContext, ProducedItem, Result,
-    RuntimeError, RuntimeOptions,
+    decode_item, decode_only, execute_device_batch, preproc_only, produce_item, produce_media_item,
+    run_inference, run_media_inference, run_media_throughput, run_throughput, DeviceBatchSpec,
+    PipelineReport, PlanContext, ProducedItem, Result, RuntimeError, RuntimeOptions,
 };
 pub use profiler::{
-    measure_decode_throughput, measure_exec_throughput, measure_preproc_pipelined,
-    measure_preproc_throughput, Profiler,
+    measure_decode_throughput, measure_exec_throughput, measure_media_preproc_pipelined,
+    measure_preproc_pipelined, measure_preproc_throughput, Profiler,
 };
 pub use workers::WorkerPool;

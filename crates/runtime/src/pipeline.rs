@@ -21,6 +21,7 @@
 //! `pinned` (DMA-fast transfers).
 
 use crate::bufferpool::{BufferPool, PoolStats, PooledBuffer};
+use crate::media::{video_decode_params, wrap_images, MediaItem};
 use crate::workers::{self, WorkerPool};
 use crossbeam::channel;
 use parking_lot::Mutex;
@@ -86,6 +87,8 @@ impl RuntimeOptions {
 /// Measured outcome of a pipeline run.
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
+    /// Device-side outputs processed: one per still item, one per
+    /// *selected frame* for video GOP items.
     pub images: usize,
     pub wall_s: f64,
     /// End-to-end images/second.
@@ -177,7 +180,14 @@ impl PlanContext {
     /// consumers (§6.1 over-allocation) *and* that a batch former holding
     /// up to `batch − 1` pending items can never exhaust the pool.
     pub fn pool_capacity(&self, producers: usize, consumers: usize) -> usize {
-        producers + self.batch + 2 * consumers * self.batch
+        self.pool_capacity_fanout(producers, consumers, 1)
+    }
+
+    /// [`PlanContext::pool_capacity`] for items that fan out into up to
+    /// `fanout` staged tensors each (video GOPs): every producer may hold
+    /// a whole item's frames before any of them reach the batch former.
+    pub fn pool_capacity_fanout(&self, producers: usize, consumers: usize, fanout: usize) -> usize {
+        producers * fanout.max(1) + self.batch + 2 * consumers * self.batch
     }
 
     /// The device-side batch parameters derived from this plan + options.
@@ -286,6 +296,65 @@ pub fn execute_device_batch(
     }
 }
 
+/// Runs the per-item producer stage for any media kind: still images
+/// delegate to [`produce_item`]; GOP items decode once per the plan's
+/// frame selection and stage every selected frame as its own work item
+/// (indices `base_idx..base_idx + fanout`), with the decode time split
+/// evenly across them.
+pub fn produce_media_item(
+    ctx: &PlanContext,
+    base_idx: usize,
+    item: &MediaItem,
+    pool: &BufferPool,
+    keep_image: bool,
+    extra_cpu_s: f64,
+) -> Result<Vec<ProducedItem>> {
+    let gop = match item {
+        MediaItem::Image(enc) => {
+            return Ok(vec![produce_item(
+                ctx,
+                base_idx,
+                enc,
+                pool,
+                keep_image,
+                extra_cpu_s,
+            )?])
+        }
+        MediaItem::Gop(g) => g,
+    };
+    let t0 = Instant::now();
+    let frames = decode_gop_frames(gop, ctx.decode)?;
+    let decode_share = t0.elapsed().as_secs_f64() / frames.len().max(1) as f64;
+    let mut out = Vec::with_capacity(frames.len());
+    for (i, frame) in frames.into_iter().enumerate() {
+        let t1 = Instant::now();
+        let mut buffer = pool.acquire();
+        let image = keep_image.then(|| frame.clone());
+        let (transfer_bytes, accel_ops) =
+            run_cpu_prefix(&ctx.preproc, frame, &ctx.norm, buffer.as_mut_slice())?;
+        if extra_cpu_s > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(extra_cpu_s));
+        }
+        out.push(ProducedItem {
+            idx: base_idx + i,
+            buffer,
+            transfer_bytes,
+            accel_ops,
+            image,
+            decode_s: decode_share,
+            preproc_s: t1.elapsed().as_secs_f64(),
+        });
+    }
+    Ok(out)
+}
+
+/// Decodes a GOP item's selected frames per the plan's decode mode.
+fn decode_gop_frames(gop: &smol_video::EncodedGop, mode: DecodeMode) -> Result<Vec<ImageU8>> {
+    let (selection, opts) = video_decode_params(mode);
+    let (frames, _) = gop.decode_selected(selection, opts)?;
+    Ok(frames.into_iter().map(|f| f.image).collect())
+}
+
 /// Decodes an item according to the plan's decode mode.
 pub fn decode_item(enc: &EncodedImage, mode: DecodeMode) -> Result<ImageU8> {
     match mode {
@@ -304,6 +373,9 @@ pub fn decode_item(enc: &EncodedImage, mode: DecodeMode) -> Result<ImageU8> {
             let (img, _) = enc.decode_scaled(factor as usize)?;
             Ok(img)
         }
+        // A still image under a video plan has no GOP structure to
+        // select within: decode it fully.
+        DecodeMode::Video { .. } => Ok(enc.decode()?),
     }
 }
 
@@ -418,6 +490,18 @@ pub fn run_throughput(
     device: &VirtualDevice,
     opts: &RuntimeOptions,
 ) -> Result<PipelineReport> {
+    run_media_throughput(&wrap_images(items), plan, device, opts)
+}
+
+/// [`run_throughput`] over mixed media items (still images and/or video
+/// GOPs). The report counts device-side outputs — *frames* for GOP items
+/// — so a keyframe-only plan reports its selected-frame throughput.
+pub fn run_media_throughput(
+    items: &[MediaItem],
+    plan: &QueryPlan,
+    device: &VirtualDevice,
+    opts: &RuntimeOptions,
+) -> Result<PipelineReport> {
     let (report, _) = run_pipeline_on(
         workers::global(),
         items,
@@ -443,12 +527,30 @@ where
     R: Send + 'static,
     F: Fn(usize, &ImageU8) -> R + Send + Sync + 'static,
 {
+    run_media_inference(&wrap_images(items), plan, device, opts, infer)
+}
+
+/// [`run_inference`] over mixed media items. Results are indexed by
+/// *output* position: item `i`'s outputs occupy the contiguous range
+/// starting at the sum of all earlier items' fan-outs (for stills that
+/// degenerates to one result per item, in submission order).
+pub fn run_media_inference<R, F>(
+    items: &[MediaItem],
+    plan: &QueryPlan,
+    device: &VirtualDevice,
+    opts: &RuntimeOptions,
+    infer: F,
+) -> Result<(PipelineReport, Vec<Option<R>>)>
+where
+    R: Send + 'static,
+    F: Fn(usize, &ImageU8) -> R + Send + Sync + 'static,
+{
     run_pipeline_on(workers::global(), items, plan, device, opts, Some(infer))
 }
 
 fn run_pipeline_on<R, F>(
     worker_pool: &WorkerPool,
-    items: &[EncodedImage],
+    items: &[MediaItem],
     plan: &QueryPlan,
     device: &VirtualDevice,
     opts: &RuntimeOptions,
@@ -477,17 +579,22 @@ where
     let batch = ctx.batch;
     let producers = opts.effective_producers();
     let consumers = opts.consumers.max(1);
-    let pool_capacity = ctx.pool_capacity(producers, consumers);
+    // Output (tensor) accounting: item `i`'s outputs start at offset
+    // `offsets[i]`; GOP items fan out into several.
+    let layout = crate::media::OutputLayout::of(items, ctx.decode);
+    let total_outputs = layout.total;
+    let offsets: Arc<Vec<usize>> = Arc::new(layout.offsets);
+    let pool_capacity = ctx.pool_capacity_fanout(producers, consumers, layout.max_fanout);
     let pool = BufferPool::new(pool_capacity, ctx.buf_len, opts.memory_reuse, opts.pinned);
     let (tx, rx) = channel::bounded::<ProducedItem>(pool_capacity);
-    // `EncodedImage` holds `Bytes`, so this is a handle copy, not a deep
+    // Media items hold `Bytes`, so this is a handle copy, not a deep
     // copy — it lets the jobs be `'static` for the persistent pool.
-    let items: Arc<Vec<EncodedImage>> = Arc::new(items.to_vec());
+    let items: Arc<Vec<MediaItem>> = Arc::new(items.to_vec());
     let next = Arc::new(AtomicUsize::new(0));
     let decode_cpu = Arc::new(Mutex::new(0.0f64));
     let preproc_cpu = Arc::new(Mutex::new(0.0f64));
     let results: Arc<Mutex<Vec<Option<R>>>> =
-        Arc::new(Mutex::new((0..items.len()).map(|_| None).collect()));
+        Arc::new(Mutex::new((0..total_outputs).map(|_| None).collect()));
     let error: Arc<Mutex<Option<RuntimeError>>> = Arc::new(Mutex::new(None));
     let infer = infer.map(Arc::new);
     let keep_images = infer.is_some();
@@ -503,32 +610,35 @@ where
         let decode_cpu = Arc::clone(&decode_cpu);
         let preproc_cpu = Arc::clone(&preproc_cpu);
         let error = Arc::clone(&error);
+        let offsets = Arc::clone(&offsets);
         jobs.push(Box::new(move || {
             let mut local_decode = 0.0f64;
             let mut local_preproc = 0.0f64;
-            loop {
+            'claims: loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= items.len() {
                     break;
                 }
-                let item = match produce_item(
+                let produced = match produce_media_item(
                     &ctx,
-                    idx,
+                    offsets[idx],
                     &items[idx],
                     &pool,
                     keep_images,
                     opts.extra_cpu_s_per_image,
                 ) {
-                    Ok(item) => item,
+                    Ok(produced) => produced,
                     Err(e) => {
                         *error.lock() = Some(e);
                         break;
                     }
                 };
-                local_decode += item.decode_s;
-                local_preproc += item.preproc_s;
-                if tx.send(item).is_err() {
-                    break;
+                for item in produced {
+                    local_decode += item.decode_s;
+                    local_preproc += item.preproc_s;
+                    if tx.send(item).is_err() {
+                        break 'claims;
+                    }
                 }
             }
             *decode_cpu.lock() += local_decode;
@@ -596,9 +706,9 @@ where
     // because the device sleeps scaled durations, so divide the scale back
     // out only when the caller runs time_scale != 1 (they see scaled wall).
     let report = PipelineReport {
-        images: items.len(),
+        images: total_outputs,
         wall_s: wall,
-        throughput: items.len() as f64 / wall,
+        throughput: total_outputs as f64 / wall,
         decode_cpu_s: *decode_cpu.lock(),
         preproc_cpu_s: *preproc_cpu.lock(),
         device: device.stats(),
@@ -779,6 +889,100 @@ mod tests {
         assert_eq!(report.images, 4);
     }
 
+    fn encoded_gops(n_gops: usize, frames_per: usize, w: usize, h: usize) -> Vec<MediaItem> {
+        let frames: Vec<ImageU8> = (0..n_gops * frames_per)
+            .map(|i| textured(w, h, i))
+            .collect();
+        let enc = smol_video::VideoEncoder {
+            gop: frames_per,
+            ..Default::default()
+        }
+        .encode_frames(&frames, 30.0)
+        .unwrap();
+        let video = smol_video::EncodedVideo::parse(enc).unwrap();
+        crate::media::wrap_gops(&video.gops())
+    }
+
+    fn video_plan(w: usize, h: usize, dnn_input: u32, decode: smol_core::DecodeMode) -> QueryPlan {
+        let planner = Planner::new(PlannerConfig {
+            dnn_input,
+            ..Default::default()
+        });
+        let input = InputVariant::new("test svid", Format::Svid { quality: 80 }, w, h).video(4);
+        QueryPlan {
+            dnn: ModelKind::ResNet50,
+            input: input.clone(),
+            preproc: planner.build_preproc(&input),
+            decode,
+            batch: 8,
+            extra_stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn video_items_fan_out_into_frame_outputs() {
+        use smol_core::FrameSelection;
+        let items = encoded_gops(3, 4, 64, 48);
+        let all = video_plan(
+            64,
+            48,
+            32,
+            smol_core::DecodeMode::Video {
+                selection: FrameSelection::All,
+                deblock: true,
+            },
+        );
+        let report =
+            run_media_throughput(&items, &all, &fast_device(), &RuntimeOptions::default()).unwrap();
+        assert_eq!(report.images, 12, "3 GOPs x 4 frames");
+        assert!(report.decode_cpu_s > 0.0);
+
+        let keys = video_plan(
+            64,
+            48,
+            32,
+            smol_core::DecodeMode::Video {
+                selection: FrameSelection::Keyframes,
+                deblock: false,
+            },
+        );
+        let report =
+            run_media_throughput(&items, &keys, &fast_device(), &RuntimeOptions::default())
+                .unwrap();
+        assert_eq!(report.images, 3, "keyframe-only: one frame per GOP");
+    }
+
+    #[test]
+    fn video_inference_indices_are_contiguous_per_item() {
+        use smol_core::FrameSelection;
+        let items = encoded_gops(2, 4, 64, 48);
+        let plan = video_plan(
+            64,
+            48,
+            32,
+            smol_core::DecodeMode::Video {
+                selection: FrameSelection::Stride(2),
+                deblock: true,
+            },
+        );
+        let (report, results) = run_media_inference(
+            &items,
+            &plan,
+            &fast_device(),
+            &RuntimeOptions::default(),
+            |idx, img| (idx, img.width()),
+        )
+        .unwrap();
+        // 2 GOPs x ceil(4/2) frames each.
+        assert_eq!(report.images, 4);
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            let (idx, w) = r.expect("every selected frame inferred");
+            assert_eq!(idx, i);
+            assert_eq!(w, 64, "full-geometry frames reach the callback");
+        }
+    }
+
     #[test]
     fn empty_input_is_ok() {
         let plan = test_plan(64, 64, 32);
@@ -813,7 +1017,7 @@ mod tests {
         for run in 0..2 {
             let (report, _) = run_pipeline_on(
                 &worker_pool,
-                &items,
+                &wrap_images(&items),
                 &plan,
                 &fast_device(),
                 &opts,

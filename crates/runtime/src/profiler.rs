@@ -60,6 +60,17 @@ impl Profiler {
         measure_preproc_pipelined(self.take(items), plan, &self.opts)
     }
 
+    /// [`Profiler::preproc_throughput`] over mixed media items (stills
+    /// and/or GOPs): frames-per-second through the pipelined harness,
+    /// decoded exactly as the plan prescribes (frame selection, deblock
+    /// knob). The sample cap counts *items* (GOPs), matching the claim
+    /// granularity of the serving scheduler.
+    pub fn media_throughput(&self, items: &[crate::media::MediaItem], plan: &QueryPlan) -> f64 {
+        self.calls.fetch_add(1, Ordering::AcqRel);
+        let take = &items[..items.len().min(self.sample)];
+        measure_media_preproc_pipelined(take, plan, &self.opts)
+    }
+
     /// Decode-only throughput under `mode` — [`measure_decode_throughput`]
     /// with counting, using the profiler's producer count.
     pub fn decode_throughput(&self, items: &[EncodedImage], mode: DecodeMode) -> f64 {
@@ -132,6 +143,16 @@ pub fn measure_preproc_pipelined(
     plan: &QueryPlan,
     opts: &crate::pipeline::RuntimeOptions,
 ) -> f64 {
+    measure_media_preproc_pipelined(&crate::media::wrap_images(items), plan, opts)
+}
+
+/// [`measure_preproc_pipelined`] over mixed media items; the rate is in
+/// device-side outputs per second (frames, for GOP items).
+pub fn measure_media_preproc_pipelined(
+    items: &[crate::media::MediaItem],
+    plan: &QueryPlan,
+    opts: &crate::pipeline::RuntimeOptions,
+) -> f64 {
     use smol_accel::{DeviceSpec, ExecutionEnv, GpuModel};
     let spec = DeviceSpec {
         resnet50_batch64: 1e12,
@@ -141,7 +162,7 @@ pub fn measure_preproc_pipelined(
         ..GpuModel::T4.spec()
     };
     let device = VirtualDevice::with_spec(spec, ExecutionEnv::TensorRt, 1.0);
-    match crate::pipeline::run_throughput(items, plan, &device, opts) {
+    match crate::pipeline::run_media_throughput(items, plan, &device, opts) {
         Ok(report) => report.throughput,
         Err(_) => 0.0,
     }

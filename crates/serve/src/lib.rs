@@ -6,10 +6,13 @@
 //! and must share one accelerator. This crate provides:
 //!
 //! * [`Session`] — the declarative, constraint-driven facade (§3.1's
-//!   contract): register a [`Dataset`] once, submit [`Query`]s stating an
-//!   accuracy/throughput/cost constraint, and the session profiles,
-//!   plans, caches, and executes — no hand-built `CandidateSpec`s or
-//!   `QueryPlan`s, and typed [`SessionError`] failures;
+//!   contract): register a [`Dataset`] once — still images or a
+//!   GOP-structured video corpus ([`Dataset::video`]) — submit [`Query`]s
+//!   stating an accuracy/throughput/cost constraint, and the session
+//!   profiles, plans, caches, and executes — no hand-built
+//!   `CandidateSpec`s or `QueryPlan`s, and typed [`SessionError`]
+//!   failures. For video, frame selection is the planner's call: GOPs are
+//!   the serving items and reports count frames;
 //! * [`Server`] — a long-lived runtime accepting concurrent
 //!   [`smol_core::QueryPlan`] submissions over one shared
 //!   [`smol_accel::VirtualDevice`] and one shared producer pool, with a

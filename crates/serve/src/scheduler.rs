@@ -132,6 +132,7 @@ mod tests {
             batch,
             out_w: 224,
             out_h: 224,
+            frame_selection: None,
             accel_ops: Vec::new(),
             extra_stages: Vec::new(),
         })

@@ -30,8 +30,8 @@ use smol_codec::EncodedImage;
 use smol_core::{PlacementSignature, QueryPlan};
 use smol_imgproc::ImageU8;
 use smol_runtime::{
-    execute_device_batch, produce_item, BufferPool, DeviceBatchSpec, PlanContext, ProducedItem,
-    RuntimeOptions,
+    execute_device_batch, produce_media_item, wrap_images, BufferPool, DeviceBatchSpec, MediaItem,
+    PlanContext, ProducedItem, RuntimeOptions,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -108,7 +108,10 @@ struct Claim {
     idx: usize,
     sig: Arc<PlacementSignature>,
     ctx: Arc<PlanContext>,
-    items: Arc<Vec<EncodedImage>>,
+    items: Arc<Vec<MediaItem>>,
+    /// Output (tensor) offset of each item: item `i`'s outputs are
+    /// `offsets[i]..offsets[i] + fanout(i)`.
+    offsets: Arc<Vec<usize>>,
     pool: BufferPool,
     keep_image: bool,
     claimed_at: Instant,
@@ -119,7 +122,11 @@ struct QueryState {
     label: String,
     sig: Arc<PlacementSignature>,
     ctx: Arc<PlanContext>,
-    items: Arc<Vec<EncodedImage>>,
+    items: Arc<Vec<MediaItem>>,
+    /// Per-item output offsets (see [`Claim::offsets`]).
+    offsets: Arc<Vec<usize>>,
+    /// Total outputs across all items (frames for GOP items).
+    total_outputs: usize,
     pool: BufferPool,
     infer: Option<InferFn>,
     /// Next item index to claim.
@@ -129,6 +136,7 @@ struct QueryState {
     claim_end: usize,
     /// Claims handed to producers and not yet integrated.
     claims_out: usize,
+    /// Outputs staged so far (≥ items produced for video queries).
     produced: usize,
     failed: usize,
     skipped: usize,
@@ -145,6 +153,19 @@ struct QueryState {
 impl QueryState {
     fn production_done(&self) -> bool {
         self.next_item >= self.claim_end && self.claims_out == 0
+    }
+
+    /// Outputs of every item before `item` (clamps past the end).
+    fn outputs_before(&self, item: usize) -> usize {
+        self.offsets
+            .get(item)
+            .copied()
+            .unwrap_or(self.total_outputs)
+    }
+
+    /// Fan-out of item `item` (1 for stills, selected frames for GOPs).
+    fn count_of(&self, item: usize) -> usize {
+        self.outputs_before(item + 1) - self.offsets[item]
     }
 }
 
@@ -275,8 +296,17 @@ impl Server {
         }
     }
 
-    /// Submits a query, blocking while the admission queue is full.
+    /// Submits a still-image query, blocking while the admission queue is
+    /// full.
     pub fn submit(&self, plan: QueryPlan, items: Vec<EncodedImage>) -> ServeResult<QueryHandle> {
+        self.submit_inner(plan, wrap_images(&items), None, true)
+    }
+
+    /// Submits a query over mixed media items (still images and/or video
+    /// GOPs), blocking while the admission queue is full. GOP items fan
+    /// out into one device tensor per selected frame; the report's
+    /// `images` counts those outputs.
+    pub fn submit_media(&self, plan: QueryPlan, items: Vec<MediaItem>) -> ServeResult<QueryHandle> {
         self.submit_inner(plan, items, None, true)
     }
 
@@ -287,15 +317,32 @@ impl Server {
         plan: QueryPlan,
         items: Vec<EncodedImage>,
     ) -> ServeResult<QueryHandle> {
-        self.submit_inner(plan, items, None, false)
+        self.submit_inner(plan, wrap_images(&items), None, false)
     }
 
-    /// Submits a query with a per-image inference callback; results come
-    /// back through [`QueryReport::take_results`].
+    /// Submits a still-image query with a per-image inference callback;
+    /// results come back through [`QueryReport::take_results`].
     pub fn submit_with_infer<R, F>(
         &self,
         plan: QueryPlan,
         items: Vec<EncodedImage>,
+        infer: F,
+    ) -> ServeResult<QueryHandle>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &ImageU8) -> R + Send + Sync + 'static,
+    {
+        let erased: InferFn =
+            Arc::new(move |idx, img| Box::new(infer(idx, img)) as BoxedPrediction);
+        self.submit_inner(plan, wrap_images(&items), Some(erased), true)
+    }
+
+    /// [`Server::submit_with_infer`] over mixed media items; the callback
+    /// sees *output* indices (contiguous per item, frames in GOP order).
+    pub fn submit_media_with_infer<R, F>(
+        &self,
+        plan: QueryPlan,
+        items: Vec<MediaItem>,
         infer: F,
     ) -> ServeResult<QueryHandle>
     where
@@ -310,7 +357,7 @@ impl Server {
     fn submit_inner(
         &self,
         plan: QueryPlan,
-        items: Vec<EncodedImage>,
+        items: Vec<MediaItem>,
         infer: Option<InferFn>,
         block: bool,
     ) -> ServeResult<QueryHandle> {
@@ -322,6 +369,12 @@ impl Server {
         let sig = Arc::new(plan.placement_signature());
         let (done_tx, done_rx) = channel::bounded::<QueryReport>(1);
         let n = items.len();
+        // Output (tensor) accounting: GOP items fan out per the plan's
+        // frame selection.
+        let layout = smol_runtime::media::OutputLayout::of(&items, ctx.decode);
+        let total_outputs = layout.total;
+        let max_fanout = layout.max_fanout;
+        let offsets: Arc<Vec<usize>> = Arc::new(layout.offsets);
         let producers = inner.cfg.runtime.effective_producers();
         let consumers = inner.cfg.runtime.consumers.max(1);
 
@@ -344,7 +397,7 @@ impl Server {
         {
             let mut agg = inner.agg.lock();
             agg.submitted_queries += 1;
-            agg.images_in += n as u64;
+            agg.images_in += total_outputs as u64;
         }
         if n == 0 {
             // Nothing to schedule: resolve immediately.
@@ -368,7 +421,7 @@ impl Server {
             return Ok(QueryHandle { id, rx: done_rx });
         }
         let pool = BufferPool::new(
-            ctx.pool_capacity(producers, consumers),
+            ctx.pool_capacity_fanout(producers, consumers, max_fanout),
             ctx.buf_len,
             inner.cfg.runtime.memory_reuse,
             inner.cfg.runtime.pinned,
@@ -379,6 +432,8 @@ impl Server {
             sig: sig.clone(),
             ctx,
             items: Arc::new(items),
+            offsets,
+            total_outputs,
             pool,
             infer,
             next_item: 0,
@@ -388,8 +443,8 @@ impl Server {
             failed: 0,
             skipped: 0,
             completed: 0,
-            latencies: Vec::with_capacity(n),
-            results: (0..n).map(|_| None).collect(),
+            latencies: Vec::with_capacity(total_outputs),
+            results: (0..total_outputs).map(|_| None).collect(),
             decode_cpu_s: 0.0,
             preproc_cpu_s: 0.0,
             submitted_at: Instant::now(),
@@ -483,6 +538,7 @@ fn claim_next(sched: &mut Sched) -> Option<Claim> {
             sig: Arc::clone(&q.sig),
             ctx: Arc::clone(&q.ctx),
             items: Arc::clone(&q.items),
+            offsets: Arc::clone(&q.offsets),
             pool: q.pool.clone(),
             keep_image: q.infer.is_some(),
             claimed_at: Instant::now(),
@@ -580,10 +636,11 @@ fn producer_loop(inner: &Inner, batch_tx: &channel::Sender<FormedBatch<BatchItem
         };
         let Some(claim) = claim else { return };
 
-        // The slow part runs without the scheduler lock.
-        let produced = produce_item(
+        // The slow part runs without the scheduler lock. A GOP item fans
+        // out into one staged work item per selected frame.
+        let produced = produce_media_item(
             &claim.ctx,
-            claim.idx,
+            claim.offsets[claim.idx],
             &claim.items[claim.idx],
             &claim.pool,
             claim.keep_image,
@@ -600,44 +657,55 @@ fn producer_loop(inner: &Inner, batch_tx: &channel::Sender<FormedBatch<BatchItem
                 .expect("query lives until finalize");
             q.claims_out -= 1;
             match produced {
-                Ok(item) => {
-                    q.produced += 1;
-                    q.decode_cpu_s += item.decode_s;
-                    q.preproc_cpu_s += item.preproc_s;
+                Ok(staged) => {
+                    q.produced += staged.len();
                     let count = sched
                         .sigs
                         .get_mut(&claim.sig)
                         .expect("signature registered at admission");
                     count.producing -= 1;
-                    if let Some(batch) = sched.former.push(
-                        &claim.sig,
-                        BatchItem {
-                            query: claim.query,
-                            item,
-                            claimed_at: claim.claimed_at,
-                        },
-                    ) {
-                        emitted.push(batch);
+                    for item in staged {
+                        let q = sched
+                            .queries
+                            .get_mut(&claim.query)
+                            .expect("query lives until finalize");
+                        q.decode_cpu_s += item.decode_s;
+                        q.preproc_cpu_s += item.preproc_s;
+                        if let Some(batch) = sched.former.push(
+                            &claim.sig,
+                            BatchItem {
+                                query: claim.query,
+                                item,
+                                claimed_at: claim.claimed_at,
+                            },
+                        ) {
+                            emitted.push(batch);
+                        }
                     }
                     flush_if_drained(sched, &claim.sig, &mut emitted);
+                    // An item can legally stage zero outputs (an empty
+                    // GOP): the query may already be finishable.
+                    try_finalize(inner, sched, claim.query);
                 }
                 Err(e) => {
                     // Stop claiming further items of this query; items
                     // already produced still execute and the handle still
-                    // resolves (with the error recorded).
-                    q.failed += 1;
+                    // resolves (with the error recorded). Failed/skipped
+                    // are counted in *outputs*, matching `images` (for
+                    // stills both degenerate to item counts).
+                    q.failed += q.count_of(claim.idx);
                     if q.error.is_none() {
                         q.error = Some(e.to_string());
                     }
-                    let dropped = q.claim_end - q.next_item;
-                    q.skipped += dropped;
+                    let dropped_items = q.claim_end - q.next_item;
+                    q.skipped += q.outputs_before(q.claim_end) - q.outputs_before(q.next_item);
                     q.claim_end = q.next_item;
                     let count = sched
                         .sigs
                         .get_mut(&claim.sig)
                         .expect("signature registered at admission");
                     count.producing -= 1;
-                    count.unclaimed -= dropped;
+                    count.unclaimed -= dropped_items;
                     flush_if_drained(sched, &claim.sig, &mut emitted);
                     try_finalize(inner, sched, claim.query);
                 }

@@ -50,11 +50,12 @@ use smol_accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
 use smol_codec::EncodedImage;
 use smol_core::{
     pareto_frontier, CandidateSpec, Constraint, ConstraintKey, DecodeMode, InputVariant,
-    PlanCandidate, PlanError, Planner, PlannerConfig, PlannerKey, QueryPlan,
+    PlanCandidate, PlanError, Planner, PlannerConfig, PlannerKey, QueryPlan, VideoFidelity,
 };
-use smol_data::EncodedVariant;
+use smol_data::{EncodedVariant, GopCorpus};
 use smol_imgproc::{ops::resize_short_edge_u8, ImageU8};
-use smol_runtime::Profiler;
+use smol_runtime::{wrap_gops, wrap_images, MediaItem, Profiler};
+use smol_video::EncodedGop;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -130,7 +131,27 @@ impl Calibration {
     fn accuracy(&self, model: ModelKind, input: &InputVariant) -> Option<f64> {
         match self {
             Calibration::Table(t) => t.get(model, &input.name).map(|e| e.accuracy),
+            // Measured calibration re-encodes single images, which has no
+            // meaning for GOP-structured variants: video datasets
+            // calibrate through tables (no entry ⇒ not a candidate).
+            Calibration::Measured(_) if input.is_video() => None,
             Calibration::Measured(m) => m.measure(model, input, None),
+        }
+    }
+
+    /// The reduced-fidelity video calibration of a (DNN, variant) pair:
+    /// `None` fields mean "not calibrated — accuracy carries over"
+    /// (mirroring `reduced_accuracy`'s tolerant default).
+    fn video_fidelity(&self, model: ModelKind, input: &InputVariant) -> Option<VideoFidelity> {
+        if !input.is_video() {
+            return None;
+        }
+        match self {
+            Calibration::Table(t) => t.get(model, &input.name).map(|e| VideoFidelity {
+                keyframe_accuracy: e.keyframes,
+                deblock_skip_accuracy: e.no_deblock,
+            }),
+            Calibration::Measured(_) => None,
         }
     }
 
@@ -155,6 +176,11 @@ struct TableEntry {
     accuracy: f64,
     /// Reduced-resolution accuracy per scaled-IDCT factor.
     reduced: BTreeMap<u8, f64>,
+    /// Accuracy under keyframe-only decoding (video variants).
+    keyframes: Option<f64>,
+    /// Accuracy with the in-loop deblocking filter skipped (video
+    /// variants).
+    no_deblock: Option<f64>,
 }
 
 impl TableEntry {
@@ -218,6 +244,37 @@ impl AccuracyTable {
         self
     }
 
+    /// Like [`AccuracyTable::with`], additionally recording the accuracy
+    /// measured under **keyframe-only** video decoding (the aggregate
+    /// answer computed from a 1-in-GOP temporal sample). Video variants
+    /// only; stills ignore the field.
+    pub fn with_keyframes(
+        mut self,
+        model: ModelKind,
+        variant: &str,
+        accuracy: f64,
+        keyframes: f64,
+    ) -> Self {
+        self.entry(model, variant, accuracy).keyframes = Some(keyframes);
+        self
+    }
+
+    /// Like [`AccuracyTable::with`], additionally recording the accuracy
+    /// measured with the in-loop **deblocking filter skipped** (§6.4's
+    /// reduced-fidelity decode: cheaper, drift-inducing on P-frames).
+    /// When a plan combines this with keyframe-only selection, the
+    /// planner takes the harsher (minimum) of the two calibrated values.
+    pub fn with_deblock_skip(
+        mut self,
+        model: ModelKind,
+        variant: &str,
+        accuracy: f64,
+        no_deblock: f64,
+    ) -> Self {
+        self.entry(model, variant, accuracy).no_deblock = Some(no_deblock);
+        self
+    }
+
     fn entry(&mut self, model: ModelKind, variant: &str, accuracy: f64) -> &mut TableEntry {
         let e = self
             .entries
@@ -225,6 +282,8 @@ impl AccuracyTable {
             .or_insert_with(|| TableEntry {
                 accuracy,
                 reduced: BTreeMap::new(),
+                keyframes: None,
+                no_deblock: None,
             });
         e.accuracy = accuracy;
         e
@@ -319,10 +378,10 @@ impl MeasuredCalibration {
 }
 
 /// One registered input variant: the planner-facing descriptor plus the
-/// encoded serving corpus.
+/// encoded serving corpus (still images or video GOPs).
 pub struct DatasetVariant {
     pub input: InputVariant,
-    pub items: Arc<Vec<EncodedImage>>,
+    pub items: Arc<Vec<MediaItem>>,
 }
 
 /// A registered dataset: named input variants, the DNN ladder to consider
@@ -359,11 +418,69 @@ impl Dataset {
         self
     }
 
-    /// Registers one input variant with its encoded serving corpus.
+    /// A video dataset over an encoded GOP corpus (`smol_data::gop_corpus`
+    /// or any [`GopCorpus`]): GOPs are the serving items, frames are the
+    /// outputs, and the planner enumerates the reduced-fidelity video
+    /// ladder (keyframe-only, deblock-skip) next to the full-GOP plan.
+    /// Add models and calibration with the usual builder methods; the
+    /// calibration table keys on the corpus name
+    /// ([`AccuracyTable::with_keyframes`] /
+    /// [`AccuracyTable::with_deblock_skip`] record what each knob costs
+    /// in accuracy).
+    ///
+    /// ```
+    /// use smol_accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
+    /// use smol_data::{gop_corpus, video_catalog};
+    /// use smol_serve::{
+    ///     AccuracyTable, Calibration, Dataset, Query, Session, SessionConfig,
+    /// };
+    ///
+    /// # fn main() -> Result<(), smol_serve::SessionError> {
+    /// let corpus = gop_corpus(&video_catalog()[1], 7, 3, 6); // 3 GOPs x 6
+    /// let variant = corpus.name.clone();
+    /// let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 0.05);
+    /// let session = Session::new(device, SessionConfig::default());
+    /// session.register(
+    ///     Dataset::video("traffic", corpus)
+    ///         .with_model(ModelKind::ResNet50)
+    ///         .with_calibration(Calibration::Table(
+    ///             AccuracyTable::new()
+    ///                 .with(ModelKind::ResNet50, &variant, 0.81)
+    ///                 .with_keyframes(ModelKind::ResNet50, &variant, 0.81, 0.79),
+    ///         )),
+    /// )?;
+    /// // Tolerant constraint ⇒ keyframe-only plan: one frame per GOP.
+    /// let report = session.run(&Query::new("traffic").max_accuracy_loss(0.03))?;
+    /// assert_eq!(report.images, 3);
+    /// session.shutdown();
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn video(name: impl Into<String>, corpus: GopCorpus) -> Self {
+        let format = corpus.format();
+        let input = InputVariant::new(corpus.name, format, corpus.width, corpus.height)
+            .video(corpus.gop_len);
+        Dataset::new(name).with_gop_variant(input, corpus.gops)
+    }
+
+    /// Registers one still-image input variant with its encoded serving
+    /// corpus.
     pub fn with_variant(mut self, input: InputVariant, items: Vec<EncodedImage>) -> Self {
         self.variants.push(DatasetVariant {
             input,
-            items: Arc::new(items),
+            items: Arc::new(wrap_images(&items)),
+        });
+        self
+    }
+
+    /// Registers one GOP-structured video variant. The `input` must carry
+    /// its GOP length ([`InputVariant::video`]); GOPs are items, so
+    /// `Query::take(n)` limits GOPs, and reports count frames.
+    pub fn with_gop_variant(mut self, input: InputVariant, gops: Vec<EncodedGop>) -> Self {
+        debug_assert!(input.is_video(), "tag the variant with InputVariant::video");
+        self.variants.push(DatasetVariant {
+            input,
+            items: Arc::new(wrap_gops(&gops)),
         });
         self
     }
@@ -378,7 +495,7 @@ impl Dataset {
             }
             self.variants.push(DatasetVariant {
                 input,
-                items: Arc::new(v.items),
+                items: Arc::new(wrap_images(&v.items)),
             });
         }
         self
@@ -411,12 +528,13 @@ impl Dataset {
             .iter()
             .map(|v| {
                 format!(
-                    "{}|{:?}|{}x{}|{}|{}",
+                    "{}|{:?}|{}x{}|{}|gop{}|{}",
                     v.input.name,
                     v.input.format,
                     v.input.width,
                     v.input.height,
                     v.input.is_thumbnail,
+                    v.input.gop_len,
                     v.items.len()
                 )
             })
@@ -431,7 +549,12 @@ impl Dataset {
                     .map(|((m, v), e)| {
                         let reduced: Vec<(u8, u64)> =
                             e.reduced.iter().map(|(&f, a)| (f, a.to_bits())).collect();
-                        format!("{m:?}|{v}|{:016x}|{reduced:?}", e.accuracy.to_bits())
+                        format!(
+                            "{m:?}|{v}|{:016x}|{reduced:?}|{:?}|{:?}",
+                            e.accuracy.to_bits(),
+                            e.keyframes.map(f64::to_bits),
+                            e.no_deblock.map(f64::to_bits),
+                        )
                     })
                     .collect();
                 entries.sort();
@@ -452,6 +575,22 @@ struct Registered {
 
 /// A declarative query: a dataset name plus a [`Constraint`]. Defaults to
 /// `max_accuracy_loss(0.0)` — the most accurate plan available.
+///
+/// ```
+/// use smol_core::Constraint;
+/// use smol_serve::Query;
+///
+/// // "Within half a point of the best accuracy, go as fast as possible,
+/// //  over the first 100 items."
+/// let q = Query::new("photos").max_accuracy_loss(0.005).take(100);
+/// assert_eq!(q.dataset(), "photos");
+/// assert_eq!(*q.constraint(), Constraint::MaxAccuracyLoss(0.005));
+///
+/// // Floors on the other axes; see `smol_core::constraints` for exact
+/// // semantics (these select the most accurate feasible plan).
+/// let _ = Query::new("photos").min_throughput(2000.0);
+/// let _ = Query::new("photos").max_cost(30.0); // ¢ per million images
+/// ```
 #[derive(Debug, Clone)]
 pub struct Query {
     dataset: String,
@@ -796,7 +935,54 @@ pub struct Explanation {
     pub cache_hit: bool,
 }
 
-/// The declarative session facade. See the module docs for the lifecycle.
+/// The declarative session facade. See the module docs for the
+/// lifecycle.
+///
+/// The whole contract in one (running) example — register once, query by
+/// constraint, plans come from cache on re-submission:
+///
+/// ```
+/// use smol_accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
+/// use smol_codec::{EncodedImage, Format};
+/// use smol_core::InputVariant;
+/// use smol_imgproc::ImageU8;
+/// use smol_serve::{
+///     AccuracyTable, Calibration, Dataset, Query, Session, SessionConfig,
+/// };
+///
+/// # fn main() -> Result<(), smol_serve::SessionError> {
+/// let images: Vec<EncodedImage> = (0..6)
+///     .map(|i| {
+///         let mut img = ImageU8::zeros(64, 64, 3);
+///         for (j, v) in img.data_mut().iter_mut().enumerate() {
+///             *v = ((i * 31 + j * 7) % 256) as u8;
+///         }
+///         EncodedImage::encode(&img, Format::Sjpg { quality: 85 }).unwrap()
+///     })
+///     .collect();
+/// let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 0.05);
+/// let session = Session::new(device, SessionConfig::default());
+/// session.register(
+///     Dataset::new("photos")
+///         .with_model(ModelKind::ResNet50)
+///         .with_variant(
+///             InputVariant::new("full", Format::Sjpg { quality: 85 }, 64, 64),
+///             images,
+///         )
+///         .with_calibration(Calibration::Table(
+///             AccuracyTable::new().with(ModelKind::ResNet50, "full", 0.75),
+///         )),
+/// )?;
+/// let report = session.run(&Query::new("photos").max_accuracy_loss(0.005))?;
+/// assert_eq!(report.images, 6);
+/// // Identical query: answered from the plan cache, no re-profiling.
+/// let calls = session.profiler().calls();
+/// assert!(session.explain(&Query::new("photos").max_accuracy_loss(0.005))?.cache_hit);
+/// assert_eq!(session.profiler().calls(), calls);
+/// session.shutdown();
+/// # Ok(())
+/// # }
+/// ```
 pub struct Session {
     server: Server,
     planner: Planner,
@@ -905,7 +1091,7 @@ impl Session {
             };
             let tput = self
                 .cache
-                .profile_or(key, || self.profiler.preproc_throughput(&v.items, &probe));
+                .profile_or(key, || self.profiler.media_throughput(&v.items, &probe));
             let reduced_mode = self.planner.reduced_decode_mode(&v.input);
             for &model in &ds.models {
                 let Some(accuracy) = ds.calibration.accuracy(model, &v.input) else {
@@ -920,6 +1106,7 @@ impl Session {
                     preproc_throughput: tput,
                     reduced_accuracy,
                     cascade: None,
+                    video: ds.calibration.video_fidelity(model, &v.input),
                 });
             }
         }
@@ -970,13 +1157,15 @@ impl Session {
             .dataset
             .variant(&chosen.variant)
             .expect("plan keys fingerprint the variant set, so a hit's variant exists");
-        let items: Vec<EncodedImage> = variant
+        let items: Vec<MediaItem> = variant
             .items
             .iter()
             .take(query.limit.unwrap_or(usize::MAX))
             .cloned()
             .collect();
-        Ok(self.server.submit(chosen.candidate.plan.clone(), items)?)
+        Ok(self
+            .server
+            .submit_media(chosen.candidate.plan.clone(), items)?)
     }
 
     /// Plans, submits, and waits: the one-call declarative path.
@@ -1021,6 +1210,8 @@ mod tests {
         TableEntry {
             accuracy: 0.9,
             reduced: reduced.iter().copied().collect(),
+            keyframes: None,
+            no_deblock: None,
         }
     }
 

@@ -15,12 +15,23 @@
 //! The same content is typically encoded at several resolutions ("natively
 //! present" low-resolution variants, §5.2); see `smol-data` for the dataset
 //! side of that.
+//!
+//! The query path enters through [`gop`]: [`EncodedVideo::gops`] splits a
+//! container into its random-access [`EncodedGop`] items (zero-copy), and
+//! [`gop::EncodedGop::decode_selected`] is the plan-driven selective
+//! decoder — a [`FrameSelection`] (all / keyframe-only / strided) plus the
+//! deblock knob, with per-frame work stats so profiling and the planner's
+//! cost model can be checked against the work actually done. Keyframe-only
+//! decoding never touches the motion-compensation machinery at all.
 
 pub mod deblock;
+pub mod gop;
 pub mod motion;
 pub mod pframe;
 
+pub use gop::{DecodedFrame, EncodedGop, FrameStats, VideoDecodeStats};
 pub use pframe::PFrameStats;
+pub use smol_core::FrameSelection;
 
 use bytes::Bytes;
 use smol_codec::bitio::{BitReader, BitWriter};
@@ -289,6 +300,16 @@ impl EncodedVideo {
     fn payload(&self, idx: usize) -> (&FrameKind, &[u8]) {
         let (kind, off, len) = &self.index[idx];
         (kind, &self.body[*off..*off + *len])
+    }
+
+    /// The `(kind, offset, length)` frame index (offsets into the body).
+    pub(crate) fn frame_index(&self) -> &[(FrameKind, usize, usize)] {
+        &self.index
+    }
+
+    /// The shared frame-payload bytes (for zero-copy GOP slicing).
+    pub(crate) fn body_bytes(&self) -> &Bytes {
+        &self.body
     }
 }
 

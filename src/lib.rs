@@ -5,18 +5,70 @@
 //! for the architecture overview and `DESIGN.md` for the system inventory.
 //!
 //! The front door is the declarative [`Session`] (§3.1's contract):
-//! register a [`Dataset`], state a constraint, get a served result —
+//! register a [`Dataset`], state a constraint, get a served result. This
+//! is the README's Quickstart at doctest scale (it really runs —
+//! profiling, planning, caching, serving):
 //!
-//! ```no_run
-//! use smol::accel::{ExecutionEnv, GpuModel, VirtualDevice};
-//! use smol::{Dataset, Query, Session, SessionConfig};
+//! ```
+//! use smol::accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
+//! use smol::data::{serving_variants, still_catalog};
+//! use smol::{AccuracyTable, Calibration, Dataset, Query, Session, SessionConfig};
 //!
 //! # fn main() -> Result<(), smol::Error> {
-//! let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
+//! let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 0.05);
 //! let session = Session::new(device, SessionConfig::default());
-//! session.register(Dataset::new("photos") /* …variants + calibration… */)?;
+//! // The §8.1 serving layout: full-res sjpg(q=95) + 161px thumbnails.
+//! let spec = &still_catalog()[3];
+//! session.register(
+//!     Dataset::new("photos")
+//!         .with_model(ModelKind::ResNet50)
+//!         .with_model(ModelKind::ResNet34)
+//!         .with_encoded_variants(serving_variants(spec, 1, 8).expect("encode"))
+//!         .with_calibration(Calibration::Table(
+//!             AccuracyTable::new()
+//!                 .with(ModelKind::ResNet50, "full-res sjpg(q=95)", 0.7516)
+//!                 .with(ModelKind::ResNet50, "161 spng", 0.7500)
+//!                 .with(ModelKind::ResNet34, "full-res sjpg(q=95)", 0.7272),
+//!         )),
+//! )?;
+//! // "Within half a point of the best accuracy, go as fast as possible."
 //! let report = session.run(&Query::new("photos").max_accuracy_loss(0.005))?;
-//! println!("{}: {:.0} im/s", report.label, report.throughput);
+//! assert_eq!(report.images, 8);
+//! session.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Video corpora go through the same door — GOPs are the serving items,
+//! the planner picks the frame selection (see `examples/video_query.rs`
+//! for the full walkthrough):
+//!
+//! ```
+//! use smol::accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
+//! use smol::data::{gop_corpus, video_catalog};
+//! use smol::{AccuracyTable, Calibration, Dataset, Query, Session, SessionConfig};
+//!
+//! # fn main() -> Result<(), smol::Error> {
+//! let corpus = gop_corpus(&video_catalog()[1], 7, 4, 6); // 4 GOPs x 6 frames
+//! let variant = corpus.name.clone();
+//! let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 0.05);
+//! let session = Session::new(device, SessionConfig::default());
+//! session.register(
+//!     Dataset::video("traffic", corpus)
+//!         .with_model(ModelKind::ResNet50)
+//!         .with_calibration(Calibration::Table(
+//!             AccuracyTable::new()
+//!                 .with(ModelKind::ResNet50, &variant, 0.81)
+//!                 .with_keyframes(ModelKind::ResNet50, &variant, 0.81, 0.79),
+//!         )),
+//! )?;
+//! // Tolerant: the planner picks keyframe-only decode — 1 frame per GOP.
+//! let fast = session.run(&Query::new("traffic").max_accuracy_loss(0.03))?;
+//! assert_eq!(fast.images, 4);
+//! // Zero-loss: full-GOP decode — every frame.
+//! let strict = session.run(&Query::new("traffic").max_accuracy_loss(0.0))?;
+//! assert_eq!(strict.images, 24);
+//! session.shutdown();
 //! # Ok(())
 //! # }
 //! ```
@@ -31,7 +83,7 @@
 //! ```
 
 // The declarative top of the stack, at the crate root.
-pub use smol_core::{Constraint, PlanError};
+pub use smol_core::{Constraint, FrameSelection, PlanError};
 pub use smol_serve::{
     AccuracyTable, CacheStats, Calibration, Dataset, Explanation, MeasuredCalibration, PlanCache,
     Query, Session, SessionConfig, SessionError,

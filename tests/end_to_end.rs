@@ -186,6 +186,7 @@ fn planner_prefers_thumbnails_with_measured_rates() {
             preproc_throughput: full_rate,
             reduced_accuracy: None,
             cascade: None,
+            video: None,
         },
         smol::core::CandidateSpec {
             dnn: ModelKind::ResNet50,
@@ -194,6 +195,7 @@ fn planner_prefers_thumbnails_with_measured_rates() {
             preproc_throughput: thumb_rate,
             reduced_accuracy: None,
             cascade: None,
+            video: None,
         },
     ];
     let frontier = planner.frontier(&specs).unwrap();
@@ -254,6 +256,7 @@ fn session_matches_manual_plan_selection() {
             preproc_throughput: full_rate,
             reduced_accuracy: None,
             cascade: None,
+            video: None,
         },
         smol::core::CandidateSpec {
             dnn: ModelKind::ResNet50,
@@ -262,6 +265,7 @@ fn session_matches_manual_plan_selection() {
             preproc_throughput: thumb_rate,
             reduced_accuracy: None,
             cascade: None,
+            video: None,
         },
         smol::core::CandidateSpec {
             dnn: ModelKind::ResNet34,
@@ -270,6 +274,7 @@ fn session_matches_manual_plan_selection() {
             preproc_throughput: full_rate,
             reduced_accuracy: None,
             cascade: None,
+            video: None,
         },
     ];
     let frontier = planner.frontier(&specs).unwrap();

@@ -1,0 +1,147 @@
+//! Property tests for the selective video decode paths: the deblock knob
+//! never changes geometry or decode-work accounting, frame selections
+//! output exactly what they promise, and keyframe-only decoding holds a
+//! PSNR bound against the full-fidelity reference.
+
+use proptest::prelude::*;
+use smol::core::FrameSelection;
+use smol::imgproc::ImageU8;
+use smol::video::{DecodeOptions, EncodedVideo, VideoEncoder};
+
+fn psnr(a: &ImageU8, b: &ImageU8) -> f64 {
+    let mse: f64 = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.data().len().max(1) as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+/// A deterministic moving-blob scene parameterized by seed.
+fn scene(seed: u64, n: usize, w: usize, h: usize) -> Vec<ImageU8> {
+    (0..n)
+        .map(|t| {
+            let mut img = ImageU8::zeros(w, h, 3);
+            for y in 0..h {
+                for x in 0..w {
+                    let bg = ((x as u64 * 3 + y as u64 * 5 + seed) % 56 + 70) as u8;
+                    for c in 0..3 {
+                        img.set(x, y, c, bg);
+                    }
+                }
+            }
+            let ox = ((seed as usize) + t * 2) % w.saturating_sub(8).max(1);
+            let oy = h / 3;
+            for y in oy..(oy + 8).min(h) {
+                for x in ox..(ox + 8).min(w) {
+                    img.set(x, y, 0, 240);
+                    img.set(x, y, 1, 80);
+                    img.set(x, y, 2, 70);
+                }
+            }
+            img
+        })
+        .collect()
+}
+
+fn encode(seed: u64, n: usize, gop: usize) -> EncodedVideo {
+    let frames = scene(seed, n, 48, 40);
+    let bytes = VideoEncoder {
+        gop,
+        ..Default::default()
+    }
+    .encode_frames(&frames, 30.0)
+    .unwrap();
+    EncodedVideo::parse(bytes).unwrap()
+}
+
+fn arb_selection() -> impl Strategy<Value = FrameSelection> {
+    (0u8..4, 1usize..5).prop_map(|(tag, n)| match tag {
+        0 => FrameSelection::All,
+        1 => FrameSelection::Keyframes,
+        _ => FrameSelection::Stride(n),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Skipping the in-loop filter is a pure fidelity knob: it must never
+    /// change which frames come out, their geometry, or the entropy/
+    /// transform work accounting — only the filter counter and pixels.
+    #[test]
+    fn deblock_skip_changes_neither_geometry_nor_work_accounting(
+        seed in 0u64..1000,
+        n in 4usize..14,
+        gop in 2usize..7,
+        selection in arb_selection(),
+    ) {
+        let video = encode(seed, n, gop);
+        let (with, ws) = video
+            .decode_selected(selection, DecodeOptions { deblock: true })
+            .unwrap();
+        let (without, ns) = video
+            .decode_selected(selection, DecodeOptions { deblock: false })
+            .unwrap();
+        prop_assert_eq!(with.len(), without.len());
+        for ((ia, a), (ib, b)) in with.iter().zip(&without) {
+            prop_assert_eq!(ia, ib);
+            prop_assert_eq!((a.width(), a.height()), (b.width(), b.height()));
+            prop_assert_eq!((a.width(), a.height()), (48, 40));
+        }
+        // Identical decode work besides the filter.
+        prop_assert_eq!(ws.frames_decoded, ns.frames_decoded);
+        prop_assert_eq!(ws.frames_output, ns.frames_output);
+        prop_assert_eq!(ws.frames_untouched, ns.frames_untouched);
+        prop_assert_eq!(ws.iframes, ns.iframes);
+        prop_assert_eq!(ws.pframes, ns.pframes);
+        prop_assert_eq!(ws.mc_macroblocks, ns.mc_macroblocks);
+        prop_assert_eq!(ws.symbols_decoded, ns.symbols_decoded);
+        prop_assert_eq!(ws.idct_macs, ns.idct_macs);
+        prop_assert_eq!(ws.deblock_frames, ws.frames_decoded);
+        prop_assert_eq!(ns.deblock_frames, 0);
+        // Output accounting matches the selection's promise.
+        let expected: usize = video
+            .gops()
+            .iter()
+            .map(|g| g.selected_count(selection))
+            .sum();
+        prop_assert_eq!(with.len(), expected);
+    }
+
+    /// Keyframe-only decoding never touches motion compensation and its
+    /// frames stay within a PSNR bound of both the full-fidelity decode
+    /// (bit-identical, in fact) and the pristine source.
+    #[test]
+    fn keyframe_decode_psnr_bounds(seed in 0u64..1000, gops in 1usize..4) {
+        let n = gops * 5;
+        let frames = scene(seed, n, 48, 40);
+        let bytes = VideoEncoder { gop: 5, ..Default::default() }
+            .encode_frames(&frames, 30.0)
+            .unwrap();
+        let video = EncodedVideo::parse(bytes).unwrap();
+        let reference = video.decode_all(DecodeOptions::default()).unwrap();
+        let (keys, stats) = video
+            .decode_selected(FrameSelection::Keyframes, DecodeOptions::default())
+            .unwrap();
+        prop_assert_eq!(stats.mc_macroblocks, 0);
+        prop_assert_eq!(stats.pframes, 0);
+        prop_assert_eq!(keys.len(), gops);
+        for (idx, img) in &keys {
+            // Round-trip: identical to the conforming sequential decode.
+            prop_assert_eq!(img, &reference[*idx]);
+            // Fidelity floor vs the pristine source frame.
+            let p = psnr(&frames[*idx], img);
+            prop_assert!(p > 26.0, "keyframe {} psnr {:.1}", idx, p);
+        }
+    }
+}
