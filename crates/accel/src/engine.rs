@@ -39,7 +39,7 @@ struct Timeline {
 }
 
 /// Utilization snapshot of a virtual device.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DeviceStats {
     pub compute_busy_s: f64,
     pub copy_busy_s: f64,
@@ -57,6 +57,16 @@ impl DeviceStats {
         } else {
             (self.compute_busy_s / elapsed_s).clamp(0.0, 1.0)
         }
+    }
+
+    /// Accumulates `other` into `self` — fleet-level aggregation across a
+    /// device pool (busy seconds and op counts are additive; occupancy of
+    /// the merged stats is busy seconds over *summed* device uptimes).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.compute_busy_s += other.compute_busy_s;
+        self.copy_busy_s += other.copy_busy_s;
+        self.kernels += other.kernels;
+        self.copies += other.copies;
     }
 }
 

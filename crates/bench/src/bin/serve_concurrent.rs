@@ -187,7 +187,7 @@ fn main() {
         stats.batches,
         stats.cross_query_batches,
         stats.full_batches,
-        stats.device_occupancy * 100.0
+        stats.device_occupancy() * 100.0
     );
     println!(
         "speedup {:.2}x vs isolated-sequential (target ≥ 1.5x){}",

@@ -227,6 +227,61 @@ impl Constraint {
             })
     }
 
+    /// The accuracy floor this constraint implies over `candidates` — the
+    /// hard lower bound any plan serving the query must respect, even
+    /// under load-adaptive degradation. Accuracy constraints return their
+    /// (absolute or best-relative) floor; throughput and cost constraints
+    /// impose none (`f64::NEG_INFINITY` — any calibrated plan qualifies,
+    /// degradation can only help those constraints).
+    pub fn accuracy_floor(&self, candidates: &[PlanCandidate]) -> f64 {
+        match *self {
+            Constraint::MaxAccuracyLoss(loss) => {
+                let best = candidates
+                    .iter()
+                    .map(|c| c.accuracy)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                best - loss
+            }
+            Constraint::MinAccuracy(floor) => floor,
+            Constraint::MinThroughput(_) | Constraint::MaxCost { .. } => f64::NEG_INFINITY,
+        }
+    }
+
+    /// The degradation ladder for a chosen plan: every candidate that is
+    /// *strictly faster* than `chosen` while still at or above the
+    /// constraint's accuracy floor, ordered most-accurate-first (each step
+    /// down trades the least accuracy for more throughput). A serving
+    /// scheduler under pressure walks this ladder instead of rejecting or
+    /// stalling the query — every rung is calibrated and constraint-
+    /// feasible, so a degraded query never violates its original floor.
+    ///
+    /// Feed it the Pareto frontier for a minimal ladder, or the full
+    /// enumeration for a denser one; dominated rungs are harmless (they
+    /// are merely never worth stepping to).
+    pub fn degradation_ladder(
+        &self,
+        candidates: &[PlanCandidate],
+        chosen: &PlanCandidate,
+    ) -> Vec<PlanCandidate> {
+        let floor = self.accuracy_floor(candidates);
+        let mut ladder: Vec<PlanCandidate> = candidates
+            .iter()
+            .filter(|c| c.accuracy >= floor && c.est_throughput > chosen.est_throughput)
+            .cloned()
+            .collect();
+        ladder.sort_by(|a, b| {
+            b.accuracy
+                .partial_cmp(&a.accuracy)
+                .expect("finite accuracy")
+                .then(
+                    a.est_throughput
+                        .partial_cmp(&b.est_throughput)
+                        .expect("finite throughput"),
+                )
+        });
+        ladder
+    }
+
     /// Hashable identity of this constraint (f64 payloads bit-encoded),
     /// for plan-cache keys.
     pub fn key(&self) -> ConstraintKey {
@@ -412,6 +467,43 @@ mod tests {
         .select(&c)
         .unwrap_err();
         assert!(matches!(err, PlanError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn accuracy_floor_matches_select_feasibility() {
+        let c = ladder();
+        // MinAccuracy: the floor is the literal bound.
+        assert_eq!(Constraint::MinAccuracy(0.75).accuracy_floor(&c), 0.75);
+        // MaxAccuracyLoss: relative to the best candidate (0.90).
+        let floor = Constraint::MaxAccuracyLoss(0.12).accuracy_floor(&c);
+        assert!((floor - 0.78).abs() < 1e-12);
+        // Throughput/cost constraints impose no accuracy floor.
+        assert_eq!(
+            Constraint::MinThroughput(400.0).accuracy_floor(&c),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn degradation_ladder_is_feasible_and_faster() {
+        let c = ladder();
+        // Chosen: most accurate (0.90 @ 100). Floor 0.78 admits 0.80 @ 500
+        // but not 0.70 @ 1000.
+        let chosen = cand(0.90, 100.0);
+        let steps = Constraint::MaxAccuracyLoss(0.12).degradation_ladder(&c, &chosen);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].accuracy, 0.80);
+        // No accuracy floor: every faster candidate is a rung, ordered
+        // most-accurate-first.
+        let steps = Constraint::MinThroughput(50.0).degradation_ladder(&c, &chosen);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].accuracy, 0.80);
+        assert_eq!(steps[1].accuracy, 0.70);
+        // Already the fastest feasible plan: nothing to step down to.
+        let fastest = cand(0.70, 1000.0);
+        assert!(Constraint::MinThroughput(50.0)
+            .degradation_ladder(&c, &fastest)
+            .is_empty());
     }
 
     #[test]

@@ -8,21 +8,30 @@
 //! * [`Session`] — the declarative, constraint-driven facade (§3.1's
 //!   contract): register a [`Dataset`] once — still images or a
 //!   GOP-structured video corpus ([`Dataset::video`]) — submit [`Query`]s
-//!   stating an accuracy/throughput/cost constraint, and the session
-//!   profiles, plans, caches, and executes — no hand-built
-//!   `CandidateSpec`s or `QueryPlan`s, and typed [`SessionError`]
-//!   failures. For video, frame selection is the planner's call: GOPs are
-//!   the serving items and reports count frames;
+//!   stating an accuracy/throughput/cost constraint plus per-tenant SLOs
+//!   ([`Query::deadline`], [`Query::priority`],
+//!   [`Query::allow_degradation`]), and the session profiles, plans,
+//!   caches, and executes — no hand-built `CandidateSpec`s or
+//!   `QueryPlan`s, and typed [`SessionError`] failures (including
+//!   [`SessionError::DeadlineInfeasible`]). For video, frame selection is
+//!   the planner's call: GOPs are the serving items and reports count
+//!   frames;
 //! * [`Server`] — a long-lived runtime accepting concurrent
-//!   [`smol_core::QueryPlan`] submissions over one shared
-//!   [`smol_accel::VirtualDevice`] and one shared producer pool, with a
-//!   bounded admission queue ([`ServeError::Backpressure`]);
+//!   [`smol_core::QueryPlan`] submissions over a *fleet* of
+//!   [`smol_accel::VirtualDevice`]s ([`Server::with_devices`]): one shared
+//!   producer pool, priority-aware bounded admission
+//!   ([`ServeError::Backpressure`]), least-loaded dispatch across
+//!   per-device lanes, work stealing between lanes, and load-adaptive
+//!   degradation down each query's calibrated plan ladder
+//!   ([`SubmitOptions`]);
 //! * [`scheduler`] — the fair-share + signature-batching policy: item-level
 //!   round-robin across queries, with cross-query device batches formed
 //!   whenever plans share a [`smol_core::PlacementSignature`];
-//! * [`QueryHandle`]/[`QueryReport`] — per-query resolution with p50/p95
-//!   item latency, plus server-wide [`ServerStats`] (queue depth, device
-//!   occupancy, batch mix).
+//! * [`QueryHandle`]/[`QueryReport`] — per-query resolution, blocking
+//!   ([`QueryHandle::wait`]) or non-blocking ([`QueryHandle::poll`],
+//!   [`QueryHandle::try_wait`], [`QueryHandle::wait_deadline`]), with
+//!   p50/p95 item latency, plus fleet-wide [`ServerStats`] (aggregate
+//!   counters + per-device [`DeviceLaneStats`]).
 //!
 //! The per-image and per-batch stage code is `smol_runtime`'s
 //! ([`smol_runtime::produce_item`] / [`smol_runtime::execute_device_batch`]),
@@ -36,10 +45,13 @@ pub mod session;
 pub mod stats;
 
 pub use scheduler::{BatchFormer, FormedBatch};
-pub use server::{QueryHandle, QueryId, ServeError, ServeResult, Server, ServerConfig};
+pub use server::{
+    DegradeStep, Priority, QueryHandle, QueryId, QueryPoll, ServeError, ServeResult, Server,
+    ServerConfig, SubmitOptions,
+};
 pub use session::{
     AccuracyTable, CacheStats, Calibration, ChosenPlan, Dataset, DatasetVariant, DeviceKey,
     Explanation, MeasuredCalibration, PlanCache, PlanKey, PredictFn, Query, Session, SessionConfig,
     SessionError,
 };
-pub use stats::{percentile, BoxedPrediction, QueryReport, ServerStats};
+pub use stats::{percentile, BoxedPrediction, DeviceLaneStats, QueryReport, ServerStats};

@@ -1,28 +1,42 @@
-//! The long-lived multi-query serving runtime.
+//! The long-lived multi-query serving runtime over a **device fleet**.
 //!
-//! A [`Server`] owns one shared [`VirtualDevice`], a shared pool of
-//! producer threads, and a shared pool of consumer threads. Queries are
-//! submitted as `(QueryPlan, Vec<EncodedImage>)` and resolve through a
-//! [`QueryHandle`]. Scheduling policy (fair share + signature batching)
-//! is documented in [`crate::scheduler`].
+//! A [`Server`] owns one or more [`VirtualDevice`]s (one *lane* per
+//! device, each with its own consumer threads and bounded batch queue), a
+//! shared pool of producer threads, and the scheduler state. Queries are
+//! submitted as `(QueryPlan, Vec<MediaItem>)` — optionally with
+//! [`SubmitOptions`] carrying per-tenant SLOs (deadline, [`Priority`]) and
+//! a degradation ladder — and resolve through a [`QueryHandle`].
+//! Scheduling policy (fair share + signature batching) is documented in
+//! [`crate::scheduler`].
 //!
 //! Dataflow per query:
 //!
 //! ```text
-//! submit() ──► admission (bounded; blocks or errors when full)
+//! submit() ──► admission (bounded, priority-aware; blocks or errors when full)
 //!   producers: round-robin claim one item ─► decode + CPU preproc
 //!   batch former: group by PlacementSignature ─► device batches
-//!   consumers: transfer + accel kernels + DNN batch ─► per-item results
+//!   dispatch: shard each batch to the least-loaded lane (device)
+//!   lane consumers: transfer + kernels + DNN batch ─► per-item results
+//!     (an idle lane steals queued batches from the most-loaded lane)
 //!   last item done ─► QueryReport through the handle
 //! ```
 //!
+//! Under pressure — admission backlog, or a query projected to miss its
+//! deadline — queries submitted with a degradation ladder are re-planned
+//! in place to the next-cheaper calibrated rung (see
+//! [`smol_core::Constraint::degradation_ladder`]): items not yet claimed
+//! switch to the cheaper plan, items already produced execute as staged,
+//! and the query's original accuracy floor is never violated because
+//! every rung was constraint-feasible at planning time.
+//!
 //! Producers and consumers are long-lived: they are spawned once in
-//! [`Server::new`] and reused by every query until shutdown, which is the
-//! whole point — the legacy single-query engine re-built its pipeline per
-//! `QueryPlan`, serializing concurrent workloads on the device.
+//! [`Server::with_devices`] and reused by every query until shutdown.
+//! Work stealing moves *formed batches* between lanes, never items within
+//! a batch, so per-query result ordering and output bytes are identical
+//! whatever lane executes a batch — the device only models time.
 
 use crate::scheduler::{BatchFormer, FormedBatch};
-use crate::stats::{percentile, BoxedPrediction, QueryReport, ServerStats};
+use crate::stats::{percentile, BoxedPrediction, DeviceLaneStats, QueryReport, ServerStats};
 use crossbeam::channel;
 use parking_lot::{Condvar, Mutex};
 use smol_accel::VirtualDevice;
@@ -35,8 +49,8 @@ use smol_runtime::{
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 /// Server-assigned query identifier (monotonic).
 pub type QueryId = u64;
@@ -70,17 +84,75 @@ impl std::error::Error for ServeError {}
 
 pub type ServeResult<T> = std::result::Result<T, ServeError>;
 
+/// Per-tenant scheduling priority. Admission is priority-aware: a blocked
+/// higher-priority submitter is admitted before any lower-priority one,
+/// and producers claim items from higher-priority queries first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    Low,
+    #[default]
+    Normal,
+    High,
+}
+
+impl Priority {
+    pub(crate) const COUNT: usize = 3;
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One rung of a degradation ladder: a cheaper calibrated plan the
+/// scheduler may switch a loaded query to. Rungs must be constraint-
+/// feasible (accuracy at or above the query's floor) and are ordered
+/// most-accurate-first — see
+/// [`smol_core::Constraint::degradation_ladder`], which builds exactly
+/// this from a Pareto frontier.
+#[derive(Debug, Clone)]
+pub struct DegradeStep {
+    pub plan: QueryPlan,
+    /// Calibrated accuracy of `plan` (reported per query).
+    pub accuracy: f64,
+    /// The planner's end-to-end throughput estimate for `plan` (im/s).
+    pub est_throughput: f64,
+}
+
+/// Per-query SLO and degradation options for
+/// [`Server::submit_media_opts`].
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Soft completion deadline (submit → report). Queries projected to
+    /// miss it degrade (when a ladder is present); the report records
+    /// whether the deadline was met.
+    pub deadline: Option<Duration>,
+    /// Admission/claiming priority.
+    pub priority: Priority,
+    /// Cheaper calibrated plans the scheduler may degrade to under load,
+    /// most-accurate-first. Empty disables degradation. Rungs whose
+    /// output layout differs from the submitted plan's (e.g. a different
+    /// video frame selection) are ignored — results are indexed by output
+    /// slot, which must stay stable across a mid-query re-plan.
+    pub ladder: Vec<DegradeStep>,
+    /// Calibrated accuracy of the submitted plan (reported per query).
+    pub accuracy: Option<f64>,
+    /// The query's accuracy floor (from its constraint); recorded in the
+    /// report so callers can audit that degraded accuracy ≥ floor.
+    pub accuracy_floor: Option<f64>,
+}
+
 /// Serving configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Stage-thread counts and §6.1 toggles, shared by all queries.
+    /// `consumers` is the consumer-thread count **per device lane**.
     pub runtime: RuntimeOptions,
     /// Admission bound: at most this many queries may be in flight;
     /// `submit` blocks (and `try_submit` errors) past it.
     pub max_active_queries: usize,
-    /// Capacity of the formed-batch queue between producers and
-    /// consumers; defaults to the consumer count (keeps per-query buffer
-    /// demand within the staging pool's capacity).
+    /// Capacity of each lane's formed-batch queue; defaults to the
+    /// per-lane consumer count (keeps per-query buffer demand within the
+    /// staging pool's capacity).
     pub batch_queue: usize,
 }
 
@@ -117,6 +189,16 @@ struct Claim {
     claimed_at: Instant,
 }
 
+/// A degradation rung resolved at submission: the rung's plan compiled to
+/// runtime form (context + placement signature), ready to swap in under
+/// the scheduler lock.
+struct Rung {
+    label: String,
+    sig: Arc<PlacementSignature>,
+    ctx: Arc<PlanContext>,
+    accuracy: f64,
+}
+
 struct QueryState {
     id: QueryId,
     label: String,
@@ -127,6 +209,8 @@ struct QueryState {
     offsets: Arc<Vec<usize>>,
     /// Total outputs across all items (frames for GOP items).
     total_outputs: usize,
+    /// Largest single-item fan-out (pool sizing on degradation).
+    max_fanout: usize,
     pool: BufferPool,
     infer: Option<InferFn>,
     /// Next item index to claim.
@@ -148,6 +232,15 @@ struct QueryState {
     submitted_at: Instant,
     done_tx: channel::Sender<QueryReport>,
     error: Option<String>,
+    // --- SLO + degradation state ---
+    deadline: Option<Duration>,
+    /// Remaining rungs (layout-compatible, floor-feasible), cheapest last.
+    ladder: VecDeque<Rung>,
+    degraded_steps: usize,
+    accuracy: Option<f64>,
+    accuracy_floor: Option<f64>,
+    /// Hysteresis: no further degradation before this item index.
+    next_degrade_at: usize,
 }
 
 impl QueryState {
@@ -167,6 +260,24 @@ impl QueryState {
     fn count_of(&self, item: usize) -> usize {
         self.outputs_before(item + 1) - self.offsets[item]
     }
+
+    /// True when the query is projected to miss its deadline at the
+    /// observed completion rate (needs at least one completed output).
+    fn projected_late(&self, now: Instant) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.completed == 0 {
+            return false;
+        }
+        let elapsed = now.duration_since(self.submitted_at).as_secs_f64();
+        if elapsed <= 0.0 {
+            return false;
+        }
+        let rate = self.completed as f64 / elapsed;
+        let remaining = (self.total_outputs - self.completed) as f64;
+        elapsed + remaining / rate > deadline.as_secs_f64()
+    }
 }
 
 #[derive(Default)]
@@ -180,13 +291,28 @@ struct SigCount {
 
 struct Sched {
     queries: HashMap<QueryId, QueryState>,
-    /// Round-robin ring of queries with unclaimed items (fair share).
-    rr: VecDeque<QueryId>,
+    /// Round-robin rings of queries with unclaimed items, one per
+    /// priority; producers drain higher-priority rings first and
+    /// round-robin within a ring (fair share among equals).
+    rr: [VecDeque<QueryId>; Priority::COUNT],
     sigs: HashMap<Arc<PlacementSignature>, SigCount>,
     former: BatchFormer<BatchItem>,
     next_id: QueryId,
     /// Queries admitted and not yet finalized.
     active: usize,
+    /// Submitters blocked at admission, per priority (pressure signal for
+    /// degradation, and the priority-aware admission order).
+    waiting: [usize; Priority::COUNT],
+}
+
+impl Sched {
+    fn waiting_total(&self) -> usize {
+        self.waiting.iter().sum()
+    }
+
+    fn waiting_above(&self, prio: Priority) -> usize {
+        self.waiting[prio.index() + 1..].iter().sum()
+    }
 }
 
 #[derive(Default)]
@@ -198,10 +324,30 @@ struct Agg {
     batches: u64,
     cross_query_batches: u64,
     full_batches: u64,
+    degradations: u64,
+    deadline_met: u64,
+    deadline_misses: u64,
+}
+
+/// One device lane: the device, its bounded batch queue, and counters.
+struct Lane {
+    device: VirtualDevice,
+    queue: VecDeque<FormedBatch<BatchItem>>,
+    in_flight: usize,
+    batches: u64,
+    images: u64,
+    /// Batches this lane executed that were queued on another lane.
+    stolen_batches: u64,
+}
+
+struct Fleet {
+    lanes: Vec<Lane>,
+    /// Live producer threads; consumers drain and exit once this hits 0
+    /// with every lane queue empty.
+    producers_live: usize,
 }
 
 struct Inner {
-    device: VirtualDevice,
     cfg: ServerConfig,
     sched: Mutex<Sched>,
     /// Producers wait here for claimable work.
@@ -210,12 +356,38 @@ struct Inner {
     admit_cv: Condvar,
     shutdown: AtomicBool,
     agg: Mutex<Agg>,
+    fleet: Mutex<Fleet>,
+    /// Consumers wait here for queued batches.
+    batch_cv: Condvar,
+    /// Dispatchers wait here for lane-queue space.
+    space_cv: Condvar,
 }
 
 /// Resolves to the query's [`QueryReport`] when the last item completes.
+///
+/// The handle is fully non-blocking-capable: [`QueryHandle::poll`] reports
+/// progress without consuming the report, [`QueryHandle::try_wait`] and
+/// [`QueryHandle::wait_deadline`] take it with zero or bounded blocking,
+/// and [`QueryHandle::wait`] blocks to resolution. No caller — including
+/// the fleet scheduler itself — ever has to park a thread per query.
 pub struct QueryHandle {
     id: QueryId,
     rx: channel::Receiver<QueryReport>,
+    inner: Weak<Inner>,
+}
+
+/// Snapshot of an in-flight query's progress, from [`QueryHandle::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPoll {
+    /// Still in flight: `completed` of `total` outputs executed
+    /// (`produced` are staged but not yet through the device).
+    Pending {
+        produced: usize,
+        completed: usize,
+        total: usize,
+    },
+    /// The report is ready: `try_wait` will return it without blocking.
+    Ready,
 }
 
 impl QueryHandle {
@@ -232,9 +404,40 @@ impl QueryHandle {
     pub fn try_wait(&self) -> Option<QueryReport> {
         self.rx.try_recv().ok()
     }
+
+    /// Blocks for at most `timeout`; `Ok(None)` when the query is still
+    /// in flight at the deadline, `Err(Aborted)` when the server went
+    /// away first.
+    pub fn wait_deadline(&self, timeout: Duration) -> ServeResult<Option<QueryReport>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(report) => Ok(Some(report)),
+            Err(channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(channel::RecvTimeoutError::Disconnected) => Err(ServeError::Aborted),
+        }
+    }
+
+    /// Non-blocking progress probe — never consumes the report (pair with
+    /// [`QueryHandle::try_wait`] / [`QueryHandle::wait`] to take it).
+    /// A gone server reports `Ready` so pollers always reach a terminal
+    /// state (the take will then surface [`ServeError::Aborted`]).
+    pub fn poll(&self) -> QueryPoll {
+        let Some(inner) = self.inner.upgrade() else {
+            return QueryPoll::Ready;
+        };
+        let sched = inner.sched.lock();
+        match sched.queries.get(&self.id) {
+            Some(q) => QueryPoll::Pending {
+                produced: q.produced,
+                completed: q.completed,
+                total: q.total_outputs,
+            },
+            None => QueryPoll::Ready,
+        }
+    }
 }
 
-/// The multi-query serving runtime. See the module docs for the dataflow.
+/// The multi-query, multi-device serving runtime. See the module docs for
+/// the dataflow.
 pub struct Server {
     inner: Arc<Inner>,
     producer_handles: Vec<std::thread::JoinHandle<()>>,
@@ -243,51 +446,76 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the serving runtime: spawns the long-lived producer and
-    /// consumer threads against `device`.
+    /// Starts a single-device serving runtime (a one-lane fleet).
     pub fn new(device: VirtualDevice, cfg: ServerConfig) -> Server {
+        Server::with_devices(vec![device], cfg)
+    }
+
+    /// Starts the serving runtime over a device fleet: one lane (bounded
+    /// batch queue + `cfg.runtime.consumers` consumer threads) per
+    /// device, plus one shared producer pool. Devices may be
+    /// heterogeneous; the dispatcher shards batches to the least-loaded
+    /// lane and idle lanes steal queued batches from loaded ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices` is empty.
+    pub fn with_devices(devices: Vec<VirtualDevice>, cfg: ServerConfig) -> Server {
+        assert!(!devices.is_empty(), "a server needs at least one device");
         let producers = cfg.runtime.effective_producers();
-        let consumers = cfg.runtime.consumers.max(1);
+        let consumers_per_lane = cfg.runtime.consumers.max(1);
+        let n_lanes = devices.len();
         let inner = Arc::new(Inner {
-            device,
             cfg,
             sched: Mutex::new(Sched {
                 queries: HashMap::new(),
-                rr: VecDeque::new(),
+                rr: Default::default(),
                 sigs: HashMap::new(),
                 former: BatchFormer::new(),
                 next_id: 1,
                 active: 0,
+                waiting: [0; Priority::COUNT],
             }),
             work_cv: Condvar::new(),
             admit_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             agg: Mutex::new(Agg::default()),
+            fleet: Mutex::new(Fleet {
+                lanes: devices
+                    .into_iter()
+                    .map(|device| Lane {
+                        device,
+                        queue: VecDeque::new(),
+                        in_flight: 0,
+                        batches: 0,
+                        images: 0,
+                        stolen_batches: 0,
+                    })
+                    .collect(),
+                producers_live: producers,
+            }),
+            batch_cv: Condvar::new(),
+            space_cv: Condvar::new(),
         });
-        let (batch_tx, batch_rx) =
-            channel::bounded::<FormedBatch<BatchItem>>(cfg.batch_queue.max(1));
         let producer_handles = (0..producers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
-                let tx = batch_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("smol-serve-producer-{i}"))
-                    .spawn(move || producer_loop(&inner, &tx))
+                    .spawn(move || producer_loop(&inner))
                     .expect("spawn producer")
             })
             .collect();
-        drop(batch_tx);
-        let consumer_handles = (0..consumers)
-            .map(|i| {
+        let consumer_handles = (0..n_lanes)
+            .flat_map(|lane| (0..consumers_per_lane).map(move |i| (lane, i)))
+            .map(|(lane, i)| {
                 let inner = Arc::clone(&inner);
-                let rx = batch_rx.clone();
                 std::thread::Builder::new()
-                    .name(format!("smol-serve-consumer-{i}"))
-                    .spawn(move || consumer_loop(&inner, &rx))
+                    .name(format!("smol-serve-consumer-{lane}-{i}"))
+                    .spawn(move || consumer_loop(&inner, lane))
                     .expect("spawn consumer")
             })
             .collect();
-        drop(batch_rx);
         Server {
             inner,
             producer_handles,
@@ -299,7 +527,13 @@ impl Server {
     /// Submits a still-image query, blocking while the admission queue is
     /// full.
     pub fn submit(&self, plan: QueryPlan, items: Vec<EncodedImage>) -> ServeResult<QueryHandle> {
-        self.submit_inner(plan, wrap_images(&items), None, true)
+        self.submit_inner(
+            plan,
+            wrap_images(&items),
+            None,
+            SubmitOptions::default(),
+            true,
+        )
     }
 
     /// Submits a query over mixed media items (still images and/or video
@@ -307,7 +541,27 @@ impl Server {
     /// out into one device tensor per selected frame; the report's
     /// `images` counts those outputs.
     pub fn submit_media(&self, plan: QueryPlan, items: Vec<MediaItem>) -> ServeResult<QueryHandle> {
-        self.submit_inner(plan, items, None, true)
+        self.submit_inner(plan, items, None, SubmitOptions::default(), true)
+    }
+
+    /// [`Server::submit`] with explicit SLO/degradation options.
+    pub fn submit_opts(
+        &self,
+        plan: QueryPlan,
+        items: Vec<EncodedImage>,
+        opts: SubmitOptions,
+    ) -> ServeResult<QueryHandle> {
+        self.submit_inner(plan, wrap_images(&items), None, opts, true)
+    }
+
+    /// [`Server::submit_media`] with explicit SLO/degradation options.
+    pub fn submit_media_opts(
+        &self,
+        plan: QueryPlan,
+        items: Vec<MediaItem>,
+        opts: SubmitOptions,
+    ) -> ServeResult<QueryHandle> {
+        self.submit_inner(plan, items, None, opts, true)
     }
 
     /// Submits a query, erroring with [`ServeError::Backpressure`] when
@@ -317,7 +571,13 @@ impl Server {
         plan: QueryPlan,
         items: Vec<EncodedImage>,
     ) -> ServeResult<QueryHandle> {
-        self.submit_inner(plan, wrap_images(&items), None, false)
+        self.submit_inner(
+            plan,
+            wrap_images(&items),
+            None,
+            SubmitOptions::default(),
+            false,
+        )
     }
 
     /// Submits a still-image query with a per-image inference callback;
@@ -334,7 +594,13 @@ impl Server {
     {
         let erased: InferFn =
             Arc::new(move |idx, img| Box::new(infer(idx, img)) as BoxedPrediction);
-        self.submit_inner(plan, wrap_images(&items), Some(erased), true)
+        self.submit_inner(
+            plan,
+            wrap_images(&items),
+            Some(erased),
+            SubmitOptions::default(),
+            true,
+        )
     }
 
     /// [`Server::submit_with_infer`] over mixed media items; the callback
@@ -351,7 +617,24 @@ impl Server {
     {
         let erased: InferFn =
             Arc::new(move |idx, img| Box::new(infer(idx, img)) as BoxedPrediction);
-        self.submit_inner(plan, items, Some(erased), true)
+        self.submit_inner(plan, items, Some(erased), SubmitOptions::default(), true)
+    }
+
+    /// [`Server::submit_media_opts`] with a per-output inference callback.
+    pub fn submit_media_opts_with_infer<R, F>(
+        &self,
+        plan: QueryPlan,
+        items: Vec<MediaItem>,
+        opts: SubmitOptions,
+        infer: F,
+    ) -> ServeResult<QueryHandle>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &ImageU8) -> R + Send + Sync + 'static,
+    {
+        let erased: InferFn =
+            Arc::new(move |idx, img| Box::new(infer(idx, img)) as BoxedPrediction);
+        self.submit_inner(plan, items, Some(erased), opts, true)
     }
 
     fn submit_inner(
@@ -359,6 +642,7 @@ impl Server {
         plan: QueryPlan,
         items: Vec<MediaItem>,
         infer: Option<InferFn>,
+        opts: SubmitOptions,
         block: bool,
     ) -> ServeResult<QueryHandle> {
         if self.inner.shutdown.load(Ordering::Acquire) {
@@ -375,22 +659,55 @@ impl Server {
         let total_outputs = layout.total;
         let max_fanout = layout.max_fanout;
         let offsets: Arc<Vec<usize>> = Arc::new(layout.offsets);
+        // A rung is usable only when it preserves the output layout —
+        // results are indexed by output slot, which must survive a
+        // mid-query re-plan. (Stills always qualify; video rungs must
+        // keep the frame selection.)
+        let ladder: VecDeque<Rung> = opts
+            .ladder
+            .iter()
+            .filter(|step| {
+                opts.accuracy_floor
+                    .is_none_or(|floor| step.accuracy >= floor)
+            })
+            .filter_map(|step| {
+                let ctx = Arc::new(PlanContext::new(&step.plan));
+                let rung_layout = smol_runtime::media::OutputLayout::of(&items, ctx.decode);
+                (rung_layout.offsets == *offsets).then(|| Rung {
+                    label: step.plan.label(),
+                    sig: Arc::new(step.plan.placement_signature()),
+                    ctx,
+                    accuracy: step.accuracy,
+                })
+            })
+            .collect();
         let producers = inner.cfg.runtime.effective_producers();
-        let consumers = inner.cfg.runtime.consumers.max(1);
+        let pool_consumers = self.pool_consumers();
 
         let mut sched = inner.sched.lock();
         let capacity = inner.cfg.max_active_queries.max(1);
-        while sched.active >= capacity {
-            if inner.shutdown.load(Ordering::Acquire) {
-                return Err(ServeError::ShuttingDown);
-            }
-            if !block {
+        if !block {
+            if sched.active >= capacity || sched.waiting_above(opts.priority) > 0 {
                 return Err(ServeError::Backpressure {
                     active: sched.active,
                     capacity,
                 });
             }
-            inner.admit_cv.wait(&mut sched);
+        } else {
+            // Register as a waiter up front so lower-priority submitters
+            // arriving later defer to us even before we first block.
+            sched.waiting[opts.priority.index()] += 1;
+            while sched.active >= capacity || sched.waiting_above(opts.priority) > 0 {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    sched.waiting[opts.priority.index()] -= 1;
+                    return Err(ServeError::ShuttingDown);
+                }
+                inner.admit_cv.wait(&mut sched);
+            }
+            sched.waiting[opts.priority.index()] -= 1;
+            // Others may now be admissible too (e.g. equal priority with
+            // capacity left).
+            inner.admit_cv.notify_all();
         }
         let id = sched.next_id;
         sched.next_id += 1;
@@ -416,12 +733,25 @@ impl Server {
                 pool: Default::default(),
                 error: None,
                 results: Vec::new(),
+                degraded_steps: 0,
+                accuracy: opts.accuracy,
+                accuracy_floor: opts.accuracy_floor,
+                deadline_missed: opts.deadline.map(|_| false),
             });
-            inner.agg.lock().completed_queries += 1;
-            return Ok(QueryHandle { id, rx: done_rx });
+            let mut agg = inner.agg.lock();
+            agg.completed_queries += 1;
+            if opts.deadline.is_some() {
+                agg.deadline_met += 1;
+            }
+            drop(agg);
+            return Ok(QueryHandle {
+                id,
+                rx: done_rx,
+                inner: Arc::downgrade(&self.inner),
+            });
         }
         let pool = BufferPool::new(
-            ctx.pool_capacity_fanout(producers, consumers, max_fanout),
+            ctx.pool_capacity_fanout(producers, pool_consumers, max_fanout),
             ctx.buf_len,
             inner.cfg.runtime.memory_reuse,
             inner.cfg.runtime.pinned,
@@ -434,6 +764,7 @@ impl Server {
             items: Arc::new(items),
             offsets,
             total_outputs,
+            max_fanout,
             pool,
             infer,
             next_item: 0,
@@ -450,37 +781,94 @@ impl Server {
             submitted_at: Instant::now(),
             done_tx,
             error: None,
+            deadline: opts.deadline,
+            ladder,
+            degraded_steps: 0,
+            accuracy: opts.accuracy,
+            accuracy_floor: opts.accuracy_floor,
+            next_degrade_at: 0,
         };
         sched.queries.insert(id, state);
-        sched.rr.push_back(id);
+        sched.rr[opts.priority.index()].push_back(id);
         sched.sigs.entry(sig).or_default().unclaimed += n;
         sched.active += 1;
         drop(sched);
         inner.work_cv.notify_all();
-        Ok(QueryHandle { id, rx: done_rx })
+        Ok(QueryHandle {
+            id,
+            rx: done_rx,
+            inner: Arc::downgrade(&self.inner),
+        })
     }
 
-    /// Aggregate serving metrics.
+    /// The consumer count buffer pools must be sized for: every consumer
+    /// thread across the fleet may hold a batch, and every lane queue may
+    /// hold `batch_queue` more.
+    fn pool_consumers(&self) -> usize {
+        let lanes = self.inner.fleet.lock().lanes.len();
+        let per_lane = self.inner.cfg.runtime.consumers.max(1);
+        lanes * (per_lane + self.inner.cfg.batch_queue.max(1))
+    }
+
+    /// Aggregate + per-device serving metrics.
     pub fn stats(&self) -> ServerStats {
-        let (queue_depth, pending_batch_items) = {
+        let (queue_depth, pending_batch_items, waiting_admission) = {
             let sched = self.inner.sched.lock();
-            (sched.active, sched.former.pending_total())
+            (
+                sched.active,
+                sched.former.pending_total(),
+                sched.waiting_total(),
+            )
         };
-        let agg = self.inner.agg.lock();
-        let device = self.inner.device.stats();
-        let elapsed = self.inner.device.uptime_s();
+        let agg = {
+            let agg = self.inner.agg.lock();
+            Agg {
+                submitted_queries: agg.submitted_queries,
+                completed_queries: agg.completed_queries,
+                images_in: agg.images_in,
+                images_done: agg.images_done,
+                batches: agg.batches,
+                cross_query_batches: agg.cross_query_batches,
+                full_batches: agg.full_batches,
+                degradations: agg.degradations,
+                deadline_met: agg.deadline_met,
+                deadline_misses: agg.deadline_misses,
+            }
+        };
+        let fleet = self.inner.fleet.lock();
+        let devices: Vec<DeviceLaneStats> = fleet
+            .lanes
+            .iter()
+            .map(|lane| {
+                let device = lane.device.stats();
+                DeviceLaneStats {
+                    occupancy: device.compute_occupancy(lane.device.uptime_s()),
+                    device,
+                    queued_batches: lane.queue.len(),
+                    in_flight_batches: lane.in_flight,
+                    batches: lane.batches,
+                    images: lane.images,
+                    stolen_batches: lane.stolen_batches,
+                }
+            })
+            .collect();
+        let steals = devices.iter().map(|d| d.stolen_batches).sum();
         ServerStats {
             submitted_queries: agg.submitted_queries,
             completed_queries: agg.completed_queries,
             queue_depth,
+            waiting_admission,
             pending_batch_items,
             images_in: agg.images_in,
             images_done: agg.images_done,
             batches: agg.batches,
             cross_query_batches: agg.cross_query_batches,
             full_batches: agg.full_batches,
-            device,
-            device_occupancy: device.compute_occupancy(elapsed),
+            degradations: agg.degradations,
+            deadline_met: agg.deadline_met,
+            deadline_misses: agg.deadline_misses,
+            steals,
+            devices,
         }
     }
 
@@ -501,8 +889,8 @@ impl Server {
         for h in self.producer_handles.drain(..) {
             let _ = h.join();
         }
-        // Producers dropped their batch senders; consumers drain what is
-        // left and observe the disconnect.
+        // Producers decremented `producers_live` on exit; consumers drain
+        // the lane queues and observe the count.
         for h in self.consumer_handles.drain(..) {
             let _ = h.join();
         }
@@ -519,41 +907,111 @@ impl Drop for Server {
 // Stage threads
 // ---------------------------------------------------------------------------
 
-/// Takes the next fair-share claim, or `None` when no query has
-/// unclaimed items.
-fn claim_next(sched: &mut Sched) -> Option<Claim> {
-    while let Some(qid) = sched.rr.pop_front() {
-        let Some(q) = sched.queries.get_mut(&qid) else {
-            continue; // finalized early (error path)
+/// Degrades `q` one rung if warranted: the fleet is under pressure
+/// (submitters blocked at admission) or the query is projected to miss
+/// its deadline, a rung remains, hysteresis has elapsed, and unclaimed
+/// items exist to re-plan. Partial batches of the abandoned signature may
+/// flush into `emitted`.
+fn maybe_degrade(
+    inner: &Inner,
+    sched: &mut Sched,
+    qid: QueryId,
+    emitted: &mut Vec<FormedBatch<BatchItem>>,
+) {
+    let pressure = sched.waiting_total() > 0;
+    let q = sched.queries.get_mut(&qid).expect("caller checked");
+    if q.ladder.is_empty() || q.next_item >= q.claim_end || q.next_item < q.next_degrade_at {
+        return;
+    }
+    let late = q.projected_late(Instant::now());
+    if !pressure && !late {
+        return;
+    }
+    let rung = q.ladder.pop_front().expect("checked non-empty");
+    let remaining = q.claim_end - q.next_item;
+    let old_sig = std::mem::replace(&mut q.sig, Arc::clone(&rung.sig));
+    q.ctx = Arc::clone(&rung.ctx);
+    q.label = rung.label;
+    q.accuracy = Some(rung.accuracy);
+    q.degraded_steps += 1;
+    // One full batch of the new plan between steps: degrade is a ratchet,
+    // not a thrash.
+    q.next_degrade_at = q.next_item + q.sig.batch.max(2);
+    if *old_sig != *q.sig {
+        // Buffer geometry may differ between rungs; in-flight items keep
+        // their slots in the old pool (returned on drop), new claims draw
+        // from the rung's pool.
+        let producers = inner.cfg.runtime.effective_producers();
+        let lanes = {
+            let fleet = inner.fleet.lock();
+            fleet.lanes.len()
         };
-        if q.next_item >= q.claim_end {
-            continue; // exhausted (kept out of the ring from here on)
-        }
-        let idx = q.next_item;
-        q.next_item += 1;
-        q.claims_out += 1;
-        let claim = Claim {
-            query: qid,
-            idx,
-            sig: Arc::clone(&q.sig),
-            ctx: Arc::clone(&q.ctx),
-            items: Arc::clone(&q.items),
-            offsets: Arc::clone(&q.offsets),
-            pool: q.pool.clone(),
-            keep_image: q.infer.is_some(),
-            claimed_at: Instant::now(),
-        };
-        let still_has_work = q.next_item < q.claim_end;
-        let count = sched
+        let pool_consumers =
+            lanes * (inner.cfg.runtime.consumers.max(1) + inner.cfg.batch_queue.max(1));
+        q.pool = BufferPool::new(
+            q.ctx
+                .pool_capacity_fanout(producers, pool_consumers, q.max_fanout),
+            q.ctx.buf_len,
+            inner.cfg.runtime.memory_reuse,
+            inner.cfg.runtime.pinned,
+        );
+        let new_sig = Arc::clone(&q.sig);
+        let old = sched
             .sigs
-            .get_mut(&claim.sig)
+            .get_mut(&old_sig)
             .expect("signature registered at admission");
-        count.unclaimed -= 1;
-        count.producing += 1;
-        if still_has_work {
-            sched.rr.push_back(qid);
+        old.unclaimed -= remaining;
+        sched.sigs.entry(new_sig).or_default().unclaimed += remaining;
+        flush_if_drained(sched, &old_sig, emitted);
+    }
+    inner.agg.lock().degradations += 1;
+}
+
+/// Takes the next fair-share claim (highest-priority ring first), or
+/// `None` when no query has unclaimed items. Degradation is applied at
+/// claim time — flushed partial batches of abandoned signatures land in
+/// `emitted` and must be dispatched by the caller outside the lock.
+fn claim_next(
+    inner: &Inner,
+    sched: &mut Sched,
+    emitted: &mut Vec<FormedBatch<BatchItem>>,
+) -> Option<Claim> {
+    for prio in (0..Priority::COUNT).rev() {
+        while let Some(qid) = sched.rr[prio].pop_front() {
+            if !sched.queries.contains_key(&qid) {
+                continue; // finalized early (error path)
+            }
+            maybe_degrade(inner, sched, qid, emitted);
+            let q = sched.queries.get_mut(&qid).expect("checked above");
+            if q.next_item >= q.claim_end {
+                continue; // exhausted (kept out of the ring from here on)
+            }
+            let idx = q.next_item;
+            q.next_item += 1;
+            q.claims_out += 1;
+            let claim = Claim {
+                query: qid,
+                idx,
+                sig: Arc::clone(&q.sig),
+                ctx: Arc::clone(&q.ctx),
+                items: Arc::clone(&q.items),
+                offsets: Arc::clone(&q.offsets),
+                pool: q.pool.clone(),
+                keep_image: q.infer.is_some(),
+                claimed_at: Instant::now(),
+            };
+            let still_has_work = q.next_item < q.claim_end;
+            let count = sched
+                .sigs
+                .get_mut(&claim.sig)
+                .expect("signature registered at admission");
+            count.unclaimed -= 1;
+            count.producing += 1;
+            if still_has_work {
+                sched.rr[prio].push_back(qid);
+            }
+            return Some(claim);
         }
-        return Some(claim);
     }
     None
 }
@@ -591,6 +1049,7 @@ fn try_finalize(inner: &Inner, sched: &mut Sched, qid: QueryId) {
     let q = sched.queries.remove(&qid).expect("checked above");
     sched.active -= 1;
     let wall = q.submitted_at.elapsed().as_secs_f64();
+    let deadline_missed = q.deadline.map(|d| wall > d.as_secs_f64());
     let report = QueryReport {
         id: q.id,
         label: q.label,
@@ -610,23 +1069,61 @@ fn try_finalize(inner: &Inner, sched: &mut Sched, qid: QueryId) {
         pool: q.pool.stats(),
         error: q.error,
         results: q.results,
+        degraded_steps: q.degraded_steps,
+        accuracy: q.accuracy,
+        accuracy_floor: q.accuracy_floor,
+        deadline_missed,
     };
     {
         let mut agg = inner.agg.lock();
         agg.completed_queries += 1;
         agg.images_done += report.images as u64;
+        match deadline_missed {
+            Some(true) => agg.deadline_misses += 1,
+            Some(false) => agg.deadline_met += 1,
+            None => {}
+        }
     }
     let _ = q.done_tx.send(report);
     inner.admit_cv.notify_all();
 }
 
-fn producer_loop(inner: &Inner, batch_tx: &channel::Sender<FormedBatch<BatchItem>>) {
+/// Hands a formed batch to the least-loaded lane with queue space,
+/// blocking while every lane queue is full (consumers drain them; they
+/// outlive every producer, so this always makes progress).
+fn dispatch(inner: &Inner, batch: FormedBatch<BatchItem>) {
+    let cap = inner.cfg.batch_queue.max(1);
+    let mut fleet = inner.fleet.lock();
     loop {
+        let pick = fleet
+            .lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, lane)| lane.queue.len() < cap)
+            .min_by_key(|(_, lane)| lane.queue.len() + lane.in_flight)
+            .map(|(i, _)| i);
+        if let Some(i) = pick {
+            fleet.lanes[i].queue.push_back(batch);
+            inner.batch_cv.notify_all();
+            return;
+        }
+        inner.space_cv.wait(&mut fleet);
+    }
+}
+
+fn producer_loop(inner: &Inner) {
+    loop {
+        let mut emitted: Vec<FormedBatch<BatchItem>> = Vec::new();
         let claim = {
             let mut sched = inner.sched.lock();
             loop {
-                if let Some(c) = claim_next(&mut sched) {
+                if let Some(c) = claim_next(inner, &mut sched, &mut emitted) {
                     break Some(c);
+                }
+                if !emitted.is_empty() {
+                    // A degradation flushed a partial batch but left
+                    // nothing claimable; dispatch it before sleeping.
+                    break None;
                 }
                 if inner.shutdown.load(Ordering::Acquire) {
                     break None;
@@ -634,7 +1131,23 @@ fn producer_loop(inner: &Inner, batch_tx: &channel::Sender<FormedBatch<BatchItem
                 inner.work_cv.wait(&mut sched);
             }
         };
-        let Some(claim) = claim else { return };
+        let had_flushes = !emitted.is_empty();
+        // Dispatch outside the lock: a full lane queue must not stall
+        // other producers' claims, only this thread.
+        for batch in emitted {
+            dispatch(inner, batch);
+        }
+        let Some(claim) = claim else {
+            if had_flushes {
+                continue; // there may be claimable work again
+            }
+            // Shutdown with nothing claimable: admitted work is drained
+            // (claim_next exhausts every query before returning None).
+            let mut fleet = inner.fleet.lock();
+            fleet.producers_live -= 1;
+            inner.batch_cv.notify_all();
+            return;
+        };
 
         // The slow part runs without the scheduler lock. A GOP item fans
         // out into one staged work item per selected frame.
@@ -700,27 +1213,69 @@ fn producer_loop(inner: &Inner, batch_tx: &channel::Sender<FormedBatch<BatchItem
                     let dropped_items = q.claim_end - q.next_item;
                     q.skipped += q.outputs_before(q.claim_end) - q.outputs_before(q.next_item);
                     q.claim_end = q.next_item;
+                    let q_sig = Arc::clone(&q.sig);
                     let count = sched
                         .sigs
-                        .get_mut(&claim.sig)
+                        .get_mut(&q_sig)
                         .expect("signature registered at admission");
-                    count.producing -= 1;
                     count.unclaimed -= dropped_items;
+                    // The failed claim was produced under `claim.sig`,
+                    // which may be an older rung than the query's current
+                    // signature.
+                    sched
+                        .sigs
+                        .get_mut(&claim.sig)
+                        .expect("signature registered at admission")
+                        .producing -= 1;
                     flush_if_drained(sched, &claim.sig, &mut emitted);
+                    if *q_sig != *claim.sig {
+                        flush_if_drained(sched, &q_sig, &mut emitted);
+                    }
                     try_finalize(inner, sched, claim.query);
                 }
             }
         }
-        // Send outside the lock: a full batch queue must not stall other
-        // producers' claims, only this thread.
         for batch in emitted {
-            let _ = batch_tx.send(batch);
+            dispatch(inner, batch);
         }
     }
 }
 
-fn consumer_loop(inner: &Inner, batch_rx: &channel::Receiver<FormedBatch<BatchItem>>) {
-    while let Ok(batch) = batch_rx.recv() {
+fn consumer_loop(inner: &Inner, lane_idx: usize) {
+    let device = {
+        let fleet = inner.fleet.lock();
+        fleet.lanes[lane_idx].device.clone()
+    };
+    loop {
+        let batch = {
+            let mut fleet = inner.fleet.lock();
+            loop {
+                if let Some(batch) = fleet.lanes[lane_idx].queue.pop_front() {
+                    fleet.lanes[lane_idx].in_flight += 1;
+                    inner.space_cv.notify_all();
+                    break Some(batch);
+                }
+                // Work stealing: queue depths diverged (this lane idle,
+                // another has queued batches) — take from the deepest
+                // queue. Batches are self-contained, so execution on a
+                // different device changes timing only, never results.
+                let victim = (0..fleet.lanes.len())
+                    .filter(|&j| j != lane_idx && !fleet.lanes[j].queue.is_empty())
+                    .max_by_key(|&j| fleet.lanes[j].queue.len());
+                if let Some(j) = victim {
+                    let batch = fleet.lanes[j].queue.pop_front().expect("non-empty");
+                    fleet.lanes[lane_idx].in_flight += 1;
+                    fleet.lanes[lane_idx].stolen_batches += 1;
+                    inner.space_cv.notify_all();
+                    break Some(batch);
+                }
+                if fleet.producers_live == 0 {
+                    break None;
+                }
+                inner.batch_cv.wait(&mut fleet);
+            }
+        };
+        let Some(batch) = batch else { return };
         let spec = DeviceBatchSpec {
             dnn: batch.sig.dnn,
             extra_stages: batch
@@ -734,7 +1289,15 @@ fn consumer_loop(inner: &Inner, batch_rx: &channel::Receiver<FormedBatch<BatchIt
         };
         let bytes: usize = batch.items.iter().map(|b| b.item.transfer_bytes).sum();
         let accel_ops: f64 = batch.items.iter().map(|b| b.item.accel_ops).sum();
-        execute_device_batch(&inner.device, &spec, batch.items.len(), bytes, accel_ops);
+        execute_device_batch(&device, &spec, batch.items.len(), bytes, accel_ops);
+
+        {
+            let mut fleet = inner.fleet.lock();
+            let lane = &mut fleet.lanes[lane_idx];
+            lane.in_flight -= 1;
+            lane.batches += 1;
+            lane.images += batch.items.len() as u64;
+        }
 
         // Run inference callbacks without the scheduler lock.
         let infers: Vec<Option<InferFn>> = {

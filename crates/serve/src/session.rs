@@ -43,7 +43,9 @@
 //! serves). If nothing is calibrated, planning fails with
 //! [`PlanError::NoCandidates`].
 
-use crate::server::{QueryHandle, ServeError, Server, ServerConfig};
+use crate::server::{
+    DegradeStep, Priority, QueryHandle, ServeError, Server, ServerConfig, SubmitOptions,
+};
 use crate::stats::QueryReport;
 use parking_lot::{Condvar, Mutex};
 use smol_accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
@@ -60,6 +62,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Session-layer errors: the workspace-level failure hierarchy
 /// (re-exported as `smol::Error`).
@@ -73,6 +76,13 @@ pub enum SessionError {
     DuplicateDataset { name: String },
     /// Planning failed (no candidates, infeasible constraint, …).
     Plan(PlanError),
+    /// The query carries a deadline the fleet cannot meet even under the
+    /// most optimistic assumptions (fastest feasible plan, every device
+    /// dedicated to this query, zero queueing). `estimated_s` is that
+    /// optimistic wall-clock estimate; degradation cannot save a query
+    /// whose *best* rung is already too slow, so it is rejected at
+    /// submission instead of admitted to miss.
+    DeadlineInfeasible { deadline_s: f64, estimated_s: f64 },
     /// The serving runtime rejected or dropped the query.
     Serve(ServeError),
 }
@@ -85,6 +95,14 @@ impl std::fmt::Display for SessionError {
                 write!(f, "dataset {name:?} is already registered")
             }
             SessionError::Plan(e) => write!(f, "planning failed: {e}"),
+            SessionError::DeadlineInfeasible {
+                deadline_s,
+                estimated_s,
+            } => write!(
+                f,
+                "deadline {deadline_s:.3}s is infeasible: optimistic completion \
+                 estimate is {estimated_s:.3}s"
+            ),
             SessionError::Serve(e) => write!(f, "serving failed: {e}"),
         }
     }
@@ -591,11 +609,21 @@ struct Registered {
 /// let _ = Query::new("photos").min_throughput(2000.0);
 /// let _ = Query::new("photos").max_cost(30.0); // ¢ per million images
 /// ```
+/// SLO vocabulary rides on the same builder: `.deadline(..)` bounds
+/// wall-clock completion (infeasible deadlines are rejected with
+/// [`SessionError::DeadlineInfeasible`]), `.priority(..)` orders
+/// admission and claiming against other tenants, and
+/// `.allow_degradation(true)` lets the scheduler re-plan this query down
+/// its calibrated Pareto ladder under load — never below the accuracy
+/// floor its constraint implies.
 #[derive(Debug, Clone)]
 pub struct Query {
     dataset: String,
     constraint: Constraint,
     limit: Option<usize>,
+    deadline: Option<Duration>,
+    priority: Priority,
+    allow_degradation: bool,
 }
 
 impl Query {
@@ -604,6 +632,9 @@ impl Query {
             dataset: dataset.into(),
             constraint: Constraint::MaxAccuracyLoss(0.0),
             limit: None,
+            deadline: None,
+            priority: Priority::Normal,
+            allow_degradation: false,
         }
     }
 
@@ -652,6 +683,36 @@ impl Query {
         self
     }
 
+    /// Wall-clock completion deadline (an SLO, not a hint): submission
+    /// fails with [`SessionError::DeadlineInfeasible`] when even the
+    /// optimistic estimate exceeds it, and the scheduler degrades the
+    /// query (if allowed) when it is projected to miss.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Admission/claiming priority relative to other tenants' queries.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Permits the scheduler to re-plan this query to cheaper calibrated
+    /// plans on its Pareto frontier under load. Degradation never goes
+    /// below the constraint's accuracy floor, but it *does* change which
+    /// plan produces the outputs — hence opt-in.
+    ///
+    /// Accuracy constraints ([`Query::max_accuracy_loss`],
+    /// [`Query::min_accuracy`]) already select the *fastest* feasible
+    /// plan, so their degradation ladder is empty by construction;
+    /// throughput and cost constraints select the *most accurate* plan
+    /// above their floor and degrade down the frontier's faster rungs.
+    pub fn allow_degradation(mut self, allow: bool) -> Self {
+        self.allow_degradation = allow;
+        self
+    }
+
     pub fn dataset(&self) -> &str {
         &self.dataset
     }
@@ -659,27 +720,60 @@ impl Query {
     pub fn constraint(&self) -> &Constraint {
         &self.constraint
     }
+
+    /// The deadline set via [`Query::deadline`], if any.
+    pub fn deadline_slo(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The priority set via [`Query::priority`].
+    pub fn priority_slo(&self) -> Priority {
+        self.priority
+    }
+
+    /// Whether [`Query::allow_degradation`] opted this query in.
+    pub fn degradation_allowed(&self) -> bool {
+        self.allow_degradation
+    }
 }
 
-/// Identity of the device a session executes on, for plan-cache keys:
-/// model + environment + the calibrated anchor and time scale (so custom
-/// [`DeviceSpec`](smol_accel::DeviceSpec)s with the same `GpuModel` tag
-/// still key distinctly).
+/// Identity of the device pool a session executes on, for plan-cache
+/// keys: the primary device's model + environment + calibrated anchor and
+/// time scale (so custom [`DeviceSpec`](smol_accel::DeviceSpec)s with the
+/// same `GpuModel` tag still key distinctly), plus a digest over every
+/// fleet member so two fleets with the same primary but different
+/// secondaries never share cached plans.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DeviceKey {
     model: GpuModel,
     env: ExecutionEnv,
     anchor_bits: u64,
     time_scale_bits: u64,
+    fleet_bits: u64,
 }
 
 impl DeviceKey {
     pub fn of(device: &VirtualDevice) -> Self {
+        Self::of_fleet(std::slice::from_ref(device))
+    }
+
+    /// Keys a device pool; `devices[0]` is the primary the planner costs
+    /// against. Panics on an empty slice.
+    pub fn of_fleet(devices: &[VirtualDevice]) -> Self {
+        let primary = devices.first().expect("fleet has at least one device");
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for d in devices {
+            d.spec().model.hash(&mut h);
+            d.env().hash(&mut h);
+            d.spec().resnet50_batch64.to_bits().hash(&mut h);
+            d.time_scale().to_bits().hash(&mut h);
+        }
         DeviceKey {
-            model: device.spec().model,
-            env: device.env(),
-            anchor_bits: device.spec().resnet50_batch64.to_bits(),
-            time_scale_bits: device.time_scale().to_bits(),
+            model: primary.spec().model,
+            env: primary.env(),
+            anchor_bits: primary.spec().resnet50_batch64.to_bits(),
+            time_scale_bits: primary.time_scale().to_bits(),
+            fleet_bits: h.finish(),
         }
     }
 }
@@ -990,13 +1084,28 @@ pub struct Session {
     datasets: Mutex<HashMap<String, Arc<Registered>>>,
     profiler: Arc<Profiler>,
     cache: Arc<PlanCache>,
+    /// Fastest (smallest) time scale across the fleet — the optimistic
+    /// simulated→wall conversion for deadline feasibility checks.
+    min_time_scale: f64,
+    /// Fleet throughput relative to the primary device (sum of per-device
+    /// ResNet-50 anchors over the primary's anchor; 1.0 for one device).
+    fleet_speedup: f64,
 }
 
 impl Session {
     /// A session over `device` with its own profiler and plan cache.
     pub fn new(device: VirtualDevice, cfg: SessionConfig) -> Self {
+        Self::with_fleet(vec![device], cfg)
+    }
+
+    /// A session serving over a pool of devices: items shard across the
+    /// fleet's lanes with work stealing (see [`Server::with_devices`]).
+    /// `devices[0]` is the *primary* — the planner costs candidate plans
+    /// against it, so put the representative (or slowest) device first
+    /// for conservative plans. Panics on an empty fleet.
+    pub fn with_fleet(devices: Vec<VirtualDevice>, cfg: SessionConfig) -> Self {
         let profiler = Arc::new(Profiler::new(cfg.server.runtime).with_sample(cfg.profile_sample));
-        Self::with_shared(device, cfg, profiler, Arc::new(PlanCache::new()))
+        Self::with_shared_fleet(devices, cfg, profiler, Arc::new(PlanCache::new()))
     }
 
     /// A session sharing an externally owned profiler and plan cache —
@@ -1004,23 +1113,48 @@ impl Session {
     /// assert profiling/caching behavior.
     pub fn with_shared(
         device: VirtualDevice,
+        cfg: SessionConfig,
+        profiler: Arc<Profiler>,
+        cache: Arc<PlanCache>,
+    ) -> Self {
+        Self::with_shared_fleet(vec![device], cfg, profiler, cache)
+    }
+
+    /// [`Session::with_fleet`] with an externally owned profiler and plan
+    /// cache.
+    pub fn with_shared_fleet(
+        devices: Vec<VirtualDevice>,
         mut cfg: SessionConfig,
         profiler: Arc<Profiler>,
         cache: Arc<PlanCache>,
     ) -> Self {
         // The planner must cost DNN execution on the device that will
         // actually run the plans; otherwise a min-throughput or max-cost
-        // constraint is judged against the wrong throughput tables.
-        cfg.planner.device = device.spec().model;
-        cfg.planner.env = device.env();
-        let device_key = DeviceKey::of(&device);
+        // constraint is judged against the wrong throughput tables. For a
+        // fleet, the primary device is the costing anchor.
+        let primary = devices.first().expect("fleet has at least one device");
+        cfg.planner.device = primary.spec().model;
+        cfg.planner.env = primary.env();
+        let device_key = DeviceKey::of_fleet(&devices);
+        let min_time_scale = devices
+            .iter()
+            .map(VirtualDevice::time_scale)
+            .fold(f64::INFINITY, f64::min);
+        let primary_anchor = primary.spec().resnet50_batch64;
+        let fleet_speedup = devices
+            .iter()
+            .map(|d| d.spec().resnet50_batch64)
+            .sum::<f64>()
+            / primary_anchor;
         Session {
-            server: Server::new(device, cfg.server),
+            server: Server::with_devices(devices, cfg.server),
             planner: Planner::new(cfg.planner),
             device_key,
             datasets: Mutex::new(HashMap::new()),
             profiler,
             cache,
+            min_time_scale,
+            fleet_speedup,
         }
     }
 
@@ -1150,6 +1284,13 @@ impl Session {
     /// Plans the query and submits it to the serving runtime, returning
     /// the handle (admission may block under backpressure, like
     /// [`Server::submit`]).
+    ///
+    /// The query's SLOs flow into admission here: deadline-infeasible
+    /// queries are rejected with [`SessionError::DeadlineInfeasible`]
+    /// before admission, and `.allow_degradation(true)` queries carry the
+    /// constraint's calibrated degradation ladder (cheaper Pareto rungs at
+    /// or above the accuracy floor) for the scheduler to step down under
+    /// load.
     pub fn submit(&self, query: &Query) -> Result<QueryHandle, SessionError> {
         let (chosen, _) = self.resolve(query)?;
         let reg = self.dataset(&query.dataset)?;
@@ -1163,9 +1304,61 @@ impl Session {
             .take(query.limit.unwrap_or(usize::MAX))
             .cloned()
             .collect();
+        let ladder: Vec<DegradeStep> = if query.allow_degradation {
+            query
+                .constraint
+                .degradation_ladder(&chosen.frontier, &chosen.candidate)
+                .into_iter()
+                // The items were drawn from the chosen plan's variant at
+                // submission; a rung that reads a *different* variant
+                // would decode the wrong corpus, so only same-variant
+                // rungs (cheaper DNN, cheaper decode) are eligible.
+                .filter(|c| c.plan.input.name == chosen.candidate.plan.input.name)
+                .map(|c| DegradeStep {
+                    plan: c.plan,
+                    accuracy: c.accuracy,
+                    est_throughput: c.est_throughput,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if let Some(deadline) = query.deadline {
+            // Optimistic feasibility: the fastest rung available to this
+            // query (chosen plan or any ladder step), the whole fleet
+            // dedicated to it, zero queueing. Items is a lower bound on
+            // outputs (GOPs fan out), keeping the estimate optimistic; a
+            // deadline that fails *this* test cannot be met, degraded or
+            // not.
+            let best_sim_tput = ladder
+                .iter()
+                .map(|s| s.est_throughput)
+                .fold(chosen.candidate.est_throughput, f64::max);
+            let wall_rate = best_sim_tput * self.fleet_speedup / self.min_time_scale;
+            if wall_rate > 0.0 {
+                let estimated_s = items.len() as f64 / wall_rate;
+                if estimated_s > deadline.as_secs_f64() {
+                    return Err(SessionError::DeadlineInfeasible {
+                        deadline_s: deadline.as_secs_f64(),
+                        estimated_s,
+                    });
+                }
+            }
+        }
+        // Accuracy constraints imply a finite floor; throughput/cost
+        // constraints bound no accuracy (`NEG_INFINITY`), reported as "no
+        // floor" rather than a nonsense number.
+        let floor = query.constraint.accuracy_floor(&chosen.frontier);
+        let opts = SubmitOptions {
+            deadline: query.deadline,
+            priority: query.priority,
+            ladder,
+            accuracy: Some(chosen.candidate.accuracy),
+            accuracy_floor: floor.is_finite().then_some(floor),
+        };
         Ok(self
             .server
-            .submit_media(chosen.candidate.plan.clone(), items)?)
+            .submit_media_opts(chosen.candidate.plan.clone(), items, opts)?)
     }
 
     /// Plans, submits, and waits: the one-call declarative path.

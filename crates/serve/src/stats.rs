@@ -1,4 +1,4 @@
-//! Per-query and server-wide serving metrics.
+//! Per-query, per-device, and fleet-wide serving metrics.
 
 use smol_accel::DeviceStats;
 use smol_runtime::PoolStats;
@@ -12,7 +12,8 @@ pub type BoxedPrediction = Box<dyn Any + Send>;
 #[derive(Debug)]
 pub struct QueryReport {
     pub id: u64,
-    /// Human-readable plan label ("ResNet-50 @ 161 spng").
+    /// Human-readable plan label ("ResNet-50 @ 161 spng"). When the query
+    /// degraded, this is the label of the *final* rung it ran on.
     pub label: String,
     /// Images that completed device execution.
     pub images: usize,
@@ -36,6 +37,18 @@ pub struct QueryReport {
     pub preproc_cpu_s: f64,
     /// This query's staging-buffer pool counters.
     pub pool: PoolStats,
+    /// How many degradation steps the scheduler applied to this query
+    /// (0 = it ran its originally chosen plan throughout).
+    pub degraded_steps: usize,
+    /// Calibrated accuracy of the plan the query *finished* on, when the
+    /// submitter supplied one (always `>= accuracy_floor`).
+    pub accuracy: Option<f64>,
+    /// The accuracy floor the query's constraint implies; degradation
+    /// never re-plans below it.
+    pub accuracy_floor: Option<f64>,
+    /// `Some(true)` when the query had a deadline and its wall time
+    /// exceeded it; `None` when no deadline was set.
+    pub deadline_missed: Option<bool>,
     /// First production error, if any (the query still resolves).
     pub error: Option<String>,
     /// Per-item inference outputs (indexes match the submitted items);
@@ -55,7 +68,29 @@ impl QueryReport {
     }
 }
 
-/// Aggregate serving metrics, sampled by `Server::stats()`.
+/// One device lane's view of the fleet, sampled by `Server::stats()`.
+#[derive(Debug, Clone)]
+pub struct DeviceLaneStats {
+    /// Compute-engine busy fraction over this device's lifetime
+    /// (simulated busy seconds over real elapsed seconds — the two agree
+    /// at `time_scale == 1`).
+    pub occupancy: f64,
+    /// Virtual-device counters (simulated busy seconds, kernels, copies).
+    pub device: DeviceStats,
+    /// Formed batches waiting in this lane's queue right now.
+    pub queued_batches: usize,
+    /// Batches currently executing on this lane's device.
+    pub in_flight_batches: usize,
+    /// Batches this lane has executed (including stolen ones).
+    pub batches: u64,
+    /// Images this lane has executed.
+    pub images: u64,
+    /// Batches this lane stole from another lane's queue.
+    pub stolen_batches: u64,
+}
+
+/// Fleet-wide serving metrics, sampled by `Server::stats()`: aggregate
+/// counters plus a per-device breakdown in [`ServerStats::devices`].
 #[derive(Debug, Clone)]
 pub struct ServerStats {
     /// Queries admitted so far (including completed ones).
@@ -65,24 +100,64 @@ pub struct ServerStats {
     /// Queries admitted and not yet resolved (the admission queue depth
     /// that backpressure is applied against).
     pub queue_depth: usize,
+    /// Submitters currently blocked in admission (capacity or a
+    /// higher-priority waiter ahead of them).
+    pub waiting_admission: usize,
     /// Items produced but still pending in the batch former.
     pub pending_batch_items: usize,
     /// Images submitted across all queries.
     pub images_in: u64,
     /// Images that completed device execution.
     pub images_done: u64,
-    /// Device batches executed.
+    /// Device batches executed across the fleet.
     pub batches: u64,
     /// Batches containing items from more than one query.
     pub cross_query_batches: u64,
     /// Batches that reached their signature's full batch size.
     pub full_batches: u64,
-    /// Virtual-device counters (simulated busy seconds, kernels, copies).
-    pub device: DeviceStats,
-    /// Compute-engine busy fraction over the device's lifetime (simulated
-    /// busy seconds over real elapsed seconds — the two agree at
-    /// `time_scale == 1`).
-    pub device_occupancy: f64,
+    /// Degradation steps applied across all queries (each re-plan of one
+    /// query to a cheaper frontier rung counts once).
+    pub degradations: u64,
+    /// Completed queries that had a deadline and met it.
+    pub deadline_met: u64,
+    /// Completed queries that had a deadline and missed it.
+    pub deadline_misses: u64,
+    /// Batches executed by a lane other than the one they were
+    /// dispatched to (work stealing events).
+    pub steals: u64,
+    /// Per-device lane breakdown, indexed by lane (device) position.
+    pub devices: Vec<DeviceLaneStats>,
+}
+
+impl ServerStats {
+    /// Fleet-wide device counters: every lane's [`DeviceStats`] merged.
+    pub fn device(&self) -> DeviceStats {
+        let mut merged = DeviceStats::default();
+        for lane in &self.devices {
+            merged.merge(&lane.device);
+        }
+        merged
+    }
+
+    /// Mean compute occupancy across the fleet's lanes (0.0 when the
+    /// fleet is empty — it never is; `Server` requires >= 1 device).
+    pub fn device_occupancy(&self) -> f64 {
+        if self.devices.is_empty() {
+            return 0.0;
+        }
+        self.devices.iter().map(|l| l.occupancy).sum::<f64>() / self.devices.len() as f64
+    }
+
+    /// Fraction of completed deadline-bearing queries that missed their
+    /// deadline (0.0 when no query carried a deadline).
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let total = self.deadline_met + self.deadline_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / total as f64
+        }
+    }
 }
 
 /// Nearest-rank percentile (`q` in [0, 1]) of an unsorted sample set.
@@ -127,10 +202,54 @@ mod tests {
             decode_cpu_s: 0.0,
             preproc_cpu_s: 0.0,
             pool: PoolStats::default(),
+            degraded_steps: 0,
+            accuracy: None,
+            accuracy_floor: None,
+            deadline_missed: None,
             error: None,
             results: vec![Some(Box::new(41usize) as BoxedPrediction), None],
         };
         assert_eq!(report.take_results::<usize>(), vec![Some(41), None]);
         assert!(report.results.is_empty());
+    }
+
+    #[test]
+    fn server_stats_aggregates_lanes() {
+        let lane = |busy: f64, occ: f64, stolen: u64| DeviceLaneStats {
+            occupancy: occ,
+            device: DeviceStats {
+                compute_busy_s: busy,
+                copy_busy_s: 0.1,
+                kernels: 3,
+                copies: 2,
+            },
+            queued_batches: 1,
+            in_flight_batches: 1,
+            batches: 5,
+            images: 40,
+            stolen_batches: stolen,
+        };
+        let stats = ServerStats {
+            submitted_queries: 2,
+            completed_queries: 2,
+            queue_depth: 0,
+            waiting_admission: 0,
+            pending_batch_items: 0,
+            images_in: 80,
+            images_done: 80,
+            batches: 10,
+            cross_query_batches: 0,
+            full_batches: 10,
+            degradations: 1,
+            deadline_met: 3,
+            deadline_misses: 1,
+            steals: 2,
+            devices: vec![lane(1.0, 0.5, 0), lane(3.0, 0.7, 2)],
+        };
+        let merged = stats.device();
+        assert_eq!(merged.compute_busy_s, 4.0);
+        assert_eq!(merged.kernels, 6);
+        assert!((stats.device_occupancy() - 0.6).abs() < 1e-12);
+        assert!((stats.deadline_miss_rate() - 0.25).abs() < 1e-12);
     }
 }

@@ -86,7 +86,7 @@
 pub use smol_core::{Constraint, FrameSelection, PlanError};
 pub use smol_serve::{
     AccuracyTable, CacheStats, Calibration, Dataset, Explanation, MeasuredCalibration, PlanCache,
-    Query, Session, SessionConfig, SessionError,
+    Priority, Query, Session, SessionConfig, SessionError,
 };
 
 /// The workspace-level error type: everything `Session` operations can

@@ -386,6 +386,188 @@ fn measured_calibration_derives_candidates() {
     session.shutdown();
 }
 
+/// An impossible deadline is rejected with a typed error *before*
+/// admission; a generous one is met and recorded in the report and the
+/// server's deadline buckets.
+#[test]
+fn deadline_slos_are_checked_and_reported() {
+    use std::time::Duration;
+    let session = Session::new(t4(), SessionConfig::default());
+    session.register(table_dataset("tiny")).unwrap();
+    let err = session
+        .run(
+            &Query::new("tiny")
+                .max_accuracy_loss(0.0)
+                .deadline(Duration::from_nanos(1)),
+        )
+        .unwrap_err();
+    match err {
+        SessionError::DeadlineInfeasible {
+            deadline_s,
+            estimated_s,
+        } => {
+            assert!(deadline_s < estimated_s);
+        }
+        other => panic!("expected DeadlineInfeasible, got {other:?}"),
+    }
+    let report = session
+        .run(
+            &Query::new("tiny")
+                .max_accuracy_loss(0.0)
+                .deadline(Duration::from_secs(120)),
+        )
+        .unwrap();
+    assert_eq!(report.deadline_missed, Some(false));
+    assert!(report.wall_s < 120.0);
+    let stats = session.stats();
+    assert_eq!(stats.deadline_met, 1);
+    assert_eq!(stats.deadline_misses, 0);
+    assert_eq!(stats.deadline_miss_rate(), 0.0);
+    session.shutdown();
+}
+
+/// A fleet keys plans distinctly from a single device with the same
+/// primary: the cached plan of one must not be reused for the other
+/// (fleet composition changes the serving capacity the plan feeds).
+#[test]
+fn fleet_composition_is_part_of_the_plan_key() {
+    let profiler = Arc::new(Profiler::new(RuntimeOptions::default()).with_sample(8));
+    let cache = Arc::new(PlanCache::new());
+    let q = Query::new("tiny").max_accuracy_loss(0.0);
+
+    let single = Session::with_shared(
+        t4(),
+        SessionConfig::default(),
+        profiler.clone(),
+        cache.clone(),
+    );
+    single.register(table_dataset("tiny")).unwrap();
+    let r1 = single.run(&q).unwrap();
+    single.shutdown();
+
+    let fleet = Session::with_shared_fleet(
+        vec![
+            t4(),
+            VirtualDevice::new(GpuModel::V100, ExecutionEnv::TensorRt, 1.0),
+        ],
+        SessionConfig::default(),
+        profiler,
+        cache.clone(),
+    );
+    fleet.register(table_dataset("tiny")).unwrap();
+    let r2 = fleet.run(&q).unwrap();
+    assert_eq!(r1.label, r2.label, "same primary device, same winning plan");
+    assert_eq!(
+        cache.stats().misses,
+        2,
+        "a 2-device fleet must not hit the single-device cache entry"
+    );
+    assert_eq!(fleet.stats().devices.len(), 2);
+    fleet.shutdown();
+}
+
+/// End-to-end degradation through the declarative API: a
+/// throughput-constrained query (which plans the *most accurate* plan
+/// above its floor) opted into degradation steps down to the faster
+/// same-variant frontier rung when another tenant pressures admission.
+#[test]
+fn throughput_constrained_query_degrades_under_pressure() {
+    use smol::serve::ServerConfig;
+    // Execution must be the bottleneck for a faster-DNN rung to exist on
+    // the frontier: a CPU pseudo-device makes every DNN exec-bound.
+    let cpu = || VirtualDevice::new(GpuModel::CpuOnly, ExecutionEnv::PyTorch, 0.02);
+    let session = Session::with_fleet(
+        vec![cpu()],
+        SessionConfig {
+            server: ServerConfig {
+                runtime: RuntimeOptions {
+                    producers: 2,
+                    consumers: 1,
+                    extra_cpu_s_per_image: 0.01,
+                    ..Default::default()
+                },
+                max_active_queries: 1,
+                batch_queue: 2,
+            },
+            profile_sample: 8,
+            ..Default::default()
+        },
+    );
+    let natives = tiny_images(24);
+    session
+        .register(
+            Dataset::new("pressure")
+                .with_model(ModelKind::ResNet50)
+                .with_model(ModelKind::ResNet34)
+                .with_variant(
+                    InputVariant::new("full", Format::Sjpg { quality: 95 }, 96, 96),
+                    encode_all(&natives, Format::Sjpg { quality: 95 }),
+                )
+                .with_calibration(Calibration::Table(
+                    AccuracyTable::new()
+                        .with(ModelKind::ResNet50, "full", 0.80)
+                        .with(ModelKind::ResNet34, "full", 0.70),
+                )),
+        )
+        .unwrap();
+    let q = Query::new("pressure")
+        .min_throughput(0.1)
+        .allow_degradation(true);
+    // The ladder exists before any load: ResNet-34 is the faster rung.
+    let explanation = session.explain(&q).unwrap();
+    assert_eq!(explanation.chosen.plan.dnn, ModelKind::ResNet50);
+    assert!(
+        explanation
+            .frontier
+            .iter()
+            .any(|c| c.plan.dnn == ModelKind::ResNet34
+                && c.est_throughput > explanation.chosen.est_throughput),
+        "ResNet-34 must be a strictly faster frontier rung on a CPU device"
+    );
+    let (r1, r2) = std::thread::scope(|scope| {
+        let h1 = session.submit(&q).expect("admitted");
+        let t2 = scope.spawn(|| {
+            // Second tenant: blocks at admission (capacity 1) → pressure.
+            session
+                .run(&Query::new("pressure").min_throughput(0.1).take(4))
+                .expect("resolves")
+        });
+        (h1.wait().expect("resolves"), t2.join().expect("tenant 2"))
+    });
+    assert_eq!(r1.images, 24);
+    assert!(
+        r1.degraded_steps >= 1,
+        "admission pressure must step the loaded query down its ladder"
+    );
+    assert_eq!(r1.accuracy, Some(0.70), "finished on the ResNet-34 rung");
+    assert_eq!(
+        r1.accuracy_floor, None,
+        "a throughput constraint bounds no accuracy"
+    );
+    assert_eq!(r2.images, 4);
+    assert!(session.stats().degradations >= 1);
+    session.shutdown();
+}
+
+/// Accuracy-constrained queries already run the fastest feasible plan:
+/// opting into degradation is a no-op (empty ladder), so results stay
+/// bit-stable even under pressure.
+#[test]
+fn accuracy_constrained_queries_have_no_ladder() {
+    let session = Session::new(t4(), SessionConfig::default());
+    session.register(table_dataset("tiny")).unwrap();
+    let report = session
+        .run(
+            &Query::new("tiny")
+                .max_accuracy_loss(0.5)
+                .allow_degradation(true),
+        )
+        .unwrap();
+    assert_eq!(report.degraded_steps, 0);
+    assert_eq!(session.stats().degradations, 0);
+    session.shutdown();
+}
+
 fn cand(acc: f64, tput: f64) -> PlanCandidate {
     PlanCandidate {
         plan: QueryPlan {

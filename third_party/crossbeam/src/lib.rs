@@ -57,6 +57,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived within the timeout; senders remain.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
     impl std::fmt::Display for RecvError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "receiving on an empty and disconnected channel")
@@ -137,6 +146,41 @@ pub mod channel {
                     .not_empty
                     .wait(inner)
                     .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Blocks for at most `timeout` waiting for a value. Returns
+        /// [`RecvTimeoutError::Timeout`] when the deadline passes with the
+        /// queue still empty, and [`RecvTimeoutError::Disconnected`] once
+        /// every sender is gone and the queue has drained.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut inner = self
+                .shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _result) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(inner, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                inner = guard;
             }
         }
 
@@ -255,6 +299,22 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(1));
             handle.join().unwrap().unwrap();
             assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
