@@ -56,7 +56,7 @@ fn main() {
         .collect();
     let encoded: Vec<EncodedImage> = natives
         .iter()
-        .map(|img| EncodedImage::encode(img, Format::Sjpg { quality: 90 }).expect("encode"))
+        .map(|img| EncodedImage::encode(img, Format::sjpg(90)).expect("encode"))
         .collect();
 
     let planner = Planner::new(PlannerConfig {
@@ -66,7 +66,7 @@ fn main() {
     });
     let input = InputVariant::new(
         format!("{SRC_EDGE} sjpg(q=90)"),
-        Format::Sjpg { quality: 90 },
+        Format::sjpg(90),
         SRC_EDGE,
         SRC_EDGE,
     );

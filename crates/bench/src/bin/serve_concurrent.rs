@@ -51,7 +51,7 @@ fn main() {
         batch,
         ..Default::default()
     });
-    let input = InputVariant::new("128x96 sjpg(q=85)", Format::Sjpg { quality: 85 }, w, h);
+    let input = InputVariant::new("128x96 sjpg(q=85)", Format::sjpg(85), w, h);
     let plan = QueryPlan {
         dnn: ModelKind::ResNet50,
         input: input.clone(),
@@ -66,11 +66,8 @@ fn main() {
         .map(|q| {
             (0..items_per_query)
                 .map(|i| {
-                    EncodedImage::encode(
-                        &textured(w, h, q * items_per_query + i),
-                        Format::Sjpg { quality: 85 },
-                    )
-                    .expect("encode")
+                    EncodedImage::encode(&textured(w, h, q * items_per_query + i), Format::sjpg(85))
+                        .expect("encode")
                 })
                 .collect()
         })

@@ -124,7 +124,7 @@ fn main() {
         batch,
         ..Default::default()
     });
-    let input = InputVariant::new("128x96 sjpg(q=85)", Format::Sjpg { quality: 85 }, w, h);
+    let input = InputVariant::new("128x96 sjpg(q=85)", Format::sjpg(85), w, h);
     let plan = plan_for(&planner, &input, ModelKind::ResNet50, batch);
     // One consumer per lane: the virtual device serializes execution
     // anyway, and a single consumer keeps queue depth an honest load
@@ -138,11 +138,8 @@ fn main() {
         .map(|q| {
             (0..items_per_query)
                 .map(|i| {
-                    EncodedImage::encode(
-                        &textured(w, h, q * items_per_query + i),
-                        Format::Sjpg { quality: 85 },
-                    )
-                    .expect("encode")
+                    EncodedImage::encode(&textured(w, h, q * items_per_query + i), Format::sjpg(85))
+                        .expect("encode")
                 })
                 .collect()
         })

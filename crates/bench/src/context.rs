@@ -109,10 +109,10 @@ impl VariantSet {
         };
         VariantSet {
             spec: spec.clone(),
-            full: encode_all(&natives, Format::Sjpg { quality: 95 }),
+            full: encode_all(&natives, Format::sjpg(95)),
             thumb_png: encode_all(&thumbs, Format::Spng),
-            thumb_q95: encode_all(&thumbs, Format::Sjpg { quality: 95 }),
-            thumb_q75: encode_all(&thumbs, Format::Sjpg { quality: 75 }),
+            thumb_q95: encode_all(&thumbs, Format::sjpg(95)),
+            thumb_q75: encode_all(&thumbs, Format::sjpg(75)),
         }
     }
 
@@ -135,8 +135,8 @@ impl VariantSet {
             }
         };
         let format = match kind {
-            VariantKind::FullRes | VariantKind::ThumbQ95 => Format::Sjpg { quality: 95 },
-            VariantKind::ThumbQ75 => Format::Sjpg { quality: 75 },
+            VariantKind::FullRes | VariantKind::ThumbQ95 => Format::sjpg(95),
+            VariantKind::ThumbQ75 => Format::sjpg(75),
             VariantKind::ThumbPng => Format::Spng,
         };
         let v = InputVariant::new(kind.label(), format, w, h);

@@ -131,9 +131,151 @@ impl<'a> BitReader<'a> {
         Ok(v)
     }
 
+    /// Returns the next 16 bits MSB-first *without* consuming them,
+    /// zero-padded past the end of the stream. The fast entropy path peeks
+    /// a window, resolves a symbol from a lookup table, then consumes its
+    /// actual length with [`BitReader::skip_bits`] (which still enforces
+    /// the stream bound, so padding can never be silently consumed).
+    #[inline]
+    pub fn peek16(&self) -> u32 {
+        let byte = (self.pos >> 3) as usize;
+        let shift = (self.pos & 7) as u32;
+        if let Some(chunk) = self.data.get(byte..byte + 4) {
+            // Hot case: one 32-bit load covers any 16-bit window.
+            let w = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+            (w >> (16 - shift)) & 0xFFFF
+        } else {
+            let b = |i: usize| -> u32 { self.data.get(byte + i).copied().unwrap_or(0) as u32 };
+            let window = (b(0) << 16) | (b(1) << 8) | b(2);
+            (window >> (8 - shift)) & 0xFFFF
+        }
+    }
+
+    /// Consumes `n` bits previously inspected with [`BitReader::peek16`].
+    /// Errors if that would move past the end of the stream.
+    #[inline]
+    pub fn skip_bits(&mut self, n: u32) -> Result<()> {
+        if self.pos + n as u64 > self.len_bits() {
+            return Err(Error::Truncated {
+                context: "BitReader::skip_bits",
+            });
+        }
+        self.pos += n as u64;
+        Ok(())
+    }
+
     /// Skips to the next byte boundary.
     pub fn align_byte(&mut self) {
         self.pos = (self.pos + 7) & !7;
+    }
+}
+
+/// Register-resident bit cursor for the fast entropy path: upcoming
+/// stream bits live left-aligned in a u64 accumulator, so peeking and
+/// consuming are plain shifts with no per-symbol memory access or bounds
+/// check — one 8-byte load refills the accumulator every ~4 symbols.
+///
+/// Reads past the end of the stream return zero bits (the accumulator is
+/// zero-padded); `pos` keeps advancing, so the overrun is detected when
+/// the caller syncs back with [`BitReader::seek_bits`], which errors on
+/// an out-of-range position. Callers therefore get the same `Err` on
+/// truncated input as the checked reader, at block rather than symbol
+/// granularity.
+#[derive(Debug)]
+pub struct FastCursor<'a> {
+    data: &'a [u8],
+    /// Stream bits `[pos, pos + avail)` left-aligned: bit `pos` is bit 63.
+    acc: u64,
+    avail: u32,
+    /// Absolute bit position of the next unconsumed bit.
+    pos: u64,
+    /// Next byte of `data` to pull into `acc` (`next_byte * 8 ≥ pos + avail`).
+    next_byte: usize,
+}
+
+impl<'a> FastCursor<'a> {
+    /// Starts a cursor at the reader's current position (any bit offset).
+    #[inline]
+    pub fn from_reader(r: &BitReader<'a>) -> Self {
+        let pos = r.bit_pos();
+        let mut c = FastCursor {
+            data: r.data,
+            acc: 0,
+            avail: 0,
+            pos,
+            next_byte: (pos >> 3) as usize,
+        };
+        c.refill();
+        // Drop the already-consumed bits of the containing byte; `pos`
+        // already counts them.
+        let off = (pos & 7) as u32;
+        c.acc <<= off;
+        c.avail = c.avail.saturating_sub(off);
+        c
+    }
+
+    /// Absolute bit position of the next unconsumed bit (may exceed the
+    /// stream length after reading into the zero padding).
+    #[inline]
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Ensures at least 32 valid bits are available (or the stream is
+    /// exhausted), topping the accumulator up to 57+ when it does reload.
+    /// Call before each bounded read burst: 32 bits cover any code +
+    /// amplitude pair (≤ 31 bits), and the ≥ 32 early-out skips the
+    /// 8-byte load entirely on most calls.
+    #[inline]
+    pub fn refill(&mut self) {
+        if self.avail >= 32 {
+            return;
+        }
+        if self.next_byte + 8 <= self.data.len() {
+            let w = u64::from_be_bytes(
+                self.data[self.next_byte..self.next_byte + 8]
+                    .try_into()
+                    .expect("8 bytes"),
+            );
+            // OR in the whole bytes that fit. The partial trailing byte's
+            // top bits also land in `acc` uncounted — harmless: they hold
+            // the true stream values at those positions, and the next
+            // refill ORs the same byte over them idempotently.
+            self.acc |= w >> self.avail;
+            let added = (64 - self.avail) & !7;
+            self.avail += added;
+            self.next_byte += (added >> 3) as usize;
+        } else {
+            while self.avail <= 56 && self.next_byte < self.data.len() {
+                self.acc |= (self.data[self.next_byte] as u64) << (56 - self.avail);
+                self.next_byte += 1;
+                self.avail += 8;
+            }
+        }
+    }
+
+    /// The next 32 bits MSB-first, zero-padded past the end of the stream.
+    #[inline]
+    pub fn peek32(&self) -> u32 {
+        (self.acc >> 32) as u32
+    }
+
+    /// Consumes `n` bits previously inspected with [`Self::peek32`];
+    /// `n` must be ≤ 32 and nonzero consumption past the stream end is
+    /// caught at sync time.
+    #[inline]
+    pub fn skip(&mut self, n: u32) {
+        debug_assert!(n <= 32);
+        self.acc <<= n;
+        self.avail = self.avail.saturating_sub(n);
+        self.pos += n as u64;
+    }
+
+    /// Moves the reader to the cursor's position, erroring if the cursor
+    /// ran past the end of the stream (truncated input).
+    #[inline]
+    pub fn sync(&self, r: &mut BitReader<'a>) -> Result<()> {
+        r.seek_bits(self.pos)
     }
 }
 
@@ -196,6 +338,68 @@ mod tests {
         r.seek_bits(4 * 7).unwrap();
         assert_eq!(r.bits(4).unwrap(), 7);
         assert!(r.seek_bits(bytes.len() as u64 * 8 + 1).is_err());
+    }
+
+    #[test]
+    fn peek_matches_read_at_every_offset() {
+        let mut w = BitWriter::new();
+        w.put(0xDEAD_BEEF, 32);
+        w.put(0x1234_5678, 32);
+        let bytes = w.finish();
+        for start in 0..48u64 {
+            let mut r = BitReader::new(&bytes);
+            r.seek_bits(start).unwrap();
+            let peeked = r.peek16();
+            let read = r.bits(16).unwrap();
+            assert_eq!(peeked, read, "offset {start}");
+        }
+        // Past-the-end peeks are zero-padded; consumption stays bounded.
+        let mut r = BitReader::new(&bytes);
+        r.seek_bits(60).unwrap();
+        assert_eq!(r.peek16(), (r.bits(4).unwrap()) << 12);
+        assert!(r.skip_bits(1).is_err());
+    }
+
+    #[test]
+    fn fast_cursor_matches_reader_at_every_offset() {
+        let mut w = BitWriter::new();
+        for i in 0..24u32 {
+            w.put(i.wrapping_mul(0x9E37) & 0x3FF, 10);
+        }
+        let bytes = w.finish();
+        for start in 0..64u64 {
+            let mut r = BitReader::new(&bytes);
+            r.seek_bits(start).unwrap();
+            let mut c = FastCursor::from_reader(&r);
+            // Consume a mixed pattern of widths, checking each peek
+            // against the checked reader.
+            let mut check = r.clone();
+            for n in [3u32, 11, 1, 16, 7, 25] {
+                c.refill();
+                let have = (bytes.len() as u64 * 8).saturating_sub(check.bit_pos());
+                if have >= n as u64 {
+                    let expect = check.bits(n).unwrap();
+                    assert_eq!(c.peek32() >> (32 - n), expect, "start={start} n={n}");
+                }
+                c.skip(n);
+            }
+            assert_eq!(c.bit_pos(), start + 63);
+        }
+    }
+
+    #[test]
+    fn fast_cursor_zero_pads_and_sync_detects_overrun() {
+        let bytes = [0xA5u8, 0x5A];
+        let mut r = BitReader::new(&bytes);
+        let mut c = FastCursor::from_reader(&r);
+        c.refill();
+        assert_eq!(c.peek32(), 0xA55A_0000);
+        c.skip(16);
+        c.refill();
+        assert_eq!(c.peek32(), 0, "past-end bits are zero padding");
+        assert!(c.sync(&mut r).is_ok(), "at the boundary is still in range");
+        c.skip(1);
+        assert!(c.sync(&mut r).is_err(), "past the end errors at sync");
     }
 
     #[test]

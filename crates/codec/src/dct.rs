@@ -139,6 +139,86 @@ fn scaled_basis(n: usize) -> &'static [[f32; BLOCK]; BLOCK] {
     })
 }
 
+/// Vectorized inverse 8×8 DCT: the same transform as [`inverse_dct`], with
+/// the loops restructured into array-of-lanes form so the inner dimension is
+/// a contiguous 8-wide accumulator the autovectorizer lifts to SIMD, and
+/// all-zero terms skipped (quantization zeroes most high frequencies, so
+/// typical blocks touch only a few rows of the spectrum).
+///
+/// Equal to [`inverse_dct`] at the pixel boundary: each output lane
+/// accumulates the same f32 terms in the same order as the scalar kernel
+/// (the reordering moves the *lane* loop innermost, not the reduction), and
+/// no fused multiply-add is introduced. Skipping a zero term can only
+/// change the *sign* of a zero partial sum (`x + ±0.0 == x` for every
+/// nonzero `x`, and `+0.0 + -0.0 == +0.0`), and ±0.0 are erased by the
+/// u8 conversion downstream. The scalar kernel stays as the reference
+/// oracle; the workspace proptests assert exact output equality.
+pub fn inverse_dct_vec(input: &[f32; BLOCK * BLOCK], output: &mut [f32; BLOCK * BLOCK]) {
+    // One bit per spectrum row that has any nonzero coefficient.
+    let mut row_mask = 0u32;
+    for v in 0..BLOCK {
+        if input[v * BLOCK..(v + 1) * BLOCK].iter().any(|&c| c != 0.0) {
+            row_mask |= 1 << v;
+        }
+    }
+    inverse_dct_vec_masked(input, row_mask, output);
+}
+
+/// [`inverse_dct_vec`] with the nonzero-row mask supplied by the caller
+/// (the block decoder gets it for free out of dequantization). The mask
+/// may over-approximate — including an all-zero row only adds `±0.0`
+/// terms, which the u8 conversion erases — but must cover every row with
+/// a nonzero coefficient.
+pub fn inverse_dct_vec_masked(
+    input: &[f32; BLOCK * BLOCK],
+    row_mask: u32,
+    output: &mut [f32; BLOCK * BLOCK],
+) {
+    let b = basis();
+    // DC-only block (the most common case after quantization): both
+    // separable passes collapse to one constant — `basis[0]` is flat, so
+    // `out[y][x] = (input[0]·b₀)·b₀` everywhere, the exact two multiplies
+    // the generic passes would perform.
+    if row_mask <= 1 && input[1..BLOCK].iter().all(|&c| c == 0.0) {
+        let o = (input[0] * b[0][0]) * b[0][0];
+        output.fill(o);
+        return;
+    }
+    let mut tmp = [0.0f32; BLOCK * BLOCK];
+    // Columns first: tmp[y][u] = sum_v input[v][u] * basis[v][y].
+    // All 8 u-lanes of a given y accumulate in lockstep over v.
+    for y in 0..BLOCK {
+        let mut acc = [0.0f32; BLOCK];
+        for (v, bv) in b.iter().enumerate() {
+            if row_mask & (1 << v) == 0 {
+                continue;
+            }
+            let bvy = bv[y];
+            let row = &input[v * BLOCK..(v + 1) * BLOCK];
+            for u in 0..BLOCK {
+                acc[u] += row[u] * bvy;
+            }
+        }
+        tmp[y * BLOCK..(y + 1) * BLOCK].copy_from_slice(&acc);
+    }
+    // Rows: out[y][x] = sum_u tmp[y][u] * basis[u][x].
+    // All 8 x-lanes of a given y accumulate in lockstep over u.
+    for y in 0..BLOCK {
+        let mut acc = [0.0f32; BLOCK];
+        let trow = &tmp[y * BLOCK..(y + 1) * BLOCK];
+        for (u, bu) in b.iter().enumerate() {
+            let t = trow[u];
+            if t == 0.0 {
+                continue;
+            }
+            for x in 0..BLOCK {
+                acc[x] += t * bu[x];
+            }
+        }
+        output[y * BLOCK..(y + 1) * BLOCK].copy_from_slice(&acc);
+    }
+}
+
 /// Scaled inverse DCT: reconstructs an `n × n` level-shifted patch from the
 /// top-left `n × n` coefficients of an 8×8 spectrum (`input` in natural
 /// raster order). `n` must be 1, 2, 4, or 8; `output[..n*n]` is written
@@ -173,6 +253,82 @@ pub fn inverse_dct_scaled(input: &[f32; BLOCK * BLOCK], n: usize, output: &mut [
             }
             output[y * n + x] = acc;
         }
+    }
+}
+
+/// Vectorized scaled inverse DCT: [`inverse_dct_scaled`] in array-of-lanes
+/// form (lane loop innermost, reduction order unchanged), with the same
+/// zero-term skipping as [`inverse_dct_vec`] — equal to the scalar kernel
+/// at the pixel boundary (±0.0 sign differences only). `n == 8` delegates
+/// to [`inverse_dct_vec`].
+pub fn inverse_dct_scaled_vec(input: &[f32; BLOCK * BLOCK], n: usize, output: &mut [f32]) {
+    let mut row_mask = 0u32;
+    for v in 0..n {
+        if input[v * BLOCK..v * BLOCK + n].iter().any(|&c| c != 0.0) {
+            row_mask |= 1 << v;
+        }
+    }
+    inverse_dct_scaled_vec_masked(input, n, row_mask, output);
+}
+
+/// [`inverse_dct_scaled_vec`] with a caller-supplied nonzero-row mask, as
+/// in [`inverse_dct_vec_masked`]. A mask over the *full* 8-wide rows is a
+/// valid over-approximation here: a flagged row whose leading `n` columns
+/// are all zero contributes only `±0.0` terms.
+pub fn inverse_dct_scaled_vec_masked(
+    input: &[f32; BLOCK * BLOCK],
+    n: usize,
+    row_mask: u32,
+    output: &mut [f32],
+) {
+    if n == BLOCK {
+        let mut full = [0.0f32; BLOCK * BLOCK];
+        inverse_dct_vec_masked(input, row_mask, &mut full);
+        output[..BLOCK * BLOCK].copy_from_slice(&full);
+        return;
+    }
+    // Rows ≥ n are never read by an n-point reconstruction — drop their
+    // bits so a busy high-frequency half can't defeat the DC shortcut.
+    let row_mask = row_mask & ((1 << n) - 1);
+    let b = scaled_basis(n);
+    debug_assert!(output.len() >= n * n);
+    // DC-only shortcut, as in [`inverse_dct_vec`] (`scaled_basis` row 0 is
+    // flat too: `cos((2x+1)·0·π/2n)` is 1 for every `x`).
+    if row_mask <= 1 && input[1..n.max(1)].iter().all(|&c| c == 0.0) {
+        let o = (input[0] * b[0][0]) * b[0][0];
+        output[..n * n].fill(o);
+        return;
+    }
+    // Columns first: tmp[y][u] = sum_{v<n} input[v][u] * basis[v][y]
+    let mut tmp = [0.0f32; BLOCK * BLOCK];
+    for y in 0..n {
+        let mut acc = [0.0f32; BLOCK];
+        for (v, bv) in b.iter().enumerate().take(n) {
+            if row_mask & (1 << v) == 0 {
+                continue;
+            }
+            let bvy = bv[y];
+            let row = &input[v * BLOCK..v * BLOCK + n];
+            for (u, &r) in row.iter().enumerate() {
+                acc[u] += r * bvy;
+            }
+        }
+        tmp[y * n..y * n + n].copy_from_slice(&acc[..n]);
+    }
+    // Rows: out[y][x] = sum_{u<n} tmp[y][u] * basis[u][x]
+    for y in 0..n {
+        let mut acc = [0.0f32; BLOCK];
+        let trow = &tmp[y * n..y * n + n];
+        for (u, bu) in b.iter().enumerate().take(n) {
+            let t = trow[u];
+            if t == 0.0 {
+                continue;
+            }
+            for (x, &bux) in bu[..n].iter().enumerate() {
+                acc[x] += t * bux;
+            }
+        }
+        output[y * n..y * n + n].copy_from_slice(&acc[..n]);
     }
 }
 
@@ -269,6 +425,47 @@ mod tests {
         inverse_dct_scaled(&freq, BLOCK, &mut b);
         for i in 0..BLOCK * BLOCK {
             assert!((a[i] - b[i]).abs() < 1e-4, "i={i}");
+        }
+    }
+
+    #[test]
+    fn vectorized_idct_is_bit_identical_to_scalar() {
+        // Exact to_bits equality, not approximate: the vector kernels only
+        // reorder the lane loop, never the per-lane reduction, so any
+        // difference at all is a kernel bug.
+        for seed in [3u32, 41, 977] {
+            let mut freq = [0.0f32; BLOCK * BLOCK];
+            let mut state = seed;
+            for v in freq.iter_mut() {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                *v = ((state >> 20) as f32) - 2048.0;
+            }
+            let mut scalar = [0.0f32; BLOCK * BLOCK];
+            let mut vector = [0.0f32; BLOCK * BLOCK];
+            inverse_dct(&freq, &mut scalar);
+            inverse_dct_vec(&freq, &mut vector);
+            for i in 0..BLOCK * BLOCK {
+                assert_eq!(scalar[i].to_bits(), vector[i].to_bits(), "i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_scaled_idct_is_bit_identical_to_scalar() {
+        for n in [1usize, 2, 4, 8] {
+            let mut freq = [0.0f32; BLOCK * BLOCK];
+            let mut state = 7u32 + n as u32;
+            for v in freq.iter_mut() {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                *v = ((state >> 21) as f32) - 1024.0;
+            }
+            let mut scalar = [0.0f32; BLOCK * BLOCK];
+            let mut vector = [0.0f32; BLOCK * BLOCK];
+            inverse_dct_scaled(&freq, n, &mut scalar);
+            inverse_dct_scaled_vec(&freq, n, &mut vector);
+            for i in 0..n * n {
+                assert_eq!(scalar[i].to_bits(), vector[i].to_bits(), "n={n} i={i}");
+            }
         }
     }
 

@@ -13,6 +13,19 @@ use crate::error::{Error, Result};
 /// Maximum code length supported by the (de)serializer.
 pub const MAX_CODE_LEN: u8 = 16;
 
+/// Window width of the fast decoder's prefix lookup table: one peek of
+/// this many bits resolves any code of length ≤ `LUT_BITS` in a single
+/// table hit. Longer codes (rare by construction — canonical tables put
+/// frequent symbols on short codes) fall back to the first-code walk.
+/// 12 bits keeps a table at 8 KiB (u16 entries) so the two tables a
+/// decode uses both stay L1-resident while covering the long tail of
+/// mid-frequency AC symbols that an 11-bit window pushed onto the walk.
+const LUT_BITS: u32 = 12;
+
+/// Symbols representable in a LUT entry's low bits (len lives in the top
+/// 4 bits: `LUT_BITS ≤ 15` fits). Larger alphabets simply skip the LUT.
+const LUT_MAX_SYM: usize = 1 << 12;
+
 /// A canonical Huffman table over a dense alphabet `0..alphabet_size`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HuffmanTable {
@@ -28,6 +41,10 @@ pub struct HuffmanTable {
     first_code: [u32; MAX_CODE_LEN as usize + 1],
     /// Index into `canon_symbols` of the first symbol of each length.
     first_index: [u32; MAX_CODE_LEN as usize + 1],
+    /// Prefix-expanded decode table: entry `(len << 12) | sym` for every
+    /// `LUT_BITS`-bit window starting with a code of length ≤ `LUT_BITS`;
+    /// 0 where the window starts with a longer (or no) code.
+    lut: Vec<u16>,
 }
 
 impl HuffmanTable {
@@ -104,6 +121,23 @@ impl HuffmanTable {
             next[l] += 1;
         }
 
+        // Prefix-expand codes of length ≤ LUT_BITS: every window whose top
+        // bits spell a short code decodes in one indexed load.
+        let mut lut = vec![0u16; 1 << LUT_BITS];
+        if lengths.len() <= LUT_MAX_SYM {
+            for &s in &canon_symbols {
+                let l = lengths[s as usize] as u32;
+                if l > LUT_BITS {
+                    break; // canon_symbols is sorted by length
+                }
+                let base = (codes[s as usize] as u32) << (LUT_BITS - l);
+                let entry = ((l as u16) << 12) | s;
+                for slot in &mut lut[base as usize..(base + (1 << (LUT_BITS - l))) as usize] {
+                    *slot = entry;
+                }
+            }
+        }
+
         Ok(HuffmanTable {
             lengths,
             codes,
@@ -111,6 +145,7 @@ impl HuffmanTable {
             count_per_len,
             first_code,
             first_index,
+            lut,
         })
     }
 
@@ -151,6 +186,56 @@ impl HuffmanTable {
         Err(Error::BadCode {
             context: "HuffmanTable::decode",
         })
+    }
+
+    /// Resolves the symbol starting at the top of a 16-bit window peeked
+    /// from the stream. Returns `(code_length, symbol)`; a length of 0
+    /// means the window starts with a code longer than `LUT_BITS` (or
+    /// garbage) and the caller must fall back to [`Self::decode`]. The
+    /// caller owns consuming `code_length` bits from the reader.
+    #[inline]
+    pub fn lookup16(&self, window: u32) -> (u32, u16) {
+        let entry = self.lut[(window >> (16 - LUT_BITS)) as usize];
+        ((entry >> 12) as u32, entry & 0x0FFF)
+    }
+
+    /// Canonical first-code walk over a pre-peeked MSB-first 16-bit
+    /// window: resolves `(code_length, symbol)` without touching a
+    /// reader. Consumes nothing — the caller owns advancing the cursor
+    /// by the returned length. Bit-for-bit the same procedure as
+    /// [`Self::decode`], used by the fast path when a code outruns the
+    /// prefix LUT.
+    #[inline]
+    pub fn walk16(&self, window: u32) -> Result<(u32, u16)> {
+        let mut code: u32 = 0;
+        for l in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | ((window >> (16 - l)) & 1);
+            let cnt = self.count_per_len[l] as u32;
+            if cnt > 0 {
+                let offset = code.wrapping_sub(self.first_code[l]);
+                if offset < cnt {
+                    let sym = self.canon_symbols[(self.first_index[l] + offset) as usize];
+                    return Ok((l as u32, sym));
+                }
+            }
+        }
+        Err(Error::BadCode {
+            context: "HuffmanTable::walk16",
+        })
+    }
+
+    /// Decodes one symbol via the prefix lookup table: peek a `LUT_BITS`
+    /// window, resolve symbol + length in one load, consume the length.
+    /// Codes longer than `LUT_BITS` (rare) fall back to the walk. Produces
+    /// exactly the same symbols and cursor positions as [`Self::decode`].
+    #[inline]
+    pub fn decode_fast(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        let (len, sym) = self.lookup16(r.peek16());
+        if len != 0 {
+            r.skip_bits(len)?;
+            return Ok(sym);
+        }
+        self.decode(r)
     }
 
     /// Serializes the table spec: counts per length then canonical symbols.
@@ -403,6 +488,38 @@ mod tests {
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         assert!(HuffmanTable::read_spec(&mut r, 8).is_err());
+    }
+
+    #[test]
+    fn fast_decode_matches_walk_exactly() {
+        // Fibonacci frequencies force codes longer than LUT_BITS, so the
+        // stream exercises both the table hit and the fallback walk.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let table = HuffmanTable::from_frequencies(&freqs, MAX_CODE_LEN).unwrap();
+        assert!(
+            (0..40u16).any(|s| table.length_of(s) as u32 > super::LUT_BITS),
+            "test needs codes longer than the LUT window"
+        );
+        let stream: Vec<u16> = (0..40u16).chain((0..40u16).rev()).collect();
+        let mut w = BitWriter::new();
+        for &s in &stream {
+            table.encode(&mut w, s).unwrap();
+        }
+        let bytes = w.finish();
+        let mut walk = BitReader::new(&bytes);
+        let mut fast = BitReader::new(&bytes);
+        for &s in &stream {
+            assert_eq!(table.decode(&mut walk).unwrap(), s);
+            assert_eq!(table.decode_fast(&mut fast).unwrap(), s);
+            assert_eq!(walk.bit_pos(), fast.bit_pos());
+        }
     }
 
     #[test]

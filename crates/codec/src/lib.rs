@@ -44,16 +44,53 @@ pub mod sjpg;
 pub mod spng;
 
 pub use error::{Error, Result};
-pub use sjpg::{DecodeStats, SjpgEncoder};
+pub use sjpg::{DecodeOptions, DecodeStats, SjpgEncoder};
 
 use bytes::Bytes;
 use smol_imgproc::{ImageU8, Rect};
 
+/// sjpg chroma storage mode — the planner's cheapest *encode-side* variant
+/// axis (Table 4's "natively present" formats): 4:2:0 stores chroma at half
+/// resolution per axis, quartering chroma entropy + transform work at a
+/// small fidelity cost on chroma-detailed content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Chroma {
+    /// Full-resolution chroma (8×8 MCUs of Y, Cb, Cr).
+    #[default]
+    C444,
+    /// 2× subsampled chroma (16×16 MCUs: 4 luma blocks + Cb + Cr).
+    C420,
+}
+
+impl Chroma {
+    /// MCU edge in pixels (8 for 4:4:4, 16 for 4:2:0).
+    pub fn mcu(&self) -> usize {
+        match self {
+            Chroma::C444 => dct::BLOCK,
+            Chroma::C420 => 2 * dct::BLOCK,
+        }
+    }
+
+    /// Component blocks per MCU (3 for 4:4:4, 6 for 4:2:0).
+    pub fn blocks_per_mcu(&self) -> usize {
+        match self {
+            Chroma::C444 => 3,
+            Chroma::C420 => 6,
+        }
+    }
+
+    /// True when chroma is stored below luma resolution.
+    pub fn is_subsampled(&self) -> bool {
+        matches!(self, Chroma::C420)
+    }
+}
+
 /// The encodings understood end to end by the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Format {
-    /// Lossy DCT block codec; `quality` ∈ 1..=100.
-    Sjpg { quality: u8 },
+    /// Lossy DCT block codec; `quality` ∈ 1..=100, `chroma` selects 4:4:4
+    /// or 4:2:0 storage. Use [`Format::sjpg`] / [`Format::sjpg420`].
+    Sjpg { quality: u8, chroma: Chroma },
     /// Lossless predictive+LZ codec.
     Spng,
     /// GOP-structured video container (H.264 anatomy: sjpg-coded I-frames,
@@ -68,9 +105,32 @@ pub enum Format {
 }
 
 impl Format {
+    /// 4:4:4 sjpg at `quality`.
+    pub fn sjpg(quality: u8) -> Format {
+        Format::Sjpg {
+            quality,
+            chroma: Chroma::C444,
+        }
+    }
+
+    /// 4:2:0 sjpg at `quality`.
+    pub fn sjpg420(quality: u8) -> Format {
+        Format::Sjpg {
+            quality,
+            chroma: Chroma::C420,
+        }
+    }
+
     pub fn name(&self) -> String {
         match self {
-            Format::Sjpg { quality } => format!("sjpg(q={quality})"),
+            Format::Sjpg {
+                quality,
+                chroma: Chroma::C444,
+            } => format!("sjpg(q={quality})"),
+            Format::Sjpg {
+                quality,
+                chroma: Chroma::C420,
+            } => format!("sjpg420(q={quality})"),
             Format::Spng => "spng".to_string(),
             Format::Svid { quality } => format!("svid(q={quality})"),
         }
@@ -83,6 +143,18 @@ impl Format {
     /// True for GOP-structured video containers.
     pub fn is_video(&self) -> bool {
         matches!(self, Format::Svid { .. })
+    }
+
+    /// True when the format stores chroma below luma resolution (the
+    /// cost model charges such variants fewer entropy + IDCT blocks).
+    pub fn is_chroma_subsampled(&self) -> bool {
+        matches!(
+            self,
+            Format::Sjpg {
+                chroma: Chroma::C420,
+                ..
+            }
+        )
     }
 
     fn unsupported(&self, op: &'static str) -> Error {
@@ -106,7 +178,9 @@ impl EncodedImage {
     /// Encodes `img` in the requested format.
     pub fn encode(img: &ImageU8, format: Format) -> Result<Self> {
         let bytes = match format {
-            Format::Sjpg { quality } => SjpgEncoder::new(quality).encode(img)?,
+            Format::Sjpg { quality, chroma } => {
+                SjpgEncoder::with_chroma(quality, chroma).encode(img)?
+            }
             Format::Spng => spng::encode(img)?,
             Format::Svid { .. } => return Err(format.unsupported("single-image encode")),
         };
@@ -122,6 +196,17 @@ impl EncodedImage {
     pub fn decode(&self) -> Result<ImageU8> {
         match self.format {
             Format::Sjpg { .. } => sjpg::decode(&self.bytes),
+            Format::Spng => spng::decode(&self.bytes),
+            Format::Svid { .. } => Err(self.format.unsupported("image decode")),
+        }
+    }
+
+    /// Fully decodes with explicit [`DecodeOptions`] (row-band parallelism
+    /// and kernel selection) where the format's decoder supports them;
+    /// spng decoding is strictly sequential and ignores the options.
+    pub fn decode_with_opts(&self, opts: DecodeOptions) -> Result<ImageU8> {
+        match self.format {
+            Format::Sjpg { .. } => sjpg::decode_with_opts(&self.bytes, opts).map(|(img, _)| img),
             Format::Spng => spng::decode(&self.bytes),
             Format::Svid { .. } => Err(self.format.unsupported("image decode")),
         }
@@ -170,8 +255,17 @@ impl EncodedImage {
     /// Returns the reduced image and the work counters (zeroed for the
     /// spng fallback, which skips nothing).
     pub fn decode_scaled(&self, factor: usize) -> Result<(ImageU8, DecodeStats)> {
+        self.decode_scaled_opts(factor, DecodeOptions::default())
+    }
+
+    /// [`EncodedImage::decode_scaled`] with explicit [`DecodeOptions`].
+    pub fn decode_scaled_opts(
+        &self,
+        factor: usize,
+        opts: DecodeOptions,
+    ) -> Result<(ImageU8, DecodeStats)> {
         match self.format {
-            Format::Sjpg { .. } => sjpg::decode_scaled(&self.bytes, factor),
+            Format::Sjpg { .. } => sjpg::decode_scaled_opts(&self.bytes, factor, opts),
             Format::Spng => {
                 if !matches!(factor, 1 | 2 | 4 | 8) {
                     return Err(Error::BadRegion(format!(
@@ -217,7 +311,7 @@ mod tests {
     #[test]
     fn encoded_image_roundtrips_both_formats() {
         let img = textured(48, 40);
-        for fmt in [Format::Sjpg { quality: 90 }, Format::Spng] {
+        for fmt in [Format::sjpg(90), Format::Spng] {
             let enc = EncodedImage::encode(&img, fmt).unwrap();
             assert_eq!((enc.width, enc.height), (48, 40));
             let dec = enc.decode().unwrap();
@@ -232,7 +326,7 @@ mod tests {
     fn decode_roi_covers_requested_region_for_both_formats() {
         let img = textured(96, 96);
         let roi = Rect::new(30, 30, 40, 40);
-        for fmt in [Format::Sjpg { quality: 90 }, Format::Spng] {
+        for fmt in [Format::sjpg(90), Format::Spng] {
             let enc = EncodedImage::encode(&img, fmt).unwrap();
             let (decoded, covered) = enc.decode_roi(roi).unwrap();
             // The covered region must contain the ROI rows/cols it claims.
@@ -246,7 +340,7 @@ mod tests {
     #[test]
     fn decode_scaled_matches_geometry_for_both_formats() {
         let img = textured(96, 64);
-        for fmt in [Format::Sjpg { quality: 90 }, Format::Spng] {
+        for fmt in [Format::sjpg(90), Format::Spng] {
             let enc = EncodedImage::encode(&img, fmt).unwrap();
             let (small, stats) = enc.decode_scaled(4).unwrap();
             assert_eq!((small.width(), small.height()), (24, 16));
@@ -263,13 +357,16 @@ mod tests {
     #[test]
     fn compression_ratio_sane() {
         let img = textured(64, 64);
-        let enc = EncodedImage::encode(&img, Format::Sjpg { quality: 75 }).unwrap();
+        let enc = EncodedImage::encode(&img, Format::sjpg(75)).unwrap();
         assert!(enc.compression_ratio() > 2.0);
     }
 
     #[test]
     fn format_names_stable() {
-        assert_eq!(Format::Sjpg { quality: 75 }.name(), "sjpg(q=75)");
+        assert_eq!(Format::sjpg(75).name(), "sjpg(q=75)");
+        assert_eq!(Format::sjpg420(95).name(), "sjpg420(q=95)");
+        assert!(Format::sjpg420(95).is_chroma_subsampled());
+        assert!(!Format::sjpg(95).is_chroma_subsampled());
         assert_eq!(Format::Spng.name(), "spng");
         assert_eq!(Format::Svid { quality: 80 }.name(), "svid(q=80)");
     }

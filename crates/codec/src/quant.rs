@@ -60,18 +60,56 @@ pub const ZIGZAG: [usize; 64] = [
 ];
 
 /// Quantizes a frequency-domain block into zig-zag-ordered integers.
+///
+/// Degenerate table entries are clamped to 1 (a zeroed entry would divide
+/// to infinity and saturate the cast into garbage); [`scale_table`] never
+/// produces one, but a hand-built or corrupted table must not be able to
+/// poison the coefficients. The same clamp is applied at dequantize so
+/// encode and decode stay consistent.
 pub fn quantize_zigzag(freq: &[f32; BLOCK * BLOCK], table: &[u16; 64], out: &mut [i16; 64]) {
     for (k, &raster) in ZIGZAG.iter().enumerate() {
-        let q = table[raster] as f32;
+        let q = table[raster].max(1) as f32;
         out[k] = (freq[raster] / q).round() as i16;
     }
 }
 
 /// Dequantizes zig-zag coefficients back into a raster frequency block.
+///
+/// Zeroed table entries are clamped to 1, mirroring [`quantize_zigzag`].
 pub fn dequantize_zigzag(coefs: &[i16; 64], table: &[u16; 64], out: &mut [f32; BLOCK * BLOCK]) {
     for (k, &raster) in ZIGZAG.iter().enumerate() {
-        out[raster] = coefs[k] as f32 * table[raster] as f32;
+        out[raster] = coefs[k] as f32 * table[raster].max(1) as f32;
     }
+}
+
+/// [`dequantize_zigzag`] over only the first `n` zig-zag coefficients,
+/// with the rest of the block zero-filled. Bit-identical to the dense
+/// version when `coefs[n..]` are all zero (a zero coefficient dequantizes
+/// to exactly `+0.0` — `0.0 × q` with `q ≥ 1` — which is what the fill
+/// writes), but skips the multiplies past the block's last coded
+/// coefficient, which quantization makes the vast majority.
+///
+/// Returns a bitmask of spectrum rows (bit `v` for raster row `v`) that
+/// received a nonzero coefficient — exact, since `coef ≠ 0` and `q ≥ 1`
+/// imply a nonzero product. The vectorized IDCT uses it to skip all-zero
+/// rows without rescanning the block.
+pub fn dequantize_zigzag_prefix(
+    coefs: &[i16; 64],
+    n: usize,
+    table: &[u16; 64],
+    out: &mut [f32; BLOCK * BLOCK],
+) -> u32 {
+    out.fill(0.0);
+    let mut row_mask = 0u32;
+    for (k, &raster) in ZIGZAG.iter().enumerate().take(n) {
+        let c = coefs[k];
+        // Unconditional store (a zero coefficient rewrites the fill's
+        // `+0.0` with `0.0 × q == +0.0`) and branchless mask update: zero
+        // runs inside the prefix are common enough to mispredict.
+        out[raster] = c as f32 * table[raster].max(1) as f32;
+        row_mask |= ((c != 0) as u32) << (raster >> 3);
+    }
+    row_mask
 }
 
 #[cfg(test)]
@@ -112,6 +150,51 @@ mod tests {
     fn bad_quality_rejected() {
         assert!(scale_table(&BASE_LUMA, 0).is_err());
         assert!(scale_table(&BASE_LUMA, 101).is_err());
+    }
+
+    #[test]
+    fn degenerate_table_entries_clamped_not_poisonous() {
+        // A zeroed table must behave like an all-ones table (near-lossless),
+        // not divide to infinity and saturate the i16 cast.
+        let zeroed = [0u16; 64];
+        let ones = [1u16; 64];
+        let mut freq = [0.0f32; 64];
+        for (i, v) in freq.iter_mut().enumerate() {
+            *v = (i as f32) * 3.5 - 80.0;
+        }
+        let mut from_zeroed = [0i16; 64];
+        let mut from_ones = [0i16; 64];
+        quantize_zigzag(&freq, &zeroed, &mut from_zeroed);
+        quantize_zigzag(&freq, &ones, &mut from_ones);
+        assert_eq!(from_zeroed, from_ones);
+        let mut back_zeroed = [0.0f32; 64];
+        let mut back_ones = [0.0f32; 64];
+        dequantize_zigzag(&from_zeroed, &zeroed, &mut back_zeroed);
+        dequantize_zigzag(&from_ones, &ones, &mut back_ones);
+        assert_eq!(back_zeroed, back_ones);
+    }
+
+    #[test]
+    fn prefix_dequantize_matches_dense_to_the_bit() {
+        let table = scale_table(&BASE_LUMA, 80).unwrap();
+        for n in [0usize, 1, 7, 23, 64] {
+            let mut coefs = [0i16; 64];
+            for (k, c) in coefs.iter_mut().enumerate().take(n) {
+                *c = (k as i16 * 13 % 37) - 18;
+            }
+            let mut dense = [0.0f32; 64];
+            let mut prefix = [0.0f32; 64];
+            dequantize_zigzag(&coefs, &table, &mut dense);
+            let mask = dequantize_zigzag_prefix(&coefs, n, &table, &mut prefix);
+            for i in 0..64 {
+                assert_eq!(dense[i].to_bits(), prefix[i].to_bits(), "n={n} i={i}");
+            }
+            // The returned mask flags exactly the rows holding a nonzero.
+            for v in 0..8 {
+                let has = prefix[v * 8..(v + 1) * 8].iter().any(|&x| x != 0.0);
+                assert_eq!(mask & (1 << v) != 0, has, "n={n} row={v}");
+            }
+        }
     }
 
     #[test]

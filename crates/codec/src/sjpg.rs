@@ -1,9 +1,11 @@
 //! sjpg — a from-scratch DCT block image codec with JPEG's cost anatomy.
 //!
-//! The pipeline matches JPEG 4:4:4 baseline: RGB→YCbCr, 8×8 block DCT,
+//! The pipeline matches JPEG baseline: RGB→YCbCr, 8×8 block DCT,
 //! quality-scaled quantization (Annex-K tables), zig-zag + DC-DPCM +
 //! AC run-length magnitude coding, canonical Huffman entropy coding with
-//! per-image optimal tables.
+//! per-image optimal tables. Chroma is stored either at full resolution
+//! (4:4:4, 8×8 MCUs of three blocks) or subsampled 2× per axis
+//! (4:2:0, 16×16 MCUs of four luma blocks + Cb + Cr) — see [`Chroma`].
 //!
 //! Two features exist specifically for the paper's partial-decoding
 //! optimizations (§6.4, Figure 3, Algorithm 1):
@@ -14,20 +16,39 @@
 //! * within a row, blocks left of the ROI are entropy-decoded (the stream is
 //!   sequential) but skip dequantize+IDCT+color conversion, and decoding
 //!   **stops early** after the last ROI column / row.
+//!
+//! ## Decode hot path
+//!
+//! The MCU-row index doubles as a **parallel-decode invariant**: DC
+//! predictors reset at every row start, so rows are data-independent and
+//! [`DecodeOptions::workers`] can fan contiguous row *bands* out to scoped
+//! threads, each with its own bit reader and disjoint output slice. Inside a
+//! band, the IDCT and YCbCr→RGB conversion run through lane-batched kernels
+//! ([`crate::dct::inverse_dct_scaled_vec`],
+//! [`smol_imgproc::ops::colorspace::ycbcr_row_to_rgb`]) that are
+//! **bit-identical** to the scalar reference (set
+//! [`DecodeOptions::scalar_kernels`] to decode through the scalar oracle
+//! instead — benches and proptests compare the two).
 
-use crate::bitio::{BitReader, BitWriter};
+use crate::bitio::{BitReader, BitWriter, FastCursor};
 use crate::dct::{
-    forward_dct, inverse_dct, inverse_dct_scaled, scaled_idct_macs, BLOCK, FULL_IDCT_MACS,
+    forward_dct, inverse_dct_scaled, inverse_dct_scaled_vec_masked, scaled_idct_macs, BLOCK,
+    FULL_IDCT_MACS,
 };
 use crate::error::{Error, Result};
 use crate::huffman::HuffmanTable;
-use crate::quant::{dequantize_zigzag, quantize_zigzag, scale_table, BASE_CHROMA, BASE_LUMA};
+use crate::quant::{
+    dequantize_zigzag, dequantize_zigzag_prefix, quantize_zigzag, scale_table, BASE_CHROMA,
+    BASE_LUMA,
+};
+use crate::Chroma;
 use bytes::Bytes;
-use smol_imgproc::ops::colorspace::{rgb_pixel_to_ycbcr, ycbcr_pixel_to_rgb};
+use smol_imgproc::ops::colorspace::{rgb_pixel_to_ycbcr, ycbcr_pixel_to_rgb, ycbcr_row_to_rgb};
 use smol_imgproc::{ImageU8, Rect};
 
 const MAGIC: u32 = 0x534A_5047; // "SJPG"
-const VERSION: u32 = 1;
+/// Bitstream version. v2 added the chroma-mode byte (4:2:0 subsampling).
+const VERSION: u32 = 2;
 const DC_ALPHABET: usize = 16;
 const AC_ALPHABET: usize = 256;
 const EOB: u16 = 0x00;
@@ -53,15 +74,86 @@ pub struct DecodeStats {
     pub idct_macs: u64,
 }
 
+impl DecodeStats {
+    /// Folds another band's counters into this one (row-band parallel
+    /// decode sums per-band stats; `rows_skipped` is global, not summed).
+    fn absorb(&mut self, part: DecodeStats) {
+        self.symbols_decoded += part.symbols_decoded;
+        self.pixels_written += part.pixels_written;
+        self.idct_macs += part.idct_macs;
+    }
+}
+
+/// Decode-path configuration: row-band parallelism and kernel selection.
+///
+/// The default decodes sequentially through the vectorized kernels. Every
+/// combination of `workers` and `scalar_kernels` produces **bit-identical
+/// output**: bands are data-independent (DC predictors reset per MCU row)
+/// and the vector kernels preserve the scalar kernels' per-lane reduction
+/// order exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeOptions {
+    /// Row bands decoded concurrently (clamped to the MCU-row count);
+    /// `0`/`1` decode sequentially on the calling thread.
+    pub workers: usize,
+    /// Route IDCT and color conversion through the scalar reference
+    /// kernels instead of the lane-batched ones (the correctness oracle
+    /// for benches and equivalence tests).
+    pub scalar_kernels: bool,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> Self {
+        DecodeOptions {
+            workers: 1,
+            scalar_kernels: false,
+        }
+    }
+}
+
+impl DecodeOptions {
+    /// Sequential decode through the vectorized kernels (the default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decode with up to `workers` parallel row bands.
+    pub fn with_workers(workers: usize) -> Self {
+        DecodeOptions {
+            workers,
+            ..Self::default()
+        }
+    }
+
+    /// The scalar sequential reference configuration (the baseline the
+    /// `decode_hotpath` bench measures against).
+    pub fn scalar_reference() -> Self {
+        DecodeOptions {
+            workers: 1,
+            scalar_kernels: true,
+        }
+    }
+}
+
 /// Encoder configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SjpgEncoder {
     pub quality: u8,
+    pub chroma: Chroma,
 }
 
 impl SjpgEncoder {
+    /// A 4:4:4 encoder at `quality` (the historical default).
     pub fn new(quality: u8) -> Self {
-        SjpgEncoder { quality }
+        SjpgEncoder {
+            quality,
+            chroma: Chroma::C444,
+        }
+    }
+
+    /// An encoder with an explicit chroma mode.
+    pub fn with_chroma(quality: u8, chroma: Chroma) -> Self {
+        SjpgEncoder { quality, chroma }
     }
 
     /// Encodes an RGB image.
@@ -78,26 +170,30 @@ impl SjpgEncoder {
         let luma_q = scale_table(&BASE_LUMA, self.quality)?;
         let chroma_q = scale_table(&BASE_CHROMA, self.quality)?;
 
-        let bw = img.width().div_ceil(BLOCK);
-        let bh = img.height().div_ceil(BLOCK);
+        let planes = Planes::from_rgb(img, self.chroma);
+        let mcu = self.chroma.mcu();
+        let mrows = img.height().div_ceil(mcu);
+        let mcols = img.width().div_ceil(mcu);
+        let per_mcu = self.chroma.blocks_per_mcu();
 
         // Pass 1: transform + quantize all blocks, gather symbol statistics.
-        let mut blocks: Vec<[i16; 64]> = Vec::with_capacity(bw * bh * 3);
+        let mut blocks: Vec<[i16; 64]> = Vec::with_capacity(mrows * mcols * per_mcu);
         let mut dc_freq = [0u64; DC_ALPHABET];
         let mut ac_freq = [0u64; AC_ALPHABET];
         let mut pixel_block = [0.0f32; 64];
         let mut freq_block = [0.0f32; 64];
-        for by in 0..bh {
+        for by in 0..mrows {
             let mut dc_pred = [0i16; 3];
-            for bx in 0..bw {
-                for (comp, pred) in dc_pred.iter_mut().enumerate() {
-                    extract_block(img, bx, by, comp, &mut pixel_block);
-                    forward_dct(&pixel_block.clone(), &mut freq_block);
+            for bx in 0..mcols {
+                let (sched, n) = mcu_schedule(self.chroma, bx, by);
+                for &(comp, pbx, pby) in &sched[..n] {
+                    planes.extract_block(comp, pbx, pby, &mut pixel_block);
+                    forward_dct(&pixel_block, &mut freq_block);
                     let table = if comp == 0 { &luma_q } else { &chroma_q };
                     let mut coefs = [0i16; 64];
                     quantize_zigzag(&freq_block, table, &mut coefs);
-                    tally_block(&coefs, *pred, &mut dc_freq, &mut ac_freq);
-                    *pred = coefs[0];
+                    tally_block(&coefs, dc_pred[comp], &mut dc_freq, &mut ac_freq);
+                    dc_pred[comp] = coefs[0];
                     blocks.push(coefs);
                 }
             }
@@ -108,14 +204,17 @@ impl SjpgEncoder {
         // Pass 2: entropy-encode the body, byte-aligning each MCU row and
         // recording its byte offset.
         let mut body = BitWriter::with_capacity(img.pixel_count());
-        let mut row_offsets: Vec<u32> = Vec::with_capacity(bh);
-        for by in 0..bh {
+        let mut row_offsets: Vec<u32> = Vec::with_capacity(mrows);
+        let mut bi = 0usize;
+        for by in 0..mrows {
             body.align_byte();
             row_offsets.push((body.bit_pos() / 8) as u32);
             let mut dc_pred = [0i16; 3];
-            for bx in 0..bw {
-                for comp in 0..3 {
-                    let coefs = &blocks[(by * bw + bx) * 3 + comp];
+            for bx in 0..mcols {
+                let (sched, n) = mcu_schedule(self.chroma, bx, by);
+                for &(comp, _, _) in &sched[..n] {
+                    let coefs = &blocks[bi];
+                    bi += 1;
                     encode_block(&mut body, coefs, dc_pred[comp], &dc_table, &ac_table)?;
                     dc_pred[comp] = coefs[0];
                 }
@@ -130,6 +229,7 @@ impl SjpgEncoder {
         head.put(img.width() as u32, 16);
         head.put(img.height() as u32, 16);
         head.put(self.quality as u32, 8);
+        head.put(chroma_tag(self.chroma), 8);
         dc_table.write_spec(&mut head);
         ac_table.write_spec(&mut head);
         head.put(row_offsets.len() as u32, 16);
@@ -142,12 +242,159 @@ impl SjpgEncoder {
     }
 }
 
+fn chroma_tag(chroma: Chroma) -> u32 {
+    match chroma {
+        Chroma::C444 => 0,
+        Chroma::C420 => 1,
+    }
+}
+
+/// Component planes the encoder transforms: full-resolution luma plus
+/// chroma at either full (4:4:4) or half (4:2:0) resolution. 4:2:0 chroma
+/// is a rounded 2×2 box average with edge replication at odd dimensions.
+struct Planes {
+    y: Vec<u8>,
+    cb: Vec<u8>,
+    cr: Vec<u8>,
+    w: usize,
+    h: usize,
+    cw: usize,
+    ch: usize,
+}
+
+impl Planes {
+    fn from_rgb(img: &ImageU8, chroma: Chroma) -> Planes {
+        let (w, h) = (img.width(), img.height());
+        let mut y = vec![0u8; w * h];
+        match chroma {
+            Chroma::C444 => {
+                let mut cb = vec![0u8; w * h];
+                let mut cr = vec![0u8; w * h];
+                for yy in 0..h {
+                    for x in 0..w {
+                        let (l, b, r) = rgb_pixel_to_ycbcr(
+                            img.at(x, yy, 0),
+                            img.at(x, yy, 1),
+                            img.at(x, yy, 2),
+                        );
+                        let i = yy * w + x;
+                        y[i] = l;
+                        cb[i] = b;
+                        cr[i] = r;
+                    }
+                }
+                Planes {
+                    y,
+                    cb,
+                    cr,
+                    w,
+                    h,
+                    cw: w,
+                    ch: h,
+                }
+            }
+            Chroma::C420 => {
+                for yy in 0..h {
+                    for x in 0..w {
+                        let (l, _, _) = rgb_pixel_to_ycbcr(
+                            img.at(x, yy, 0),
+                            img.at(x, yy, 1),
+                            img.at(x, yy, 2),
+                        );
+                        y[yy * w + x] = l;
+                    }
+                }
+                let (cw, ch) = (w.div_ceil(2), h.div_ceil(2));
+                let mut cb = vec![0u8; cw * ch];
+                let mut cr = vec![0u8; cw * ch];
+                for cy in 0..ch {
+                    for cx in 0..cw {
+                        let mut sb = 0u32;
+                        let mut sr = 0u32;
+                        for (dy, dx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                            let sx = (2 * cx + dx).min(w - 1);
+                            let sy = (2 * cy + dy).min(h - 1);
+                            let (_, b, r) = rgb_pixel_to_ycbcr(
+                                img.at(sx, sy, 0),
+                                img.at(sx, sy, 1),
+                                img.at(sx, sy, 2),
+                            );
+                            sb += b as u32;
+                            sr += r as u32;
+                        }
+                        cb[cy * cw + cx] = ((sb + 2) >> 2) as u8;
+                        cr[cy * cw + cx] = ((sr + 2) >> 2) as u8;
+                    }
+                }
+                Planes {
+                    y,
+                    cb,
+                    cr,
+                    w,
+                    h,
+                    cw,
+                    ch,
+                }
+            }
+        }
+    }
+
+    /// Extracts one 8×8 level-shifted block from a component plane at block
+    /// coordinates `(bx, by)` of that plane, replicating edge samples.
+    fn extract_block(&self, comp: usize, bx: usize, by: usize, out: &mut [f32; 64]) {
+        let (plane, pw, ph) = match comp {
+            0 => (&self.y, self.w, self.h),
+            1 => (&self.cb, self.cw, self.ch),
+            _ => (&self.cr, self.cw, self.ch),
+        };
+        for dy in 0..BLOCK {
+            let sy = (by * BLOCK + dy).min(ph - 1);
+            for dx in 0..BLOCK {
+                let sx = (bx * BLOCK + dx).min(pw - 1);
+                out[dy * BLOCK + dx] = plane[sy * pw + sx] as f32 - 128.0;
+            }
+        }
+    }
+}
+
+/// Stream-order component blocks of one MCU: `(component, plane_bx,
+/// plane_by)` in 8×8 block coordinates of that component's plane. 4:4:4
+/// MCUs are one block per component; 4:2:0 MCUs carry four luma blocks
+/// (2×2 grid, raster order) followed by Cb and Cr at half resolution.
+fn mcu_schedule(chroma: Chroma, bx: usize, by: usize) -> ([(usize, usize, usize); 6], usize) {
+    match chroma {
+        Chroma::C444 => (
+            [
+                (0, bx, by),
+                (1, bx, by),
+                (2, bx, by),
+                (0, 0, 0),
+                (0, 0, 0),
+                (0, 0, 0),
+            ],
+            3,
+        ),
+        Chroma::C420 => (
+            [
+                (0, 2 * bx, 2 * by),
+                (0, 2 * bx + 1, 2 * by),
+                (0, 2 * bx, 2 * by + 1),
+                (0, 2 * bx + 1, 2 * by + 1),
+                (1, bx, by),
+                (2, bx, by),
+            ],
+            6,
+        ),
+    }
+}
+
 /// Parsed header with entropy tables and the MCU-row index.
 #[derive(Debug, Clone)]
 pub struct SjpgHeader {
     pub width: usize,
     pub height: usize,
     pub quality: u8,
+    pub chroma: Chroma,
     pub row_offsets: Vec<u32>,
     dc_table: HuffmanTable,
     ac_table: HuffmanTable,
@@ -168,13 +415,24 @@ impl SjpgHeader {
         let width = r.bits(16)? as usize;
         let height = r.bits(16)? as usize;
         let quality = r.bits(8)? as u8;
+        if quality == 0 || quality > 100 {
+            // Reject up front with the same typed error the quantizer uses:
+            // a corrupted quality byte must not reach table scaling (or,
+            // worse, a hand-rolled divide) downstream.
+            return Err(Error::BadQuality(quality));
+        }
+        let chroma = match r.bits(8)? {
+            0 => Chroma::C444,
+            1 => Chroma::C420,
+            tag => return Err(Error::BadHeader(format!("unknown chroma mode {tag}"))),
+        };
         if width == 0 || height == 0 {
             return Err(Error::BadHeader("zero-sized image".into()));
         }
         let dc_table = HuffmanTable::read_spec(&mut r, DC_ALPHABET)?;
         let ac_table = HuffmanTable::read_spec(&mut r, AC_ALPHABET)?;
         let n_rows = r.bits(16)? as usize;
-        if n_rows != height.div_ceil(BLOCK) {
+        if n_rows != height.div_ceil(chroma.mcu()) {
             return Err(Error::BadHeader(format!(
                 "row index has {n_rows} entries for height {height}"
             )));
@@ -189,11 +447,17 @@ impl SjpgHeader {
             width,
             height,
             quality,
+            chroma,
             row_offsets,
             dc_table,
             ac_table,
             body_start,
         })
+    }
+
+    /// MCU edge in pixels (8 for 4:4:4, 16 for 4:2:0).
+    pub fn mcu(&self) -> usize {
+        self.chroma.mcu()
     }
 }
 
@@ -216,16 +480,23 @@ pub fn decode(data: &[u8]) -> Result<ImageU8> {
 
 /// Fully decodes, returning work counters.
 pub fn decode_with_stats(data: &[u8]) -> Result<(ImageU8, DecodeStats)> {
+    decode_with_opts(data, DecodeOptions::default())
+}
+
+/// Fully decodes with explicit decode options (kernel selection + row-band
+/// parallelism). Output is bit-identical across all option combinations.
+pub fn decode_with_opts(data: &[u8], opts: DecodeOptions) -> Result<(ImageU8, DecodeStats)> {
     let header = SjpgHeader::parse(data)?;
     let full = Rect::new(0, 0, header.width, header.height);
-    decode_region(data, &header, full)
+    decode_region(data, &header, full, opts)
 }
 
 /// Decodes only the macroblock-aligned region covering `roi`
 /// (Figure 3, left: macroblock-based partial decoding).
 ///
 /// Returns the decoded sub-image together with the aligned region it covers
-/// (callers crop to the exact ROI afterwards if needed).
+/// (callers crop to the exact ROI afterwards if needed). The alignment unit
+/// is the MCU edge: 8 px for 4:4:4, 16 px for 4:2:0.
 pub fn decode_roi(data: &[u8], roi: Rect) -> Result<(ImageU8, Rect, DecodeStats)> {
     let header = SjpgHeader::parse(data)?;
     if !roi.fits_in(header.width, header.height) || roi.w == 0 || roi.h == 0 {
@@ -234,8 +505,8 @@ pub fn decode_roi(data: &[u8], roi: Rect) -> Result<(ImageU8, Rect, DecodeStats)
             header.width, header.height
         )));
     }
-    let aligned = roi.align_to_blocks(BLOCK, header.width, header.height);
-    let (img, stats) = decode_region(data, &header, aligned)?;
+    let aligned = roi.align_to_blocks(header.mcu(), header.width, header.height);
+    let (img, stats) = decode_region(data, &header, aligned, DecodeOptions::default())?;
     Ok((img, aligned, stats))
 }
 
@@ -243,13 +514,14 @@ pub fn decode_roi(data: &[u8], roi: Rect) -> Result<(ImageU8, Rect, DecodeStats)
 /// Figure 3, right).
 pub fn decode_rows(data: &[u8], n_rows: usize) -> Result<(ImageU8, DecodeStats)> {
     let header = SjpgHeader::parse(data)?;
+    let mcu = header.mcu();
     let h = n_rows.min(header.height).max(1);
-    let region = Rect::new(0, 0, header.width, h.div_ceil(BLOCK) * BLOCK).align_to_blocks(
-        BLOCK,
+    let region = Rect::new(0, 0, header.width, h.div_ceil(mcu) * mcu).align_to_blocks(
+        mcu,
         header.width,
         header.height,
     );
-    decode_region(data, &header, region)
+    decode_region(data, &header, region, DecodeOptions::default())
 }
 
 /// Output dimensions of a reduced-resolution decode of a `w × h` image at
@@ -268,198 +540,515 @@ pub fn reduced_dims(w: usize, h: usize, factor: usize) -> (usize, usize) {
 ///
 /// The output approximates a box-downsample of the full decode at the same
 /// geometry; `DecodeStats::idct_macs`/`blocks_idct` prove the skipped
-/// transform work (`2n³` MACs per block instead of `2·8³`).
+/// transform work (`2n³` MACs per block instead of `2·8³`). For 4:2:0
+/// streams the chroma blocks reconstruct at `min(8, 16/factor)` points per
+/// axis, so at factor ≥ 2 the half-resolution chroma patch exactly tiles
+/// the MCU's output patch with no upsampling step at all.
 pub fn decode_scaled(data: &[u8], factor: usize) -> Result<(ImageU8, DecodeStats)> {
+    decode_scaled_opts(data, factor, DecodeOptions::default())
+}
+
+/// [`decode_scaled`] with explicit decode options.
+pub fn decode_scaled_opts(
+    data: &[u8],
+    factor: usize,
+    opts: DecodeOptions,
+) -> Result<(ImageU8, DecodeStats)> {
     if factor == 1 {
-        return decode_with_stats(data);
+        return decode_with_opts(data, opts);
     }
     if !matches!(factor, 2 | 4 | 8) {
         return Err(Error::BadRegion(format!(
             "reduced-resolution factor must be 1, 2, 4, or 8, got {factor}"
         )));
     }
-    let n = BLOCK / factor;
     let header = SjpgHeader::parse(data)?;
-    let luma_q = scale_table(&BASE_LUMA, header.quality)?;
-    let chroma_q = scale_table(&BASE_CHROMA, header.quality)?;
-    let bw = header.width.div_ceil(BLOCK);
-    let bh = header.height.div_ceil(BLOCK);
     let (out_w, out_h) = reduced_dims(header.width, header.height, factor);
-    let body = &data[header.body_start..];
-    let mut r = BitReader::new(body);
-    let mut stats = DecodeStats::default();
+    let geom = Geometry::new(&header, factor, Rect::new(0, 0, out_w, out_h));
+    let rows = (0, header.row_offsets.len());
+    let cols = (0, geom.mcols);
+    run_bands(&data[header.body_start..], &header, geom, rows, cols, opts)
+}
 
+// ---------------------------------------------------------------------------
+// Unified band decoder
+// ---------------------------------------------------------------------------
+
+/// Decode-side geometry shared by every factor/chroma combination.
+#[derive(Debug, Clone, Copy)]
+struct Geometry {
+    chroma: Chroma,
+    factor: usize,
+    /// Output patch edge per MCU: `mcu / factor`.
+    patch: usize,
+    /// Luma block reconstruction edge: `8 / factor`.
+    ny: usize,
+    /// Chroma block reconstruction edge (4:4:4: `ny`; 4:2:0:
+    /// `min(8, 16/factor)` — equals `patch` for factor ≥ 2).
+    nc: usize,
+    /// MCUs per row.
+    mcols: usize,
+    /// Region written, in *output* coordinates (the output image is
+    /// `oregion.w × oregion.h`; for reduced decodes this is the reduced
+    /// full image, for ROI decodes the aligned full-resolution region).
+    oregion: Rect,
+}
+
+impl Geometry {
+    fn new(header: &SjpgHeader, factor: usize, oregion: Rect) -> Geometry {
+        let mcu = header.mcu();
+        Geometry {
+            chroma: header.chroma,
+            factor,
+            patch: mcu / factor,
+            ny: BLOCK / factor,
+            nc: match header.chroma {
+                Chroma::C444 => BLOCK / factor,
+                Chroma::C420 => (2 * BLOCK / factor).min(BLOCK),
+            },
+            mcols: header.width.div_ceil(mcu),
+            oregion,
+        }
+    }
+}
+
+/// Core region decoder (factor 1). `region` must be MCU-aligned (except at
+/// image edges where it is clamped).
+fn decode_region(
+    data: &[u8],
+    header: &SjpgHeader,
+    region: Rect,
+    opts: DecodeOptions,
+) -> Result<(ImageU8, DecodeStats)> {
+    let mcu = header.mcu();
+    let geom = Geometry::new(header, 1, region);
+    let by0 = region.y / mcu;
+    let by1 = region.y_end().div_ceil(mcu).min(header.row_offsets.len());
+    let bx0 = region.x / mcu;
+    let bx1 = region.x_end().div_ceil(mcu).min(geom.mcols);
+    run_bands(
+        &data[header.body_start..],
+        header,
+        geom,
+        (by0, by1),
+        (bx0, bx1),
+        opts,
+    )
+}
+
+/// Decodes MCU rows `[rows.0, rows.1)`, splitting them into contiguous
+/// bands across `opts.workers` scoped threads. Each band owns a disjoint
+/// slice of the output buffer and its own bit reader; DC predictors reset
+/// at every row start, so bands never share decode state and the result is
+/// bit-identical to a sequential decode.
+fn run_bands(
+    body: &[u8],
+    header: &SjpgHeader,
+    geom: Geometry,
+    rows: (usize, usize),
+    cols: (usize, usize),
+    opts: DecodeOptions,
+) -> Result<(ImageU8, DecodeStats)> {
+    let (by0, by1) = rows;
+    let (out_w, out_h) = (geom.oregion.w, geom.oregion.h);
     let mut out = ImageU8::zeros(out_w, out_h, 3);
-    let mut coefs = [0i16; 64];
-    let mut freq = [0.0f32; 64];
-    let mut pixels = [[0.0f32; 64]; 3];
-
-    for by in 0..bh {
-        r.seek_bits(header.row_offsets[by] as u64 * 8)?;
-        let mut dc_pred = [0i16; 3];
-        for bx in 0..bw {
-            for comp in 0..3 {
-                decode_block(
-                    &mut r,
-                    &header.dc_table,
-                    &header.ac_table,
-                    dc_pred[comp],
-                    &mut coefs,
-                    &mut stats,
-                )?;
-                dc_pred[comp] = coefs[0];
-                let table = if comp == 0 { &luma_q } else { &chroma_q };
-                dequantize_zigzag(&coefs, table, &mut freq);
-                inverse_dct_scaled(&freq.clone(), n, &mut pixels[comp]);
-                stats.idct_macs += scaled_idct_macs(n);
-            }
-            for dy in 0..n {
-                let y = by * n + dy;
-                if y >= out_h {
+    let mut stats = DecodeStats {
+        rows_skipped: (header.row_offsets.len() - (by1 - by0)) as u64,
+        ..DecodeStats::default()
+    };
+    let n_rows = by1 - by0;
+    let workers = opts.workers.max(1).min(n_rows.max(1));
+    if workers <= 1 {
+        let part = decode_band(
+            body,
+            header,
+            geom,
+            cols,
+            (by0, by1),
+            out.data_mut(),
+            0,
+            opts,
+        )?;
+        stats.absorb(part);
+    } else {
+        let mut results: Vec<Result<DecodeStats>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            let mut rest = out.data_mut();
+            for i in 0..workers {
+                let r0 = by0 + i * n_rows / workers;
+                let r1 = by0 + (i + 1) * n_rows / workers;
+                if r0 == r1 {
                     continue;
                 }
-                for dx in 0..n {
-                    let x = bx * n + dx;
-                    if x >= out_w {
-                        continue;
-                    }
-                    let idx = dy * n + dx;
-                    let yy = (pixels[0][idx] + 128.0).clamp(0.0, 255.0) as u8;
-                    let cb = (pixels[1][idx] + 128.0).clamp(0.0, 255.0) as u8;
-                    let cr = (pixels[2][idx] + 128.0).clamp(0.0, 255.0) as u8;
-                    let (red, green, blue) = ycbcr_pixel_to_rgb(yy, cb, cr);
-                    out.set(x, y, 0, red);
-                    out.set(x, y, 1, green);
-                    out.set(x, y, 2, blue);
-                    stats.pixels_written += 1;
-                }
+                let oy0 = (r0 - by0) * geom.patch;
+                let oy1 = ((r1 - by0) * geom.patch).min(out_h);
+                let (band, tail) = rest.split_at_mut((oy1 - oy0) * out_w * 3);
+                rest = tail;
+                handles.push(s.spawn(move || {
+                    decode_band(body, header, geom, cols, (r0, r1), band, oy0, opts)
+                }));
             }
+            for h in handles {
+                results.push(h.join().expect("sjpg decode band panicked"));
+            }
+        });
+        for r in results {
+            stats.absorb(r?);
         }
     }
     stats.blocks_idct = stats.idct_macs / FULL_IDCT_MACS;
     Ok((out, stats))
 }
 
-/// Core region decoder. `region` must be block-aligned (except at image
-/// edges where it is clamped).
-fn decode_region(data: &[u8], header: &SjpgHeader, region: Rect) -> Result<(ImageU8, DecodeStats)> {
+/// Decodes one contiguous band of MCU rows into its output slice.
+/// `band_oy0` is the output row (within the output image) at which the
+/// band's slice begins.
+#[allow(clippy::too_many_arguments)]
+fn decode_band(
+    body: &[u8],
+    header: &SjpgHeader,
+    geom: Geometry,
+    cols: (usize, usize),
+    rows: (usize, usize),
+    band: &mut [u8],
+    band_oy0: usize,
+    opts: DecodeOptions,
+) -> Result<DecodeStats> {
     let luma_q = scale_table(&BASE_LUMA, header.quality)?;
     let chroma_q = scale_table(&BASE_CHROMA, header.quality)?;
-    let bw = header.width.div_ceil(BLOCK);
-    let body = &data[header.body_start..];
-    let mut r = BitReader::new(body);
+    let (bx0, bx1) = cols;
+    let n_luma = match geom.chroma {
+        Chroma::C444 => 1,
+        Chroma::C420 => 4,
+    };
     let mut stats = DecodeStats::default();
-
-    let by0 = region.y / BLOCK;
-    let by1 = region.y_end().div_ceil(BLOCK).min(header.row_offsets.len());
-    let bx0 = region.x / BLOCK;
-    let bx1 = region.x_end().div_ceil(BLOCK).min(bw);
-    stats.rows_skipped = (header.row_offsets.len() - (by1 - by0)) as u64;
-
-    let mut out = ImageU8::zeros(region.w, region.h, 3);
+    let mut r = BitReader::new(body);
     let mut coefs = [0i16; 64];
     let mut freq = [0.0f32; 64];
-    let mut pixels = [[0.0f32; 64]; 3];
-
-    for by in by0..by1 {
+    let mut ybufs = [[0.0f32; 64]; 4];
+    let mut cbuf = [0.0f32; 64];
+    let mut crbuf = [0.0f32; 64];
+    // Fast path: fully-decoded entropy tables, built once per band (the
+    // build walks 2 × 4096 windows — microseconds against thousands of
+    // blocks decoded through them).
+    let tables =
+        (!opts.scalar_kernels).then(|| FastTables::new(&header.dc_table, &header.ac_table));
+    // Fast path: MCUs land in planar u8 row strips spanning the full
+    // output width; color conversion runs once per completed image row so
+    // [`ycbcr_row_to_rgb`] sees long contiguous rows instead of patch-wide
+    // fragments.
+    let reg = geom.oregion;
+    let (mut ystrip, mut cbstrip, mut crstrip) = if opts.scalar_kernels {
+        (Vec::new(), Vec::new(), Vec::new())
+    } else {
+        (
+            vec![0u8; reg.w * geom.patch],
+            vec![0u8; reg.w * geom.patch],
+            vec![0u8; reg.w * geom.patch],
+        )
+    };
+    for by in rows.0..rows.1 {
         // Seek directly to the row's byte offset — rows are independent
         // (DC predictors reset per row, like JPEG restart intervals).
         r.seek_bits(header.row_offsets[by] as u64 * 8)?;
         let mut dc_pred = [0i16; 3];
+        // One cursor serves the whole MCU row on the fast path: its bits
+        // stay register-resident across blocks, and it syncs back to the
+        // reader (surfacing truncation) once at row end.
+        let mut cursor = (!opts.scalar_kernels).then(|| FastCursor::from_reader(&r));
         for bx in 0..bx1 {
             let in_roi = bx >= bx0;
-            for comp in 0..3 {
-                decode_block(
-                    &mut r,
-                    &header.dc_table,
-                    &header.ac_table,
-                    dc_pred[comp],
-                    &mut coefs,
-                    &mut stats,
-                )?;
+            for ybuf in ybufs.iter_mut().take(n_luma) {
+                let coded = match cursor.as_mut() {
+                    Some(c) => decode_block_fast(
+                        c,
+                        tables.as_ref().unwrap(),
+                        dc_pred[0],
+                        &mut coefs,
+                        &mut stats,
+                    )?,
+                    None => {
+                        coefs.fill(0);
+                        decode_block(
+                            &mut r,
+                            &header.dc_table,
+                            &header.ac_table,
+                            dc_pred[0],
+                            &mut coefs,
+                            &mut stats,
+                        )?
+                    }
+                };
+                dc_pred[0] = coefs[0];
+                if in_roi {
+                    dequant_idct(&coefs, coded, &luma_q, &mut freq, geom.ny, ybuf, opts);
+                    stats.idct_macs += scaled_idct_macs(geom.ny);
+                }
+            }
+            for (comp, buf) in [(1usize, &mut cbuf), (2, &mut crbuf)] {
+                let coded = match cursor.as_mut() {
+                    Some(c) => decode_block_fast(
+                        c,
+                        tables.as_ref().unwrap(),
+                        dc_pred[comp],
+                        &mut coefs,
+                        &mut stats,
+                    )?,
+                    None => {
+                        coefs.fill(0);
+                        decode_block(
+                            &mut r,
+                            &header.dc_table,
+                            &header.ac_table,
+                            dc_pred[comp],
+                            &mut coefs,
+                            &mut stats,
+                        )?
+                    }
+                };
                 dc_pred[comp] = coefs[0];
                 if in_roi {
-                    let table = if comp == 0 { &luma_q } else { &chroma_q };
-                    dequantize_zigzag(&coefs, table, &mut freq);
-                    inverse_dct(&freq.clone(), &mut pixels[comp]);
-                    stats.blocks_idct += 1;
-                    stats.idct_macs += crate::dct::FULL_IDCT_MACS;
+                    dequant_idct(&coefs, coded, &chroma_q, &mut freq, geom.nc, buf, opts);
+                    stats.idct_macs += scaled_idct_macs(geom.nc);
                 }
             }
             if in_roi {
-                write_block(
-                    &mut out,
-                    &pixels,
-                    bx * BLOCK,
-                    by * BLOCK,
-                    region,
-                    header,
-                    &mut stats,
+                if opts.scalar_kernels {
+                    write_mcu(
+                        &geom, &ybufs, &cbuf, &crbuf, bx, by, band, band_oy0, &mut stats,
+                    );
+                } else {
+                    write_mcu_strip(
+                        &geom,
+                        &ybufs,
+                        &cbuf,
+                        &crbuf,
+                        bx,
+                        by,
+                        &mut ystrip,
+                        &mut cbstrip,
+                        &mut crstrip,
+                        &mut stats,
+                    );
+                }
+            }
+        }
+        if let Some(c) = cursor.take() {
+            // Row-end sync: repositions the reader and errors if the
+            // cursor's zero-padded reads ran past the end of the stream.
+            c.sync(&mut r)?;
+        }
+        if !opts.scalar_kernels {
+            // Flush the completed MCU row: full-width color conversion per
+            // image row. The MCUs above covered every column of each
+            // in-region row exactly once, so the strips are fully written.
+            for dy in 0..geom.patch {
+                let oy = by * geom.patch + dy;
+                if oy < reg.y || oy >= reg.y_end() {
+                    continue;
+                }
+                let row = oy - reg.y - band_oy0;
+                let off = row * reg.w * 3;
+                ycbcr_row_to_rgb(
+                    &ystrip[dy * reg.w..(dy + 1) * reg.w],
+                    &cbstrip[dy * reg.w..(dy + 1) * reg.w],
+                    &crstrip[dy * reg.w..(dy + 1) * reg.w],
+                    &mut band[off..off + 3 * reg.w],
                 );
             }
         }
         // Early stop within the row: blocks right of bx1 are never read —
         // the next iteration seeks to the next row offset.
     }
-    Ok((out, stats))
+    Ok(stats)
+}
+
+/// Dequantize-then-IDCT for one block. The reference path reproduces the
+/// seed implementation exactly — dense dequantization over a pre-zeroed
+/// block, scalar transform — and serves as the baseline oracle. The fast
+/// path fuses: prefix dequantization over only the coded coefficients,
+/// whose free byproduct (the nonzero-row mask) drives zero-row skipping
+/// in the vectorized transform.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn dequant_idct(
+    coefs: &[i16; 64],
+    coded: usize,
+    table: &[u16; 64],
+    freq: &mut [f32; 64],
+    n: usize,
+    out: &mut [f32; 64],
+    opts: DecodeOptions,
+) {
+    if opts.scalar_kernels {
+        dequantize_zigzag(coefs, table, freq);
+        inverse_dct_scaled(freq, n, out);
+    } else {
+        let row_mask = dequantize_zigzag_prefix(coefs, coded, table, freq);
+        inverse_dct_scaled_vec_masked(freq, n, row_mask, out);
+    }
+}
+
+/// Round-to-nearest reconstruction of one level-shifted sample. Rounding
+/// (not truncation) matters: `as u8` on the raw float truncated toward
+/// zero, a systematic ~0.5-LSB dark bias on every decoded pixel.
+#[inline]
+fn to_u8(v: f32) -> u8 {
+    (v + 128.0).round().clamp(0.0, 255.0) as u8
+}
+
+/// Identical to [`to_u8`] for every input, compiled down to a single
+/// saturating convert instead of a libm-style round: `as u8` clamps to
+/// `0..=255` and maps NaN to 0, and round-half-up (`+0.5` then truncate)
+/// only differs from round-half-away-from-zero below zero, where both
+/// saturate to 0. Used on the fast decode path; the reference path keeps
+/// the spelled-out rounding as the oracle.
+#[inline]
+fn to_u8_fast(v: f32) -> u8 {
+    (v + 128.5) as u8
+}
+
+#[inline]
+fn luma_sample(geom: &Geometry, ybufs: &[[f32; 64]; 4], dy: usize, dx: usize) -> f32 {
+    match geom.chroma {
+        Chroma::C444 => ybufs[0][dy * geom.ny + dx],
+        Chroma::C420 => {
+            let b = (dy / geom.ny) * 2 + dx / geom.ny;
+            ybufs[b][(dy % geom.ny) * geom.ny + (dx % geom.ny)]
+        }
+    }
+}
+
+#[inline]
+fn chroma_sample(geom: &Geometry, buf: &[f32; 64], dy: usize, dx: usize) -> f32 {
+    match geom.chroma {
+        Chroma::C444 => buf[dy * geom.nc + dx],
+        Chroma::C420 => {
+            if geom.factor == 1 {
+                // Full decode: replicate-upsample the half-resolution plane.
+                buf[(dy / 2) * BLOCK + dx / 2]
+            } else {
+                // factor ≥ 2: nc == patch, the chroma patch tiles exactly.
+                buf[dy * geom.nc + dx]
+            }
+        }
+    }
+}
+
+/// Writes one decoded MCU's output patch into the band slice, converting
+/// to RGB and clipping to the output region. Reference path only: one
+/// sample at a time through the scalar kernels, as the seed decoder did.
+#[allow(clippy::too_many_arguments)]
+fn write_mcu(
+    geom: &Geometry,
+    ybufs: &[[f32; 64]; 4],
+    cbuf: &[f32; 64],
+    crbuf: &[f32; 64],
+    bx: usize,
+    by: usize,
+    band: &mut [u8],
+    band_oy0: usize,
+    stats: &mut DecodeStats,
+) {
+    let p = geom.patch;
+    let reg = geom.oregion;
+    let ox0 = bx * p;
+    let dx0 = reg.x.saturating_sub(ox0).min(p);
+    let dx1 = reg.x_end().min(ox0 + p).saturating_sub(ox0);
+    if dx1 <= dx0 {
+        return;
+    }
+    let cw = dx1 - dx0;
+    let mut yrow = [0u8; 16];
+    let mut cbrow = [0u8; 16];
+    let mut crrow = [0u8; 16];
+    for dy in 0..p {
+        let oy = by * p + dy;
+        if oy < reg.y || oy >= reg.y_end() {
+            continue;
+        }
+        let row = oy - reg.y - band_oy0;
+        let off = (row * reg.w + (ox0 + dx0 - reg.x)) * 3;
+        let dst = &mut band[off..off + 3 * cw];
+        for (i, dx) in (dx0..dx1).enumerate() {
+            yrow[i] = to_u8(luma_sample(geom, ybufs, dy, dx));
+            cbrow[i] = to_u8(chroma_sample(geom, cbuf, dy, dx));
+            crrow[i] = to_u8(chroma_sample(geom, crbuf, dy, dx));
+        }
+        for (i, d) in dst.chunks_exact_mut(3).enumerate() {
+            let (r, g, b) = ycbcr_pixel_to_rgb(yrow[i], cbrow[i], crrow[i]);
+            d[0] = r;
+            d[1] = g;
+            d[2] = b;
+        }
+        stats.pixels_written += cw as u64;
+    }
+}
+
+/// Fast-path counterpart of [`write_mcu`]: converts the MCU's samples to
+/// u8 into *planar row strips* spanning the whole MCU row. Color
+/// conversion then runs once per completed image row over the full strip
+/// (see the flush in [`decode_band`]) — long contiguous rows instead of
+/// ≤ 16-pixel segments, which is what lets [`ycbcr_row_to_rgb`]'s planar
+/// lanes vectorize. Same per-sample conversion, same per-pixel color
+/// math, so output is bit-identical to converting MCU-by-MCU.
+#[allow(clippy::too_many_arguments)]
+fn write_mcu_strip(
+    geom: &Geometry,
+    ybufs: &[[f32; 64]; 4],
+    cbuf: &[f32; 64],
+    crbuf: &[f32; 64],
+    bx: usize,
+    by: usize,
+    ystrip: &mut [u8],
+    cbstrip: &mut [u8],
+    crstrip: &mut [u8],
+    stats: &mut DecodeStats,
+) {
+    let p = geom.patch;
+    let reg = geom.oregion;
+    let ox0 = bx * p;
+    let dx0 = reg.x.saturating_sub(ox0).min(p);
+    let dx1 = reg.x_end().min(ox0 + p).saturating_sub(ox0);
+    if dx1 <= dx0 {
+        return;
+    }
+    let cw = dx1 - dx0;
+    let x0 = ox0 + dx0 - reg.x;
+    for dy in 0..p {
+        let oy = by * p + dy;
+        if oy < reg.y || oy >= reg.y_end() {
+            continue;
+        }
+        let yrow = &mut ystrip[dy * reg.w + x0..dy * reg.w + x0 + cw];
+        let cbrow = &mut cbstrip[dy * reg.w + x0..dy * reg.w + x0 + cw];
+        let crrow = &mut crstrip[dy * reg.w + x0..dy * reg.w + x0 + cw];
+        if geom.chroma == Chroma::C444 {
+            // 4:4:4 rows are contiguous slices of the block buffers — a
+            // straight-line convert loop the autovectorizer lifts.
+            let yr = &ybufs[0][dy * geom.ny + dx0..dy * geom.ny + dx1];
+            let cbr = &cbuf[dy * geom.nc + dx0..dy * geom.nc + dx1];
+            let crr = &crbuf[dy * geom.nc + dx0..dy * geom.nc + dx1];
+            for i in 0..cw {
+                yrow[i] = to_u8_fast(yr[i]);
+                cbrow[i] = to_u8_fast(cbr[i]);
+                crrow[i] = to_u8_fast(crr[i]);
+            }
+        } else {
+            for (i, dx) in (dx0..dx1).enumerate() {
+                yrow[i] = to_u8_fast(luma_sample(geom, ybufs, dy, dx));
+                cbrow[i] = to_u8_fast(chroma_sample(geom, cbuf, dy, dx));
+                crrow[i] = to_u8_fast(chroma_sample(geom, crbuf, dy, dx));
+            }
+        }
+        stats.pixels_written += cw as u64;
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Block-level helpers
 // ---------------------------------------------------------------------------
-
-/// Extracts one 8×8 level-shifted component block, replicating edge pixels
-/// for partial blocks. `comp` selects Y/Cb/Cr computed on the fly from RGB.
-fn extract_block(img: &ImageU8, bx: usize, by: usize, comp: usize, out: &mut [f32; 64]) {
-    for dy in 0..BLOCK {
-        let y = (by * BLOCK + dy).min(img.height() - 1);
-        for dx in 0..BLOCK {
-            let x = (bx * BLOCK + dx).min(img.width() - 1);
-            let (r, g, b) = (img.at(x, y, 0), img.at(x, y, 1), img.at(x, y, 2));
-            let (yy, cb, cr) = rgb_pixel_to_ycbcr(r, g, b);
-            let v = match comp {
-                0 => yy,
-                1 => cb,
-                _ => cr,
-            };
-            out[dy * BLOCK + dx] = v as f32 - 128.0;
-        }
-    }
-}
-
-/// Writes one decoded MCU (3 component blocks) into the output image,
-/// converting back to RGB and clipping to the region/image bounds.
-fn write_block(
-    out: &mut ImageU8,
-    pixels: &[[f32; 64]; 3],
-    px0: usize,
-    py0: usize,
-    region: Rect,
-    header: &SjpgHeader,
-    stats: &mut DecodeStats,
-) {
-    for dy in 0..BLOCK {
-        let y = py0 + dy;
-        if y < region.y || y >= region.y_end() || y >= header.height {
-            continue;
-        }
-        for dx in 0..BLOCK {
-            let x = px0 + dx;
-            if x < region.x || x >= region.x_end() || x >= header.width {
-                continue;
-            }
-            let idx = dy * BLOCK + dx;
-            let yy = (pixels[0][idx] + 128.0).clamp(0.0, 255.0) as u8;
-            let cb = (pixels[1][idx] + 128.0).clamp(0.0, 255.0) as u8;
-            let cr = (pixels[2][idx] + 128.0).clamp(0.0, 255.0) as u8;
-            let (r, g, b) = ycbcr_pixel_to_rgb(yy, cb, cr);
-            out.set(x - region.x, y - region.y, 0, r);
-            out.set(x - region.x, y - region.y, 1, g);
-            out.set(x - region.x, y - region.y, 2, b);
-            stats.pixels_written += 1;
-        }
-    }
-}
 
 /// Magnitude category (number of bits) of a value, JPEG-style.
 #[inline]
@@ -479,16 +1068,18 @@ fn amplitude_bits(v: i16, size: u32) -> u32 {
     }
 }
 
-/// Decodes amplitude bits back to a signed value.
+/// Decodes amplitude bits back to a signed value (T.81 §F.2.2.1 EXTEND).
+///
+/// Branchless: the sign of the decoded value — leading amplitude bit 0
+/// means negative under the one's-complement encoding — is data-dependent
+/// and essentially random in real streams, so a conditional here
+/// mispredicts about half the time in the decode hot loop. `size == 0`
+/// degenerates cleanly: `bits` is 0 and the correction term `2^0 - 1`
+/// is 0.
 #[inline]
 fn decode_amplitude(bits: u32, size: u32) -> i16 {
-    if size == 0 {
-        0
-    } else if bits < (1 << (size - 1)) {
-        bits as i16 - ((1 << size) - 1) as i16
-    } else {
-        bits as i16
-    }
+    let neg = ((bits >> size.wrapping_sub(1).min(31)) & 1) ^ 1;
+    (bits as i32 - (neg as i32) * ((1i32 << size) - 1)) as i16
 }
 
 /// Tallies the DC/AC symbols a block would emit.
@@ -549,7 +1140,16 @@ fn encode_block(
     Ok(())
 }
 
-/// Entropy-decodes one quantized block (zig-zag order) into `coefs`.
+/// Entropy-decodes one quantized block (zig-zag order) into `coefs`,
+/// reading symbols with the bit-by-bit canonical walk. This is the
+/// reference oracle; [`decode_block_fast`] must produce identical
+/// coefficients and cursor positions (pinned by the workspace proptests
+/// and the `decode_hotpath` gate).
+///
+/// Returns the coded prefix length `n`: `coefs[..n]` are valid (zero runs
+/// included), `coefs[n..]` are untouched and implicitly zero — callers
+/// dequantize with [`dequantize_zigzag_prefix`] instead of pre-zeroing
+/// all 64 entries per block.
 fn decode_block(
     r: &mut BitReader<'_>,
     dc_table: &HuffmanTable,
@@ -557,8 +1157,7 @@ fn decode_block(
     dc_pred: i16,
     coefs: &mut [i16; 64],
     stats: &mut DecodeStats,
-) -> Result<()> {
-    coefs.fill(0);
+) -> Result<usize> {
     let size = dc_table.decode(r)? as u32;
     stats.symbols_decoded += 1;
     let diff = if size > 0 {
@@ -575,21 +1174,204 @@ fn decode_block(
             break;
         }
         if sym == ZRL {
-            k += 16;
+            let k1 = (k + 16).min(64);
+            coefs[k..k1].fill(0);
+            k = k1;
             continue;
         }
         let run = (sym >> 4) as usize;
         let size = (sym & 0x0F) as u32;
-        k += run;
-        if k >= 64 || size == 0 {
+        if k + run >= 64 || size == 0 {
             return Err(Error::BadCode {
                 context: "sjpg AC coefficient overrun",
             });
         }
+        coefs[k..k + run].fill(0);
+        k += run;
         coefs[k] = decode_amplitude(r.bits(size)?, size);
         k += 1;
     }
-    Ok(())
+    Ok(k)
+}
+
+/// Pair-LUT window width: a 12-bit window resolves most (code, amplitude)
+/// pairs in a single table read.
+const PAIR_BITS: u32 = 12;
+/// Pair-LUT entry kinds (bits 9..11 of an entry).
+const PAIR_VAL: u32 = 0;
+const PAIR_EOB: u32 = 1;
+const PAIR_ZRL: u32 = 2;
+
+/// Fully-decoded entropy tables for the fast path. `dc_pairs`/`ac_pairs`
+/// map a 12-bit stream window straight to a decoded (total bits, run,
+/// amplitude value) triple whenever the Huffman code *and* its amplitude
+/// bits both fit in the window — one load replaces the code lookup, the
+/// amplitude extraction, and the T.81 EXTEND step. Grain-heavy streams
+/// lean on short codes with small amplitudes, so the single-load path
+/// covers the overwhelming majority of symbols; the rest fall back to
+/// the prefix LUT + canonical walk.
+///
+/// Entry layout (`0` = window not fully decodable, fall back):
+/// bits 0..5 total consumed bits, 5..9 zero run, 9..11 kind
+/// ([`PAIR_VAL`]/[`PAIR_EOB`]/[`PAIR_ZRL`]), 16..32 amplitude as `i16`.
+struct FastTables<'t> {
+    dc: &'t HuffmanTable,
+    ac: &'t HuffmanTable,
+    dc_pairs: Vec<u32>,
+    ac_pairs: Vec<u32>,
+}
+
+impl<'t> FastTables<'t> {
+    fn new(dc: &'t HuffmanTable, ac: &'t HuffmanTable) -> Self {
+        FastTables {
+            dc_pairs: build_pair_lut(dc, true),
+            ac_pairs: build_pair_lut(ac, false),
+            dc,
+            ac,
+        }
+    }
+}
+
+/// Builds the pair LUT for one table; see [`FastTables`] for the entry
+/// layout. Windows whose code is longer than the window, whose amplitude
+/// spills past it, or whose symbol is malformed (AC size 0 outside
+/// EOB/ZRL) stay `0` and resolve through the fallback path, preserving
+/// the reference decoder's error behavior.
+fn build_pair_lut(table: &HuffmanTable, is_dc: bool) -> Vec<u32> {
+    let mut lut = vec![0u32; 1 << PAIR_BITS];
+    for (idx, e) in lut.iter_mut().enumerate() {
+        let w16 = (idx as u32) << (16 - PAIR_BITS);
+        let (len, sym) = table.lookup16(w16);
+        if len == 0 || len > PAIR_BITS {
+            continue;
+        }
+        if !is_dc && sym == EOB {
+            *e = len | (PAIR_EOB << 9);
+            continue;
+        }
+        if !is_dc && sym == ZRL {
+            *e = len | (PAIR_ZRL << 9);
+            continue;
+        }
+        let (size, run) = if is_dc {
+            (sym as u32, 0u32)
+        } else {
+            ((sym & 0x0F) as u32, (sym >> 4) as u32)
+        };
+        if (!is_dc && size == 0) || len + size > PAIR_BITS {
+            continue;
+        }
+        let total = len + size;
+        let bits = (w16 >> (16 - total)) & ((1u32 << size) - 1);
+        let val = decode_amplitude(bits, size);
+        *e = total | (run << 5) | (PAIR_VAL << 9) | ((val as u16 as u32) << 16);
+    }
+    lut
+}
+
+/// Table-driven twin of [`decode_block`], run through a
+/// [`FastCursor`]: upcoming bits stay register-resident in a u64
+/// accumulator, and one [`FastTables`] pair-LUT read resolves a whole
+/// (code, amplitude) pair for the common case — no per-symbol memory
+/// access beyond the single table load. Codes or amplitudes that spill
+/// past the 12-bit window (rare) resolve through the prefix LUT and, if
+/// even that misses, the canonical walk over a 32-bit peek. Reads
+/// exactly the same bits from exactly the same positions as the
+/// reference. The caller owns the cursor for a whole MCU row and syncs
+/// it back to the [`BitReader`] at row end, which is where truncated
+/// input surfaces as an error.
+fn decode_block_fast(
+    c: &mut FastCursor<'_>,
+    tables: &FastTables<'_>,
+    dc_pred: i16,
+    coefs: &mut [i16; 64],
+    stats: &mut DecodeStats,
+) -> Result<usize> {
+    /// Fallback for windows the pair LUT can't resolve: reads one
+    /// (symbol, amplitude-size, amplitude-bits) triple from the cursor.
+    /// `size_of` maps a symbol to its amplitude width (DC: the symbol
+    /// itself; AC: the low nibble — which also maps EOB/ZRL to 0, as
+    /// they carry no amplitude).
+    #[inline]
+    fn read_pair(
+        c: &mut FastCursor<'_>,
+        table: &HuffmanTable,
+        size_of: impl Fn(u16) -> u32,
+    ) -> Result<(u16, u32, u32)> {
+        let w = c.peek32();
+        let (len, sym) = table.lookup16(w >> 16);
+        let (len, sym) = if len != 0 {
+            (len, sym)
+        } else {
+            table.walk16(w >> 16)?
+        };
+        let size = size_of(sym);
+        let total = len + size;
+        // `size == 0` degenerates to a zero mask, so no branch: the
+        // amplitude lives directly under the code in the same window.
+        let bits = (w >> (32 - total)) & ((1u32 << size) - 1);
+        c.skip(total);
+        Ok((sym, size, bits))
+    }
+    let mut symbols = 1u64;
+    c.refill();
+    let e = tables.dc_pairs[(c.peek32() >> (32 - PAIR_BITS)) as usize];
+    let diff = if e != 0 {
+        c.skip(e & 31);
+        (e >> 16) as u16 as i16
+    } else {
+        let (_, size, bits) = read_pair(c, tables.dc, |sym| sym as u32)?;
+        decode_amplitude(bits, size)
+    };
+    coefs[0] = dc_pred + diff;
+    let mut k = 1usize;
+    while k < 64 {
+        symbols += 1;
+        c.refill();
+        let e = tables.ac_pairs[(c.peek32() >> (32 - PAIR_BITS)) as usize];
+        let (run, val) = if e != 0 {
+            c.skip(e & 31);
+            let kind = (e >> 9) & 3;
+            if kind != PAIR_VAL {
+                if kind == PAIR_EOB {
+                    break;
+                }
+                let k1 = (k + 16).min(64);
+                coefs[k..k1].fill(0);
+                k = k1;
+                continue;
+            }
+            (((e >> 5) & 15) as usize, (e >> 16) as u16 as i16)
+        } else {
+            let (sym, size, bits) = read_pair(c, tables.ac, |sym| (sym & 0x0F) as u32)?;
+            if sym == EOB {
+                break;
+            }
+            if sym == ZRL {
+                let k1 = (k + 16).min(64);
+                coefs[k..k1].fill(0);
+                k = k1;
+                continue;
+            }
+            if size == 0 {
+                return Err(Error::BadCode {
+                    context: "sjpg AC coefficient overrun",
+                });
+            }
+            ((sym >> 4) as usize, decode_amplitude(bits, size))
+        };
+        if k + run >= 64 {
+            return Err(Error::BadCode {
+                context: "sjpg AC coefficient overrun",
+            });
+        }
+        coefs[k..k + run].fill(0);
+        k += run;
+        coefs[k] = val;
+        k += 1;
+    }
+    stats.symbols_decoded += symbols;
+    Ok(k)
 }
 
 #[cfg(test)]
@@ -822,6 +1604,21 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_quality_byte_rejected_with_typed_error() {
+        let img = textured(16, 16, 0);
+        let enc = SjpgEncoder::new(75).encode(&img).unwrap().to_vec();
+        // Header layout: magic(4) + version(1) + w(2) + h(2), then quality.
+        for bad in [0u8, 101, 200] {
+            let mut corrupted = enc.clone();
+            corrupted[9] = bad;
+            match decode(&corrupted) {
+                Err(Error::BadQuality(q)) => assert_eq!(q, bad),
+                other => panic!("expected BadQuality({bad}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn truncated_body_errors_not_panics() {
         let img = textured(64, 64, 8);
         let enc = SjpgEncoder::new(75).encode(&img).unwrap();
@@ -850,5 +1647,158 @@ mod tests {
         assert!(enc.len() < 2048, "len={}", enc.len());
         let dec = decode(&enc).unwrap();
         assert!(psnr(&img, &dec) > 40.0);
+    }
+
+    #[test]
+    fn mid_gray_roundtrip_has_zero_mean_bias() {
+        // Regression for the truncation bug: `as u8` on the reconstructed
+        // float truncated toward zero, darkening every pixel by ~0.5 LSB on
+        // average. Sweep uniform grays whose DC does not reconstruct
+        // exactly; with round-to-nearest the signed error must average out.
+        let mut bias = 0.0f64;
+        let mut count = 0usize;
+        for gray in (90u8..=165).step_by(3) {
+            let img = ImageU8::from_vec(32, 32, 3, vec![gray; 32 * 32 * 3]).unwrap();
+            let enc = SjpgEncoder::new(90).encode(&img).unwrap();
+            let dec = decode(&enc).unwrap();
+            for (&a, &b) in img.data().iter().zip(dec.data()) {
+                bias += b as f64 - a as f64;
+                count += 1;
+            }
+        }
+        let mean = bias / count as f64;
+        assert!(mean.abs() < 0.25, "mean signed error {mean}");
+    }
+
+    #[test]
+    fn c420_roundtrip_is_faithful_on_smooth_content() {
+        let img = smooth(96, 80);
+        let enc = SjpgEncoder::with_chroma(95, Chroma::C420)
+            .encode(&img)
+            .unwrap();
+        let dec = decode(&enc).unwrap();
+        assert_eq!((dec.width(), dec.height()), (96, 80));
+        let p = psnr(&img, &dec);
+        assert!(p > 30.0, "psnr={p}");
+    }
+
+    #[test]
+    fn c420_is_smaller_than_c444() {
+        let img = smooth(128, 96);
+        let full = SjpgEncoder::with_chroma(90, Chroma::C444)
+            .encode(&img)
+            .unwrap();
+        let sub = SjpgEncoder::with_chroma(90, Chroma::C420)
+            .encode(&img)
+            .unwrap();
+        assert!(
+            sub.len() < full.len(),
+            "420 {} vs 444 {}",
+            sub.len(),
+            full.len()
+        );
+    }
+
+    #[test]
+    fn c420_non_multiple_dims_roundtrip() {
+        let img = smooth(61, 45);
+        let enc = SjpgEncoder::with_chroma(92, Chroma::C420)
+            .encode(&img)
+            .unwrap();
+        let dec = decode(&enc).unwrap();
+        assert_eq!((dec.width(), dec.height()), (61, 45));
+        assert!(psnr(&img, &dec) > 28.0);
+    }
+
+    #[test]
+    fn c420_scaled_decode_dims_and_fidelity() {
+        let img = smooth(128, 96);
+        let enc = SjpgEncoder::with_chroma(92, Chroma::C420)
+            .encode(&img)
+            .unwrap();
+        let full = decode(&enc).unwrap();
+        for factor in [2usize, 4, 8] {
+            let (small, stats) = decode_scaled(&enc, factor).unwrap();
+            assert_eq!((small.width(), small.height()), (128 / factor, 96 / factor));
+            assert_eq!(
+                stats.pixels_written,
+                (128 / factor) as u64 * (96 / factor) as u64
+            );
+            if factor <= 4 {
+                let reference = box_down(&full, factor);
+                let p = psnr(&reference, &small);
+                assert!(p > 28.0, "factor {factor}: psnr {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn c420_scaled_decode_skips_chroma_work() {
+        // A 4:2:0 MCU carries 6 blocks where 4:4:4 carries 12 (per 16×16
+        // pixels) — at equal factor the transform MACs must be half.
+        let img = smooth(128, 128);
+        let e444 = SjpgEncoder::with_chroma(90, Chroma::C444)
+            .encode(&img)
+            .unwrap();
+        let e420 = SjpgEncoder::with_chroma(90, Chroma::C420)
+            .encode(&img)
+            .unwrap();
+        let (_, s444) = decode_with_stats(&e444).unwrap();
+        let (_, s420) = decode_with_stats(&e420).unwrap();
+        assert_eq!(s420.idct_macs * 2, s444.idct_macs);
+    }
+
+    #[test]
+    fn c420_roi_decode_aligns_to_mcu_and_matches_full() {
+        let img = textured(128, 96, 5);
+        let enc = SjpgEncoder::with_chroma(88, Chroma::C420)
+            .encode(&img)
+            .unwrap();
+        let full = decode(&enc).unwrap();
+        let (partial, aligned, stats) = decode_roi(&enc, Rect::new(33, 17, 40, 30)).unwrap();
+        assert_eq!(aligned, Rect::new(32, 16, 48, 32));
+        assert!(stats.rows_skipped > 0);
+        for y in 0..aligned.h {
+            for x in 0..aligned.w {
+                for c in 0..3 {
+                    assert_eq!(
+                        partial.at(x, y, c),
+                        full.at(aligned.x + x, aligned.y + y, c),
+                        "mismatch at {x},{y},{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banded_decode_is_bit_identical_to_sequential() {
+        for chroma in [Chroma::C444, Chroma::C420] {
+            let img = textured(144, 120, 11);
+            let enc = SjpgEncoder::with_chroma(85, chroma).encode(&img).unwrap();
+            let (seq, seq_stats) = decode_with_opts(&enc, DecodeOptions::default()).unwrap();
+            for workers in [2usize, 3, 7, 64] {
+                let (par, par_stats) =
+                    decode_with_opts(&enc, DecodeOptions::with_workers(workers)).unwrap();
+                assert_eq!(seq, par, "chroma {chroma:?} workers {workers}");
+                assert_eq!(seq_stats, par_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_kernels_bit_identical_to_scalar_reference() {
+        for chroma in [Chroma::C444, Chroma::C420] {
+            let img = textured(104, 72, 13);
+            let enc = SjpgEncoder::with_chroma(90, chroma).encode(&img).unwrap();
+            for factor in [1usize, 2, 4, 8] {
+                let (vec_img, vs) =
+                    decode_scaled_opts(&enc, factor, DecodeOptions::default()).unwrap();
+                let (ref_img, rs) =
+                    decode_scaled_opts(&enc, factor, DecodeOptions::scalar_reference()).unwrap();
+                assert_eq!(vec_img, ref_img, "chroma {chroma:?} factor {factor}");
+                assert_eq!(vs, rs);
+            }
+        }
     }
 }

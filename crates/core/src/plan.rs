@@ -301,7 +301,7 @@ mod tests {
         let v = InputVariant::new("full", Format::Spng, 320, 240);
         assert!(!v.is_thumbnail);
         assert_eq!(v.pixels(), 320 * 240);
-        let t = InputVariant::new("thumb", Format::Sjpg { quality: 75 }, 161, 161).thumbnail();
+        let t = InputVariant::new("thumb", Format::sjpg(75), 161, 161).thumbnail();
         assert!(t.is_thumbnail);
     }
 
@@ -337,7 +337,7 @@ mod tests {
     fn sig_plan(dnn: ModelKind, short: u32, crop: u32, batch: usize) -> QueryPlan {
         QueryPlan {
             dnn,
-            input: InputVariant::new("full", Format::Sjpg { quality: 95 }, 640, 480),
+            input: InputVariant::new("full", Format::sjpg(95), 640, 480),
             preproc: PreprocPlan::standard(short, crop, crop),
             decode: DecodeMode::Full,
             batch,

@@ -6,7 +6,9 @@ use crate::constraints::{Constraint, PlanError};
 use crate::costmodel::{estimate_throughput, CascadeStage, CostModelKind};
 use crate::pareto;
 use crate::plan::{DecodeMode, FrameSelection, InputVariant, PlanCandidate, QueryPlan};
-use crate::rewrite::{decode_cost_for_mode, rewrite_preproc_for_decode, video_gop_decode_cost};
+use crate::rewrite::{
+    decode_cost_for_mode_subsampled, rewrite_preproc_for_decode, video_gop_decode_cost,
+};
 use smol_accel::{throughput, ExecutionEnv, GpuModel, ModelKind};
 use smol_imgproc::dag::plan_cost;
 use smol_imgproc::{DagOptimizer, PreprocPlan};
@@ -207,7 +209,11 @@ impl Planner {
     /// preprocessing as one quantity, not preprocessing alone. The base
     /// mode's cost honors the work its decode already skips (ROI rows,
     /// early-stopped rows), so a reduced-resolution candidate is never
-    /// credited against an inflated full-frame baseline.
+    /// credited against an inflated full-frame baseline. Both sides of the
+    /// ratio carry the variant's chroma storage (4:2:0 halves the entropy
+    /// work every mode must pay), so cross-mode credit stays honest for
+    /// subsampled inputs.
+    #[allow(clippy::too_many_arguments)]
     fn scaled_preproc_throughput(
         &self,
         measured: f64,
@@ -216,11 +222,13 @@ impl Planner {
         mode: DecodeMode,
         w: usize,
         h: usize,
+        chroma_subsampled: bool,
     ) -> f64 {
         let joint = |m: DecodeMode| {
             let (dw, dh) = m.decoded_dims(w, h);
             let rewritten = rewrite_preproc_for_decode(preproc, m, w, h);
-            decode_cost_for_mode(m, w, h) + plan_cost(&rewritten, dw, dh)
+            decode_cost_for_mode_subsampled(m, w, h, chroma_subsampled)
+                + plan_cost(&rewritten, dw, dh)
         };
         let base_cost = joint(base);
         let mode_cost = joint(mode);
@@ -386,6 +394,7 @@ impl Planner {
                     reduced,
                     s.input.width,
                     s.input.height,
+                    s.input.format.is_chroma_subsampled(),
                 );
                 let acc = s.reduced_accuracy.unwrap_or(s.accuracy);
                 out.push(self.candidate(s, reduced, tput, acc, 1.0));
@@ -458,7 +467,7 @@ mod tests {
 
     fn full_res(preproc: f64) -> InputVariant {
         let _ = preproc;
-        InputVariant::new("full sjpg(q=95)", Format::Sjpg { quality: 95 }, 480, 360)
+        InputVariant::new("full sjpg(q=95)", Format::sjpg(95), 480, 360)
     }
 
     fn thumb() -> InputVariant {
@@ -587,7 +596,7 @@ mod tests {
     fn big_full_res() -> InputVariant {
         // 896/4 = 224: the factor-4 reduced decode lands exactly on the
         // DNN input, so the resize is elided.
-        InputVariant::new("big sjpg(q=95)", Format::Sjpg { quality: 95 }, 896, 896)
+        InputVariant::new("big sjpg(q=95)", Format::sjpg(95), 896, 896)
     }
 
     fn big_spec(accuracy: f64, reduced_accuracy: Option<f64>) -> CandidateSpec {
@@ -810,6 +819,59 @@ mod tests {
             planner.decode_mode(&video_input()),
             DecodeMode::Video { .. }
         ));
+    }
+
+    #[test]
+    fn subsampled_chroma_variant_wins_a_throughput_constraint() {
+        // The same content stored 4:2:0 decodes roughly twice as fast
+        // (half the entropy symbols, half the IDCT blocks) and the DNN is
+        // nearly insensitive to chroma detail, so a loss-tolerant
+        // constraint must pick the subsampled variant over 4:4:4.
+        let planner = Planner::default();
+        let c444 = CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input: InputVariant::new("full sjpg(q=95)", Format::sjpg(95), 896, 896),
+            accuracy: 0.7516,
+            preproc_throughput: 150.0,
+            reduced_accuracy: None,
+            cascade: None,
+            video: None,
+        };
+        let c420 = CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input: InputVariant::new("full sjpg420(q=95)", Format::sjpg420(95), 896, 896),
+            accuracy: 0.7504,
+            preproc_throughput: 270.0,
+            reduced_accuracy: None,
+            cascade: None,
+            video: None,
+        };
+        let specs = [c444, c420];
+        let chosen = planner
+            .plan(&specs, &Constraint::MaxAccuracyLoss(0.005))
+            .unwrap();
+        assert!(
+            chosen.plan.input.format.is_chroma_subsampled(),
+            "expected the 4:2:0 variant, got {}",
+            chosen.plan.input.name
+        );
+        // Both formats still ride the whole decode-mode ladder: the 4:2:0
+        // spec gets a reduced-resolution candidate too, and its joint-cost
+        // scaling stays finite and positive.
+        let cands = planner.enumerate(&specs);
+        let reduced_420 = cands
+            .iter()
+            .find(|c| {
+                c.plan.input.format.is_chroma_subsampled()
+                    && matches!(c.plan.decode, DecodeMode::ReducedResolution { .. })
+            })
+            .expect("reduced-resolution candidate for the 4:2:0 variant");
+        assert!(reduced_420.preproc_throughput > 270.0);
+        // A strict zero-loss constraint still selects full chroma.
+        let strict = planner
+            .plan(&specs, &Constraint::MinAccuracy(0.7516))
+            .unwrap();
+        assert!(!strict.plan.input.format.is_chroma_subsampled());
     }
 
     #[test]

@@ -44,22 +44,37 @@ pub fn idct_edge(mode: DecodeMode) -> usize {
 ///   crop are entropy-decoded but skip the IDCT, approximated here by
 ///   charging half the left margin at full block cost.
 pub fn decode_cost_for_mode(mode: DecodeMode, w: usize, h: usize) -> f64 {
-    use smol_imgproc::dag::decode_cost;
+    decode_cost_for_mode_subsampled(mode, w, h, false)
+}
+
+/// [`decode_cost_for_mode`] extended with the chroma-storage axis: when
+/// `chroma_subsampled` is true the source stores 4:2:0 chroma, so every
+/// arm charges one chroma block per four luma blocks (see
+/// [`smol_imgproc::dag::decode_cost_subsampled`]). The planner passes
+/// [`smol_codec::Format::is_chroma_subsampled`] here so 4:2:0 variants
+/// are costed on equal footing with the rest of the decode-mode axis.
+pub fn decode_cost_for_mode_subsampled(
+    mode: DecodeMode,
+    w: usize,
+    h: usize,
+    chroma_subsampled: bool,
+) -> f64 {
+    use smol_imgproc::dag::decode_cost_subsampled;
     let (dec_w, dec_h) = mode.decoded_dims(w, h);
     match mode {
         DecodeMode::Full | DecodeMode::ReducedResolution { .. } => {
-            decode_cost(w, h, idct_edge(mode))
+            decode_cost_subsampled(w, h, idct_edge(mode), chroma_subsampled)
         }
-        DecodeMode::EarlyStopRows { .. } => decode_cost(w, dec_h, 8),
+        DecodeMode::EarlyStopRows { .. } => decode_cost_subsampled(w, dec_h, 8, chroma_subsampled),
         DecodeMode::CentralRoi { .. } => {
             let cols = (dec_w + (w - dec_w) / 2).min(w);
-            decode_cost(cols, dec_h, 8)
+            decode_cost_subsampled(cols, dec_h, 8, chroma_subsampled)
         }
         // GOP-unaware upper bound: one intra frame plus its filter. Video
         // plans are costed with [`video_gop_decode_cost`], which amortizes
         // the I-frame over the whole GOP.
         DecodeMode::Video { deblock, .. } => {
-            let base = decode_cost(w, h, 8);
+            let base = decode_cost_subsampled(w, h, 8, chroma_subsampled);
             if deblock {
                 base * (1.0 + DEBLOCK_COST_RATIO)
             } else {
@@ -243,6 +258,29 @@ mod tests {
         // Reduced resolution reads every block (entropy floor) but skips
         // almost all transform work.
         assert!(reduced < full / 2.0, "reduced {reduced} vs full {full}");
+    }
+
+    #[test]
+    fn subsampled_flag_cuts_cost_in_every_mode() {
+        let modes = [
+            DecodeMode::Full,
+            DecodeMode::EarlyStopRows { rows: 448 },
+            DecodeMode::CentralRoi {
+                crop_w: 784,
+                crop_h: 784,
+            },
+            DecodeMode::Video {
+                selection: crate::plan::FrameSelection::All,
+                deblock: true,
+            },
+        ];
+        for mode in modes {
+            let full = decode_cost_for_mode_subsampled(mode, 896, 896, false);
+            let sub = decode_cost_for_mode_subsampled(mode, 896, 896, true);
+            assert!(sub < full, "{mode:?}: sub {sub} vs full {full}");
+            // The legacy entry point is exactly the flag-off variant.
+            assert_eq!(full, decode_cost_for_mode(mode, 896, 896));
+        }
     }
 
     #[test]

@@ -58,10 +58,12 @@ pub fn encode_variant(
 }
 
 /// The standard §8.1 serving layout for a still dataset: `n`
-/// throughput-track images stored as full-resolution sjpg(q=95) plus
-/// thumbnails (short edge `spec.tput_thumb_short`) in spng, sjpg(q=95),
-/// and sjpg(q=75) — the four variants of the paper's still-image
-/// experiments, under the labels its tables use.
+/// throughput-track images stored as full-resolution sjpg(q=95) — in both
+/// 4:4:4 and 4:2:0 chroma (the subsampled copy halves decode work at a
+/// fraction of a point of accuracy) — plus thumbnails (short edge
+/// `spec.tput_thumb_short`) in spng, sjpg(q=95), and sjpg(q=75): the four
+/// variants of the paper's still-image experiments, under the labels its
+/// tables use, extended with the chroma-storage axis.
 pub fn serving_variants(
     spec: &StillSpec,
     seed: u64,
@@ -74,23 +76,24 @@ pub fn serving_variants(
         .map(|img| resize_short_edge_u8(img, short).expect("thumbnail resize"))
         .collect();
     Ok(vec![
+        encode_variant("full-res sjpg(q=95)", &natives, Format::sjpg(95), false)?,
         encode_variant(
-            "full-res sjpg(q=95)",
+            "full-res sjpg420(q=95)",
             &natives,
-            Format::Sjpg { quality: 95 },
+            Format::sjpg420(95),
             false,
         )?,
         encode_variant(format!("{short} spng"), &thumbs, Format::Spng, true)?,
         encode_variant(
             format!("{short} sjpg(q=95)"),
             &thumbs,
-            Format::Sjpg { quality: 95 },
+            Format::sjpg(95),
             true,
         )?,
         encode_variant(
             format!("{short} sjpg(q=75)"),
             &thumbs,
-            Format::Sjpg { quality: 75 },
+            Format::sjpg(75),
             true,
         )?,
     ])
@@ -102,14 +105,18 @@ mod tests {
     use crate::catalog::still_catalog;
 
     #[test]
-    fn serving_layout_matches_the_papers_four_variants() {
+    fn serving_layout_matches_the_papers_four_variants_plus_chroma() {
         let spec = &still_catalog()[0];
         let vars = serving_variants(spec, 7, 6).unwrap();
-        assert_eq!(vars.len(), 4);
+        assert_eq!(vars.len(), 5);
         assert_eq!(vars[0].name, "full-res sjpg(q=95)");
-        assert!(!vars[0].thumbnail);
-        assert_eq!((vars[0].width, vars[0].height), spec.tput_native);
-        for v in &vars[1..] {
+        assert_eq!(vars[1].name, "full-res sjpg420(q=95)");
+        for v in &vars[..2] {
+            assert!(!v.thumbnail);
+            assert_eq!((v.width, v.height), spec.tput_native);
+        }
+        assert!(vars[1].format.is_chroma_subsampled());
+        for v in &vars[2..] {
             assert!(v.thumbnail);
             assert_eq!(v.width.min(v.height), spec.tput_thumb_short);
             assert!(v.name.starts_with(&spec.tput_thumb_short.to_string()));
@@ -126,6 +133,8 @@ mod tests {
         let spec = &still_catalog()[0];
         let vars = serving_variants(spec, 3, 4).unwrap();
         let bytes = |v: &EncodedVariant| -> usize { v.items.iter().map(|e| e.size_bytes()).sum() };
-        assert!(bytes(&vars[3]) < bytes(&vars[0]), "q=75 thumbs < full-res");
+        assert!(bytes(&vars[4]) < bytes(&vars[0]), "q=75 thumbs < full-res");
+        // 4:2:0 stores half the chroma blocks of the same content.
+        assert!(bytes(&vars[1]) < bytes(&vars[0]), "420 < 444 on the wire");
     }
 }

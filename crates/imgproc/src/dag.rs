@@ -265,10 +265,38 @@ const COLOR_CONVERT: f64 = 5.0;
 /// sees the true joint decode+preprocess cost of a reduced-resolution plan
 /// instead of assuming every candidate pays a full decode.
 pub fn decode_cost(w: usize, h: usize, idct_edge: usize) -> f64 {
+    decode_cost_subsampled(w, h, idct_edge, false)
+}
+
+/// [`decode_cost`] extended with the chroma-storage axis: when
+/// `chroma_subsampled` is true the image stores chroma at half resolution
+/// per axis (4:2:0), so the two chroma components carry one block per
+/// *four* luma blocks — half the total entropy symbols and transform MACs
+/// of 4:4:4 at equal geometry. Pixel writes are unchanged (the output is
+/// still `w × h × 3` RGB at the decoded scale).
+pub fn decode_cost_subsampled(
+    w: usize,
+    h: usize,
+    idct_edge: usize,
+    chroma_subsampled: bool,
+) -> f64 {
     let n = idct_edge.clamp(1, DCT_BLOCK) as f64;
-    let blocks = (w.div_ceil(DCT_BLOCK) * h.div_ceil(DCT_BLOCK) * 3) as f64;
-    let entropy = blocks * ENTROPY_PER_BLOCK;
-    let idct = blocks * 2.0 * n * n * n * F32_FACTOR;
+    let luma_blocks = (w.div_ceil(DCT_BLOCK) * h.div_ceil(DCT_BLOCK)) as f64;
+    let chroma_blocks = if chroma_subsampled {
+        2.0 * (w.div_ceil(2 * DCT_BLOCK) * h.div_ceil(2 * DCT_BLOCK)) as f64
+    } else {
+        2.0 * luma_blocks
+    };
+    let entropy = (luma_blocks + chroma_blocks) * ENTROPY_PER_BLOCK;
+    // 4:2:0 chroma blocks reconstruct at min(8, 2n) points per axis (the
+    // half-resolution plane needs twice the per-block edge to cover the
+    // same output patch; see `sjpg::decode_scaled`).
+    let cn = if chroma_subsampled {
+        (2.0 * n).min(DCT_BLOCK as f64)
+    } else {
+        n
+    };
+    let idct = (luma_blocks * 2.0 * n * n * n + chroma_blocks * 2.0 * cn * cn * cn) * F32_FACTOR;
     let scale = n / DCT_BLOCK as f64;
     let written = (w as f64 * scale).ceil() * (h as f64 * scale).ceil() * 3.0;
     entropy + idct + written * (COLOR_CONVERT + MEM_PASS)
@@ -690,6 +718,39 @@ mod tests {
         // never collapses below the entropy floor.
         let blocks = (640usize.div_ceil(8) * 480usize.div_ceil(8) * 3) as f64;
         assert!(eighth > blocks * 300.0);
+    }
+
+    #[test]
+    fn subsampled_chroma_cuts_decode_cost() {
+        // 4:2:0 halves the entropy symbols (6 blocks per 16x16 instead of
+        // 12) and quarters the chroma block count, so full decode and deep
+        // reductions are strictly cheaper — but never below half of 4:4:4
+        // (entropy is halved exactly; luma and pixel writes are unchanged).
+        for edge in [8usize, 2, 1] {
+            let full = decode_cost_subsampled(640, 480, edge, false);
+            let sub = decode_cost_subsampled(640, 480, edge, true);
+            assert!(sub < full, "edge {edge}: sub {sub} vs full {full}");
+            assert!(sub > full * 0.5, "edge {edge}: sub {sub} vs full {full}");
+        }
+        // At edge 4 (factor-2 decode) the subsampled chroma blocks must run
+        // their IDCT at the full 8-point edge to land on the 8x8 patch, so
+        // the transform surcharge roughly cancels the entropy savings: the
+        // model pins near-parity there rather than a win.
+        let full4 = decode_cost_subsampled(640, 480, 4, false);
+        let sub4 = decode_cost_subsampled(640, 480, 4, true);
+        assert!(
+            (sub4 - full4).abs() < full4 * 0.05,
+            "sub {sub4} vs full {full4}"
+        );
+        // The flag-off variant is exactly the legacy cost.
+        assert_eq!(
+            decode_cost_subsampled(640, 480, 8, false),
+            decode_cost(640, 480, 8)
+        );
+        assert_eq!(
+            decode_cost_subsampled(897, 481, 2, false),
+            decode_cost(897, 481, 2)
+        );
     }
 
     #[test]

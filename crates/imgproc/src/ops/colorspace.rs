@@ -54,6 +54,57 @@ pub fn ycbcr_pixel_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
     (clamp_u8(r), clamp_u8(g), clamp_u8(b))
 }
 
+/// Converts a planar row of YCbCr samples to interleaved RGB.
+///
+/// This is the batched form of [`ycbcr_pixel_to_rgb`] used by the decode hot
+/// path: the three input planes are contiguous, the per-pixel body is
+/// branch-free integer fixed-point, and the loop carries no cross-pixel
+/// state, so the autovectorizer lifts it to SIMD. Bit-identical to calling
+/// the pixel kernel per sample (same arithmetic, same rounding).
+///
+/// `rgb` must hold exactly `3 * y.len()` bytes; `cb`/`cr` must match `y` in
+/// length.
+#[inline]
+pub fn ycbcr_row_to_rgb(y: &[u8], cb: &[u8], cr: &[u8], rgb: &mut [u8]) {
+    debug_assert_eq!(y.len(), cb.len());
+    debug_assert_eq!(y.len(), cr.len());
+    debug_assert_eq!(rgb.len(), 3 * y.len());
+    // Two passes per chunk: planar math first (contiguous u8 loads and
+    // stores per channel, so the autovectorizer lifts the multiply/clamp
+    // lanes), then a cheap interleave. Interleaved 3-byte strides in a
+    // single loop defeat vectorization entirely.
+    const CHUNK: usize = 128;
+    let mut rbuf = [0u8; CHUNK];
+    let mut gbuf = [0u8; CHUNK];
+    let mut bbuf = [0u8; CHUNK];
+    let mut x0 = 0usize;
+    while x0 < y.len() {
+        let n = (y.len() - x0).min(CHUNK);
+        for i in 0..n {
+            let yi = y[x0 + i] as i32;
+            let cri = cr[x0 + i] as i32 - 128;
+            rbuf[i] = clamp_u8(yi + ((R_CR * cri + HALF) >> FIX));
+        }
+        for i in 0..n {
+            let yi = y[x0 + i] as i32;
+            let cbi = cb[x0 + i] as i32 - 128;
+            let cri = cr[x0 + i] as i32 - 128;
+            gbuf[i] = clamp_u8(yi + ((G_CB * cbi + G_CR * cri + HALF) >> FIX));
+        }
+        for i in 0..n {
+            let yi = y[x0 + i] as i32;
+            let cbi = cb[x0 + i] as i32 - 128;
+            bbuf[i] = clamp_u8(yi + ((B_CB * cbi + HALF) >> FIX));
+        }
+        for (i, out) in rgb[3 * x0..3 * (x0 + n)].chunks_exact_mut(3).enumerate() {
+            out[0] = rbuf[i];
+            out[1] = gbuf[i];
+            out[2] = bbuf[i];
+        }
+        x0 += n;
+    }
+}
+
 /// Converts a 3-channel RGB image to YCbCr in place-shape (new image).
 pub fn rgb_to_ycbcr(img: &ImageU8) -> Result<ImageU8> {
     if img.channels() != 3 {
@@ -137,6 +188,25 @@ mod tests {
         assert_eq!(ycc.at(1, 1, 0), ey);
         assert_eq!(ycc.at(1, 1, 1), ecb);
         assert_eq!(ycc.at(1, 1, 2), ecr);
+    }
+
+    #[test]
+    fn row_kernel_is_bit_identical_to_pixel_kernel() {
+        let n = 67; // deliberately not a multiple of any SIMD width
+        let mut y = vec![0u8; n];
+        let mut cb = vec![0u8; n];
+        let mut cr = vec![0u8; n];
+        for i in 0..n {
+            y[i] = (i * 53 % 256) as u8;
+            cb[i] = (i * 91 % 256) as u8;
+            cr[i] = (i * 137 % 256) as u8;
+        }
+        let mut rgb = vec![0u8; 3 * n];
+        ycbcr_row_to_rgb(&y, &cb, &cr, &mut rgb);
+        for i in 0..n {
+            let (r, g, b) = ycbcr_pixel_to_rgb(y[i], cb[i], cr[i]);
+            assert_eq!(&rgb[3 * i..3 * i + 3], &[r, g, b], "i={i}");
+        }
     }
 
     #[test]

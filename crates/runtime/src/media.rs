@@ -152,11 +152,8 @@ mod tests {
         assert_eq!(item.output_count(video(FrameSelection::Stride(2))), 3);
         // Image modes on a GOP degrade to a full decode.
         assert_eq!(item.output_count(DecodeMode::Full), 6);
-        let img = EncodedImage::encode(
-            &ImageU8::zeros(16, 16, 3),
-            smol_codec::Format::Sjpg { quality: 80 },
-        )
-        .unwrap();
+        let img =
+            EncodedImage::encode(&ImageU8::zeros(16, 16, 3), smol_codec::Format::sjpg(80)).unwrap();
         assert_eq!(MediaItem::Image(img).output_count(DecodeMode::Full), 1);
     }
 

@@ -26,7 +26,7 @@ use crate::workers::{self, WorkerPool};
 use crossbeam::channel;
 use parking_lot::Mutex;
 use smol_accel::{DeviceStats, ModelKind, VirtualDevice};
-use smol_codec::EncodedImage;
+use smol_codec::{DecodeOptions, EncodedImage};
 use smol_core::{DecodeMode, QueryPlan};
 use smol_imgproc::dag::{plan_op_costs, OpSpec, Placement, PreprocPlan};
 use smol_imgproc::ops::fused::fused_convert_normalize_split_into;
@@ -58,6 +58,12 @@ pub struct RuntimeOptions {
     /// Extra host-side copy per batch (personalities without inference-
     /// engine integration, e.g. DALI→TensorRT, Appendix A.1).
     pub extra_copy_per_batch: bool,
+    /// Worker threads per *single* sjpg decode (band-parallel entropy
+    /// decoding over MCU rows). The default of 1 keeps decodes sequential:
+    /// the pipeline already runs one decode per producer thread, so
+    /// intra-decode parallelism only pays when producers are scarce
+    /// relative to cores (e.g. a latency-sensitive single-item path).
+    pub decode_workers: usize,
 }
 
 impl Default for RuntimeOptions {
@@ -70,6 +76,7 @@ impl Default for RuntimeOptions {
             pinned: true,
             extra_cpu_s_per_image: 0.0,
             extra_copy_per_batch: false,
+            decode_workers: 1,
         }
     }
 }
@@ -156,6 +163,8 @@ pub struct PlanContext {
     pub dnn: ModelKind,
     pub batch: usize,
     pub extra_stages: Vec<(ModelKind, f64)>,
+    /// Worker threads per sjpg decode (see [`RuntimeOptions::decode_workers`]).
+    pub decode_workers: usize,
 }
 
 impl PlanContext {
@@ -173,7 +182,14 @@ impl PlanContext {
             dnn: plan.dnn,
             batch: plan.batch.max(1),
             extra_stages: plan.extra_stages.clone(),
+            decode_workers: 1,
         }
+    }
+
+    /// Sets the per-decode worker count (band-parallel sjpg decoding).
+    pub fn with_decode_workers(mut self, workers: usize) -> Self {
+        self.decode_workers = workers.max(1);
+        self
     }
 
     /// Buffer-pool capacity that guarantees producers never starve on
@@ -233,7 +249,11 @@ pub fn produce_item(
     extra_cpu_s: f64,
 ) -> Result<ProducedItem> {
     let t0 = Instant::now();
-    let decoded = decode_item(enc, ctx.decode)?;
+    let decoded = decode_item_opts(
+        enc,
+        ctx.decode,
+        DecodeOptions::with_workers(ctx.decode_workers),
+    )?;
     let t1 = Instant::now();
     let decode_s = (t1 - t0).as_secs_f64();
     let mut buffer = pool.acquire();
@@ -357,8 +377,20 @@ fn decode_gop_frames(gop: &smol_video::EncodedGop, mode: DecodeMode) -> Result<V
 
 /// Decodes an item according to the plan's decode mode.
 pub fn decode_item(enc: &EncodedImage, mode: DecodeMode) -> Result<ImageU8> {
+    decode_item_opts(enc, mode, DecodeOptions::default())
+}
+
+/// [`decode_item`] with explicit decode options: `opts.workers > 1`
+/// band-parallelizes the entropy+IDCT pass of full and reduced-resolution
+/// sjpg decodes over MCU rows (bit-identical to the sequential decode).
+/// ROI/early-stop decodes stay sequential — they already skip most rows.
+pub fn decode_item_opts(
+    enc: &EncodedImage,
+    mode: DecodeMode,
+    opts: DecodeOptions,
+) -> Result<ImageU8> {
     match mode {
-        DecodeMode::Full => Ok(enc.decode()?),
+        DecodeMode::Full => Ok(enc.decode_with_opts(opts)?),
         DecodeMode::CentralRoi { crop_w, crop_h } => {
             let roi = Rect::centered(enc.width, enc.height, crop_w.max(1), crop_h.max(1));
             let (img, _) = enc.decode_roi(roi)?;
@@ -370,12 +402,12 @@ pub fn decode_item(enc: &EncodedImage, mode: DecodeMode) -> Result<ImageU8> {
             Ok(img)
         }
         DecodeMode::ReducedResolution { factor } => {
-            let (img, _) = enc.decode_scaled(factor as usize)?;
+            let (img, _) = enc.decode_scaled_opts(factor as usize, opts)?;
             Ok(img)
         }
         // A still image under a video plan has no GOP structure to
         // select within: decode it fully.
-        DecodeMode::Video { .. } => Ok(enc.decode()?),
+        DecodeMode::Video { .. } => Ok(enc.decode_with_opts(opts)?),
     }
 }
 
@@ -575,7 +607,7 @@ where
         ));
     }
     let opts = *opts;
-    let ctx = Arc::new(PlanContext::new(plan));
+    let ctx = Arc::new(PlanContext::new(plan).with_decode_workers(opts.decode_workers));
     let batch = ctx.batch;
     let producers = opts.effective_producers();
     let consumers = opts.consumers.max(1);
@@ -738,9 +770,7 @@ mod tests {
 
     fn encoded_batch(n: usize, w: usize, h: usize) -> Vec<EncodedImage> {
         (0..n)
-            .map(|i| {
-                EncodedImage::encode(&textured(w, h, i), Format::Sjpg { quality: 85 }).unwrap()
-            })
+            .map(|i| EncodedImage::encode(&textured(w, h, i), Format::sjpg(85)).unwrap())
             .collect()
     }
 
@@ -749,7 +779,7 @@ mod tests {
             dnn_input,
             ..Default::default()
         });
-        let input = InputVariant::new("test sjpg", Format::Sjpg { quality: 85 }, input_w, input_h);
+        let input = InputVariant::new("test sjpg", Format::sjpg(85), input_w, input_h);
         QueryPlan {
             dnn: ModelKind::ResNet50,
             input: input.clone(),
@@ -762,6 +792,39 @@ mod tests {
 
     fn fast_device() -> VirtualDevice {
         VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 0.02)
+    }
+
+    #[test]
+    fn parallel_decode_workers_are_bit_identical() {
+        // Band-parallel sjpg decoding must be invisible to the pipeline:
+        // same pixels for full, reduced, and (sequential-fallback) ROI
+        // decode modes at any worker count.
+        let enc = EncodedImage::encode(&textured(160, 112, 3), Format::sjpg(85)).unwrap();
+        let modes = [
+            smol_core::DecodeMode::Full,
+            smol_core::DecodeMode::ReducedResolution { factor: 2 },
+            smol_core::DecodeMode::CentralRoi {
+                crop_w: 96,
+                crop_h: 64,
+            },
+        ];
+        for mode in modes {
+            let seq = decode_item(&enc, mode).unwrap();
+            for workers in [2usize, 5] {
+                let par =
+                    decode_item_opts(&enc, mode, DecodeOptions::with_workers(workers)).unwrap();
+                assert_eq!(seq.data(), par.data(), "{mode:?} workers={workers}");
+            }
+        }
+        // And the option plumbs end-to-end through the pipeline.
+        let items = encoded_batch(8, 96, 80);
+        let plan = test_plan(96, 80, 64);
+        let opts = RuntimeOptions {
+            decode_workers: 3,
+            ..Default::default()
+        };
+        let report = run_throughput(&items, &plan, &fast_device(), &opts).unwrap();
+        assert_eq!(report.images, 8);
     }
 
     #[test]

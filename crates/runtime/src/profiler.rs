@@ -201,14 +201,14 @@ mod tests {
                 for (j, v) in img.data_mut().iter_mut().enumerate() {
                     *v = ((i * 31 + j * 7) % 256) as u8;
                 }
-                EncodedImage::encode(&img, Format::Sjpg { quality: 85 }).unwrap()
+                EncodedImage::encode(&img, Format::sjpg(85)).unwrap()
             })
             .collect()
     }
 
     fn plan() -> QueryPlan {
         let planner = Planner::default();
-        let input = InputVariant::new("t", Format::Sjpg { quality: 85 }, 96, 96);
+        let input = InputVariant::new("t", Format::sjpg(85), 96, 96);
         QueryPlan {
             dnn: ModelKind::ResNet50,
             input: input.clone(),

@@ -1051,7 +1051,7 @@ pub struct Explanation {
 ///         for (j, v) in img.data_mut().iter_mut().enumerate() {
 ///             *v = ((i * 31 + j * 7) % 256) as u8;
 ///         }
-///         EncodedImage::encode(&img, Format::Sjpg { quality: 85 }).unwrap()
+///         EncodedImage::encode(&img, Format::sjpg(85)).unwrap()
 ///     })
 ///     .collect();
 /// let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 0.05);
@@ -1060,7 +1060,7 @@ pub struct Explanation {
 ///     Dataset::new("photos")
 ///         .with_model(ModelKind::ResNet50)
 ///         .with_variant(
-///             InputVariant::new("full", Format::Sjpg { quality: 85 }, 64, 64),
+///             InputVariant::new("full", Format::sjpg(85), 64, 64),
 ///             images,
 ///         )
 ///         .with_calibration(Calibration::Table(

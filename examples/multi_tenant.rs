@@ -59,13 +59,13 @@ fn main() -> Result<(), smol::Error> {
     let natives = smol::data::throughput_images(spec, 11, 48);
     let full: Vec<EncodedImage> = natives
         .iter()
-        .map(|img| EncodedImage::encode(img, Format::Sjpg { quality: 95 }).unwrap())
+        .map(|img| EncodedImage::encode(img, Format::sjpg(95)).unwrap())
         .collect();
     let thumbs: Vec<EncodedImage> = natives
         .iter()
         .map(|img| {
             let t = resize_short_edge_u8(img, 120).unwrap();
-            EncodedImage::encode(&t, Format::Sjpg { quality: 75 }).unwrap()
+            EncodedImage::encode(&t, Format::sjpg(75)).unwrap()
         })
         .collect();
 
@@ -74,17 +74,11 @@ fn main() -> Result<(), smol::Error> {
             .with_model(ModelKind::ResNet50)
             .with_model(ModelKind::ResNet18)
             .with_variant(
-                InputVariant::new(
-                    "full-res sjpg(q=95)",
-                    Format::Sjpg { quality: 95 },
-                    320,
-                    240,
-                ),
+                InputVariant::new("full-res sjpg(q=95)", Format::sjpg(95), 320, 240),
                 full,
             )
             .with_variant(
-                InputVariant::new("120 sjpg(q=75)", Format::Sjpg { quality: 75 }, 160, 120)
-                    .thumbnail(),
+                InputVariant::new("120 sjpg(q=75)", Format::sjpg(75), 160, 120).thumbnail(),
                 thumbs,
             )
             .with_calibration(Calibration::Table(

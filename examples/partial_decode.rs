@@ -12,7 +12,7 @@ use std::time::Instant;
 fn main() {
     let spec = &still_catalog()[2]; // birds-200: 400x300 natives
     let img = &throughput_images(spec, 2, 1)[0];
-    let enc = EncodedImage::encode(img, Format::Sjpg { quality: 90 }).unwrap();
+    let enc = EncodedImage::encode(img, Format::sjpg(90)).unwrap();
     println!(
         "image {}x{}, encoded {} KiB",
         img.width(),

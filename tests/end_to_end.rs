@@ -42,8 +42,8 @@ fn plan_for(items: &[EncodedImage], fmt: Format, batch: usize) -> QueryPlan {
 /// execution rate (the paper's min() law, Eq. 4).
 #[test]
 fn pipeline_is_bounded_by_slow_dnn() {
-    let items = encode_batch(64, Format::Sjpg { quality: 85 });
-    let plan = plan_for(&items, Format::Sjpg { quality: 85 }, 16);
+    let items = encode_batch(64, Format::sjpg(85));
+    let plan = plan_for(&items, Format::sjpg(85), 16);
     // K80-class device: RN-50 at ~159 im/s — far below decode rates.
     let device = VirtualDevice::new(GpuModel::K80, ExecutionEnv::TensorRt, 1.0);
     let exec = device.model_throughput(ModelKind::ResNet50, 16);
@@ -59,8 +59,8 @@ fn pipeline_is_bounded_by_slow_dnn() {
 /// exec-only and additive models on a preprocessing-bound workload.
 #[test]
 fn smol_cost_model_wins_on_preproc_bound_run() {
-    let items = encode_batch(96, Format::Sjpg { quality: 75 });
-    let plan = plan_for(&items, Format::Sjpg { quality: 75 }, 16);
+    let items = encode_batch(96, Format::sjpg(75));
+    let plan = plan_for(&items, Format::sjpg(75), 16);
     let preproc =
         smol::runtime::measure_preproc_pipelined(&items, &plan, &RuntimeOptions::default());
     let device = VirtualDevice::new(GpuModel::T4, ExecutionEnv::TensorRt, 1.0);
@@ -150,7 +150,7 @@ fn planner_prefers_thumbnails_with_measured_rates() {
         let spec = &still_catalog()[3];
         throughput_images(spec, 6, 32)
             .iter()
-            .map(|img| EncodedImage::encode(img, Format::Sjpg { quality: 95 }).unwrap())
+            .map(|img| EncodedImage::encode(img, Format::sjpg(95)).unwrap())
             .collect::<Vec<_>>()
     };
     let thumb_items = encode_batch(32, Format::Spng);
@@ -172,7 +172,7 @@ fn planner_prefers_thumbnails_with_measured_rates() {
             smol::runtime::measure_preproc_pipelined(items, &plan, &RuntimeOptions::default());
         (input, rate)
     };
-    let (full_input, full_rate) = mk(&full_items, "full", Format::Sjpg { quality: 95 }, false);
+    let (full_input, full_rate) = mk(&full_items, "full", Format::sjpg(95), false);
     let (thumb_input, thumb_rate) = mk(&thumb_items, "thumb", Format::Spng, true);
     assert!(
         thumb_rate > full_rate,
@@ -215,14 +215,14 @@ fn session_matches_manual_plan_selection() {
         let spec = &still_catalog()[3];
         throughput_images(spec, 6, n)
             .iter()
-            .map(|img| EncodedImage::encode(img, Format::Sjpg { quality: 95 }).unwrap())
+            .map(|img| EncodedImage::encode(img, Format::sjpg(95)).unwrap())
             .collect()
     };
-    let thumb_items = encode_batch(n, Format::Sjpg { quality: 75 });
-    let full_input = InputVariant::new("full", Format::Sjpg { quality: 95 }, 320, 240);
+    let thumb_items = encode_batch(n, Format::sjpg(75));
+    let full_input = InputVariant::new("full", Format::sjpg(95), 320, 240);
     let thumb_input = InputVariant::new(
         "thumb",
-        Format::Sjpg { quality: 75 },
+        Format::sjpg(75),
         thumb_items[0].width,
         thumb_items[0].height,
     )

@@ -30,7 +30,7 @@ fn facade_types_are_constructible() {
     let optimized = DagOptimizer::default().optimize(&plan, 640, 480);
     assert!(optimized.ops.len() <= plan.ops.len());
 
-    let encoded = EncodedImage::encode(&img, Format::Sjpg { quality: 90 }).unwrap();
+    let encoded = EncodedImage::encode(&img, Format::sjpg(90)).unwrap();
     assert_eq!((encoded.width, encoded.height), (8, 8));
     let _ = SjpgEncoder::new(90);
 

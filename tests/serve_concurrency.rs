@@ -24,9 +24,7 @@ fn textured(w: usize, h: usize, seed: usize) -> ImageU8 {
 
 fn encoded_batch(n: usize, w: usize, h: usize, seed: usize) -> Vec<EncodedImage> {
     (0..n)
-        .map(|i| {
-            EncodedImage::encode(&textured(w, h, seed + i), Format::Sjpg { quality: 85 }).unwrap()
-        })
+        .map(|i| EncodedImage::encode(&textured(w, h, seed + i), Format::sjpg(85)).unwrap())
         .collect()
 }
 
@@ -36,7 +34,7 @@ fn plan_for(dnn: ModelKind, w: usize, h: usize, dnn_input: u32, batch: usize) ->
         batch,
         ..Default::default()
     });
-    let input = InputVariant::new(format!("{w}x{h} sjpg"), Format::Sjpg { quality: 85 }, w, h);
+    let input = InputVariant::new(format!("{w}x{h} sjpg"), Format::sjpg(85), w, h);
     QueryPlan {
         dnn,
         input: input.clone(),

@@ -18,7 +18,7 @@ fn signatures() -> Vec<Arc<PlacementSignature>> {
         Arc::new(
             QueryPlan {
                 dnn,
-                input: InputVariant::new("in", Format::Sjpg { quality: 85 }, 640, 480),
+                input: InputVariant::new("in", Format::sjpg(85), 640, 480),
                 preproc: PreprocPlan::standard(256, crop, crop),
                 decode: DecodeMode::Full,
                 batch,

@@ -47,12 +47,12 @@ fn table_dataset(name: &str) -> Dataset {
         .with_model(ModelKind::ResNet50)
         .with_model(ModelKind::ResNet34)
         .with_variant(
-            InputVariant::new("full", Format::Sjpg { quality: 95 }, 96, 96),
-            encode_all(&natives, Format::Sjpg { quality: 95 }),
+            InputVariant::new("full", Format::sjpg(95), 96, 96),
+            encode_all(&natives, Format::sjpg(95)),
         )
         .with_variant(
-            InputVariant::new("thumb", Format::Sjpg { quality: 75 }, 64, 64).thumbnail(),
-            encode_all(&thumbs, Format::Sjpg { quality: 75 }),
+            InputVariant::new("thumb", Format::sjpg(75), 64, 64).thumbnail(),
+            encode_all(&thumbs, Format::sjpg(75)),
         )
         .with_calibration(Calibration::Table(
             AccuracyTable::new()
@@ -229,8 +229,8 @@ fn shared_cache_distinguishes_same_named_datasets() {
     let other = Dataset::new("tiny")
         .with_model(ModelKind::ResNet34)
         .with_variant(
-            InputVariant::new("only", Format::Sjpg { quality: 85 }, 96, 96),
-            encode_all(&natives, Format::Sjpg { quality: 85 }),
+            InputVariant::new("only", Format::sjpg(85), 96, 96),
+            encode_all(&natives, Format::sjpg(85)),
         )
         .with_calibration(Calibration::Table(AccuracyTable::new().with(
             ModelKind::ResNet34,
@@ -289,8 +289,8 @@ fn uncalibrated_dataset_yields_no_candidates() {
             Dataset::new("blank")
                 .with_model(ModelKind::ResNet50)
                 .with_variant(
-                    InputVariant::new("full", Format::Sjpg { quality: 95 }, 96, 96),
-                    encode_all(&natives, Format::Sjpg { quality: 95 }),
+                    InputVariant::new("full", Format::sjpg(95), 96, 96),
+                    encode_all(&natives, Format::sjpg(95)),
                 ),
         )
         .unwrap();
@@ -351,12 +351,12 @@ fn measured_calibration_derives_candidates() {
                 .with_model(ModelKind::ResNet50)
                 .with_model(ModelKind::ResNet34) // no predictor: skipped
                 .with_variant(
-                    InputVariant::new("full", Format::Sjpg { quality: 95 }, 96, 96),
-                    encode_all(&images, Format::Sjpg { quality: 95 }),
+                    InputVariant::new("full", Format::sjpg(95), 96, 96),
+                    encode_all(&images, Format::sjpg(95)),
                 )
                 .with_variant(
-                    InputVariant::new("thumb", Format::Sjpg { quality: 75 }, 64, 64).thumbnail(),
-                    encode_all(&thumbs, Format::Sjpg { quality: 75 }),
+                    InputVariant::new("thumb", Format::sjpg(75), 64, 64).thumbnail(),
+                    encode_all(&thumbs, Format::sjpg(75)),
                 )
                 .with_calibration(Calibration::Measured(
                     MeasuredCalibration::new(images, labels)
@@ -500,8 +500,8 @@ fn throughput_constrained_query_degrades_under_pressure() {
                 .with_model(ModelKind::ResNet50)
                 .with_model(ModelKind::ResNet34)
                 .with_variant(
-                    InputVariant::new("full", Format::Sjpg { quality: 95 }, 96, 96),
-                    encode_all(&natives, Format::Sjpg { quality: 95 }),
+                    InputVariant::new("full", Format::sjpg(95), 96, 96),
+                    encode_all(&natives, Format::sjpg(95)),
                 )
                 .with_calibration(Calibration::Table(
                     AccuracyTable::new()

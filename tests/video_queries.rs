@@ -130,7 +130,7 @@ fn video_and_image_queries_do_not_cross_batch() {
         extra_stages: Vec::new(),
     };
 
-    let image_input = InputVariant::new("stills", Format::Sjpg { quality: 85 }, 96, 96);
+    let image_input = InputVariant::new("stills", Format::sjpg(85), 96, 96);
     let image_plan = QueryPlan {
         dnn: ModelKind::ResNet50,
         input: image_input.clone(),
@@ -151,7 +151,7 @@ fn video_and_image_queries_do_not_cross_batch() {
     assert_ne!(vs, is, "frame selection must split the signatures");
 
     let images: Vec<EncodedImage> = (0..24)
-        .map(|i| EncodedImage::encode(&textured(96, 96, i), Format::Sjpg { quality: 85 }).unwrap())
+        .map(|i| EncodedImage::encode(&textured(96, 96, i), Format::sjpg(85)).unwrap())
         .collect();
 
     let server = Server::new(fast_device(), ServerConfig::default());
