@@ -170,6 +170,7 @@ fn main() {
         reduced_accuracy: Some(accuracy - 0.05),
         cascade: None,
         video: None,
+        storage: None,
     };
     // Measure real relative decode throughput of the two chroma layouts.
     let enc444 = EncodedImage::encode(&natives[0], Format::sjpg(90)).expect("encode 444");

@@ -286,6 +286,7 @@ pub fn candidate(
         reduced_accuracy: None,
         cascade: None,
         video: None,
+        storage: None,
     }
 }
 

@@ -43,10 +43,9 @@ pub mod registry;
 pub mod sjpg;
 pub mod spng;
 
+pub use bytes::Bytes;
 pub use error::{Error, Result};
 pub use sjpg::{DecodeOptions, DecodeStats, SjpgEncoder};
-
-use bytes::Bytes;
 use smol_imgproc::{ImageU8, Rect};
 
 /// sjpg chroma storage mode — the planner's cheapest *encode-side* variant
@@ -286,6 +285,28 @@ impl EncodedImage {
         self.bytes.len()
     }
 
+    /// Content fingerprint: FNV-1a 64 over the format tag, dimensions, and
+    /// the encoded bytes. Stable across processes (unlike
+    /// `std::collections::hash_map::DefaultHasher`), so it can name objects
+    /// in an on-disk content-addressed store and key decoded-tensor caches
+    /// consistently between a materialization run and a later serving run.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.format.name().as_bytes());
+        eat(&(self.width as u64).to_le_bytes());
+        eat(&(self.height as u64).to_le_bytes());
+        eat(&self.bytes);
+        h
+    }
+
     /// Compression ratio relative to raw RGB.
     pub fn compression_ratio(&self) -> f64 {
         (self.width * self.height * 3) as f64 / self.bytes.len() as f64
@@ -352,6 +373,41 @@ mod tests {
                 assert_eq!(stats, DecodeStats::default());
             }
         }
+    }
+
+    #[test]
+    fn fingerprints_separate_content_format_and_shape() {
+        let img = textured(48, 40);
+        let a = EncodedImage::encode(&img, Format::sjpg(90)).unwrap();
+        // Deterministic: same encode → same fingerprint.
+        assert_eq!(
+            a.fingerprint(),
+            EncodedImage::encode(&img, Format::sjpg(90))
+                .unwrap()
+                .fingerprint()
+        );
+        // Format, content, and shape each change the fingerprint.
+        let b = EncodedImage::encode(&img, Format::sjpg420(90)).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let other = EncodedImage::encode(&textured(48, 41), Format::sjpg(90)).unwrap();
+        assert_ne!(a.fingerprint(), other.fingerprint());
+        // Pinned value: the fingerprint is part of the on-disk store layout,
+        // so it must stay stable across processes and releases.
+        let empty = EncodedImage {
+            format: Format::Spng,
+            width: 0,
+            height: 0,
+            bytes: Bytes::new(),
+        };
+        assert_eq!(empty.fingerprint(), {
+            // FNV-1a of "spng" + two zero u64s, computed independently.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in b"spng\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0" {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        });
     }
 
     #[test]

@@ -334,6 +334,7 @@ pub struct PlannerKey {
     pub enable_dag_opt: bool,
     pub enable_multires: bool,
     pub enable_video: bool,
+    pub enable_storage_aware: bool,
     pub dnn_input: u32,
 }
 
@@ -350,6 +351,7 @@ impl PlannerConfig {
             enable_dag_opt: self.enable_dag_opt,
             enable_multires: self.enable_multires,
             enable_video: self.enable_video,
+            enable_storage_aware: self.enable_storage_aware,
             dnn_input: self.dnn_input,
         }
     }
@@ -554,6 +556,10 @@ mod tests {
             },
             PlannerConfig {
                 enable_video: false,
+                ..base
+            },
+            PlannerConfig {
+                enable_storage_aware: false,
                 ..base
             },
             PlannerConfig {

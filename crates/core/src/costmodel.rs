@@ -69,6 +69,91 @@ pub fn cascade_exec_throughput(stages: &[CascadeStage]) -> f64 {
     }
 }
 
+/// Storage-side profile of a candidate whose input variant is
+/// materialized in the physical-representation store (ROADMAP item 2,
+/// Tahoma-style storage-as-plan-space). The planner folds these terms
+/// into the candidate's preprocessing throughput so "pay storage, skip
+/// decode" competes with "transcode on the fly" inside the ordinary
+/// `min(preproc, exec)` estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageProfile {
+    /// Items/s at which the materialized variant's encoded bytes read
+    /// back from the store (manifest + object reads). Non-positive or
+    /// non-finite means "free" (already resident in memory).
+    pub read_throughput: f64,
+    /// Amortized per-item transcode cost in seconds: the one-time
+    /// encode-and-persist bill divided by the items served since. Zero
+    /// for a corpus materialized in an earlier session.
+    pub transcode_amortized_s: f64,
+    /// Items/s of the cached-tensor path: decode skipped, only the CPU
+    /// preprocessing prefix runs. Profiled under the candidate's base
+    /// decode mode.
+    pub cached_throughput: f64,
+    /// Expected fraction of items served from the decoded-tensor cache
+    /// (the serving layer's observed hit rate, in [0, 1]).
+    pub cache_hit_rate: f64,
+}
+
+impl StorageProfile {
+    /// A profile for a corpus materialized in a previous session and not
+    /// yet hot in the tensor cache: reads are paid, transcode is sunk,
+    /// nothing hits.
+    pub fn cold(read_throughput: f64) -> Self {
+        StorageProfile {
+            read_throughput,
+            transcode_amortized_s: 0.0,
+            cached_throughput: 0.0,
+            cache_hit_rate: 0.0,
+        }
+    }
+
+    /// The same corpus with an observed tensor-cache hit rate.
+    pub fn with_cache(mut self, cached_throughput: f64, hit_rate: f64) -> Self {
+        self.cached_throughput = cached_throughput;
+        self.cache_hit_rate = hit_rate.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Effective preprocessing throughput of a candidate backed by the
+/// physical-representation store. Per-item time decomposes as
+///
+/// ```text
+/// t = hit/cached + (1 − hit)/preproc + 1/read + transcode_amortized
+/// ```
+///
+/// — the cache serves `hit` of the stream at the decode-free rate, the
+/// rest pays the full decode+preprocess path, and every item pays the
+/// storage read plus its share of the transcode bill. Degenerate inputs
+/// (zero/non-finite rates) drop their term rather than poisoning the
+/// estimate.
+pub fn storage_adjusted_preproc(preproc_throughput: f64, storage: &StorageProfile) -> f64 {
+    let per_item = |throughput: f64| -> f64 {
+        if throughput.is_finite() && throughput > 0.0 {
+            1.0 / throughput
+        } else {
+            0.0
+        }
+    };
+    let hit = storage.cache_hit_rate.clamp(0.0, 1.0);
+    // A hot fraction with no cached-rate profile falls back to the plain
+    // preprocessing rate (no credit without a measurement).
+    let cached = if storage.cached_throughput.is_finite() && storage.cached_throughput > 0.0 {
+        storage.cached_throughput
+    } else {
+        preproc_throughput
+    };
+    let t = hit * per_item(cached)
+        + (1.0 - hit) * per_item(preproc_throughput)
+        + per_item(storage.read_throughput)
+        + storage.transcode_amortized_s.max(0.0);
+    if t <= 0.0 {
+        preproc_throughput
+    } else {
+        1.0 / t
+    }
+}
+
 /// Estimated end-to-end throughput under a given cost model.
 pub fn estimate_throughput(
     kind: CostModelKind,
@@ -199,5 +284,64 @@ mod tests {
     fn percent_error_symmetric_in_magnitude() {
         assert!((percent_error(110.0, 100.0) - 10.0).abs() < 1e-9);
         assert!((percent_error(90.0, 100.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_storage_approaches_the_cached_rate() {
+        // Everything hits, reads are fast: effective preproc ≈ harmonic
+        // combination of the cached rate and the storage read.
+        let hot = StorageProfile {
+            read_throughput: 50_000.0,
+            transcode_amortized_s: 0.0,
+            cached_throughput: 5_000.0,
+            cache_hit_rate: 1.0,
+        };
+        let eff = storage_adjusted_preproc(500.0, &hot);
+        let expect = 1.0 / (1.0 / 5_000.0 + 1.0 / 50_000.0);
+        assert!((eff - expect).abs() < 1e-6, "eff={eff}");
+        assert!(eff > 500.0 * 5.0, "hot corpus must beat raw decode");
+    }
+
+    #[test]
+    fn cold_storage_charges_read_and_transcode() {
+        // Nothing hits and the corpus still owes its transcode bill: the
+        // effective rate drops below the plain decode path.
+        let cold = StorageProfile {
+            read_throughput: 2_000.0,
+            transcode_amortized_s: 1.0 / 1_000.0,
+            cached_throughput: 0.0,
+            cache_hit_rate: 0.0,
+        };
+        let eff = storage_adjusted_preproc(500.0, &cold);
+        let expect = 1.0 / (1.0 / 500.0 + 1.0 / 2_000.0 + 1.0 / 1_000.0);
+        assert!((eff - expect).abs() < 1e-6, "eff={eff}");
+        assert!(eff < 500.0);
+    }
+
+    #[test]
+    fn partial_hit_rate_interpolates_between_paths() {
+        let sp = StorageProfile::cold(f64::INFINITY).with_cache(4_000.0, 0.5);
+        let eff = storage_adjusted_preproc(500.0, &sp);
+        let expect = 1.0 / (0.5 / 4_000.0 + 0.5 / 500.0);
+        assert!((eff - expect).abs() < 1e-6, "eff={eff}");
+        assert!(eff > 500.0 && eff < 4_000.0);
+    }
+
+    #[test]
+    fn degenerate_storage_terms_do_not_poison_the_estimate() {
+        // Free reads, no cache data: the profile is a no-op.
+        let noop = StorageProfile::cold(f64::INFINITY);
+        assert_eq!(storage_adjusted_preproc(500.0, &noop), 500.0);
+        // Hit fraction with no cached-rate measurement: no credit.
+        let unmeasured = StorageProfile {
+            read_throughput: f64::INFINITY,
+            transcode_amortized_s: 0.0,
+            cached_throughput: 0.0,
+            cache_hit_rate: 0.9,
+        };
+        assert_eq!(storage_adjusted_preproc(500.0, &unmeasured), 500.0);
+        // Out-of-range hit rates clamp instead of extrapolating.
+        let sp = StorageProfile::cold(f64::INFINITY).with_cache(4_000.0, 3.0);
+        assert_eq!(sp.cache_hit_rate, 1.0);
     }
 }

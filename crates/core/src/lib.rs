@@ -38,7 +38,8 @@ pub mod rewrite;
 
 pub use constraints::{Constraint, ConstraintKey, PlanError, PlannerKey};
 pub use costmodel::{
-    cascade_exec_throughput, estimate_throughput, percent_error, CascadeStage, CostModelKind,
+    cascade_exec_throughput, estimate_throughput, percent_error, storage_adjusted_preproc,
+    CascadeStage, CostModelKind, StorageProfile,
 };
 pub use pareto::{max_accuracy_with_throughput, max_throughput_with_accuracy, pareto_frontier};
 pub use placement::{choose_placement, PlacementDecision, PlacementRates};

@@ -3,7 +3,9 @@
 //! constraint-satisfying plan.
 
 use crate::constraints::{Constraint, PlanError};
-use crate::costmodel::{estimate_throughput, CascadeStage, CostModelKind};
+use crate::costmodel::{
+    estimate_throughput, storage_adjusted_preproc, CascadeStage, CostModelKind, StorageProfile,
+};
 use crate::pareto;
 use crate::plan::{DecodeMode, FrameSelection, InputVariant, PlanCandidate, QueryPlan};
 use crate::rewrite::{
@@ -36,6 +38,12 @@ pub struct CandidateSpec {
     /// carries over), mirroring `reduced_accuracy`'s semantics. Ignored
     /// for still inputs.
     pub video: Option<VideoFidelity>,
+    /// Storage-side profile when this candidate's variant is materialized
+    /// in the physical-representation store: storage-read and
+    /// transcode-amortization terms plus the tensor-cache hit signal fold
+    /// into the preprocessing estimate ([`storage_adjusted_preproc`]).
+    /// `None` for a purely on-the-fly variant.
+    pub storage: Option<StorageProfile>,
 }
 
 /// Per-knob calibrated accuracies for reduced-fidelity video decoding
@@ -96,6 +104,11 @@ pub struct PlannerConfig {
     /// selection, deblock skipping) for GOP-structured inputs. Off in the
     /// "-Video" lesion, which leaves only the full-GOP full-fidelity plan.
     pub enable_video: bool,
+    /// Fold [`CandidateSpec::storage`] profiles into the preprocessing
+    /// estimate (storage reads, transcode amortization, tensor-cache hit
+    /// rate). Off in the "-Storage" lesion, which prices every candidate
+    /// as if it decoded from scratch.
+    pub enable_storage_aware: bool,
     /// DNN input edge (224 in the paper's pipelines).
     pub dnn_input: u32,
 }
@@ -111,6 +124,7 @@ impl Default for PlannerConfig {
             enable_dag_opt: true,
             enable_multires: true,
             enable_video: true,
+            enable_storage_aware: true,
             dnn_input: 224,
         }
     }
@@ -252,6 +266,15 @@ impl Planner {
         accuracy: f64,
         exec_scale: f64,
     ) -> PlanCandidate {
+        // Storage-aware costing: a materialized variant's read and
+        // transcode-amortization terms plus its cache-hit signal reshape
+        // the preprocessing estimate before the pipelining law applies.
+        let preproc_throughput = match &s.storage {
+            Some(storage) if self.config.enable_storage_aware => {
+                storage_adjusted_preproc(preproc_throughput, storage)
+            }
+            _ => preproc_throughput,
+        };
         let mut exec_stages = s.cascade.clone().unwrap_or_else(|| {
             CascadeStage::single(throughput(
                 s.dnn,
@@ -484,6 +507,7 @@ mod tests {
                 reduced_accuracy: None,
                 cascade: None,
                 video: None,
+                storage: None,
             },
             CandidateSpec {
                 dnn: ModelKind::ResNet34,
@@ -493,6 +517,7 @@ mod tests {
                 reduced_accuracy: None,
                 cascade: None,
                 video: None,
+                storage: None,
             },
             CandidateSpec {
                 dnn: ModelKind::ResNet50,
@@ -502,6 +527,7 @@ mod tests {
                 reduced_accuracy: None,
                 cascade: None,
                 video: None,
+                storage: None,
             },
             CandidateSpec {
                 dnn: ModelKind::ResNet34,
@@ -511,6 +537,7 @@ mod tests {
                 reduced_accuracy: None,
                 cascade: None,
                 video: None,
+                storage: None,
             },
         ]
     }
@@ -608,6 +635,7 @@ mod tests {
             reduced_accuracy,
             cascade: None,
             video: None,
+            storage: None,
         }
     }
 
@@ -701,6 +729,7 @@ mod tests {
             reduced_accuracy: None,
             cascade: None,
             video,
+            storage: None,
         }
     }
 
@@ -836,6 +865,7 @@ mod tests {
             reduced_accuracy: None,
             cascade: None,
             video: None,
+            storage: None,
         };
         let c420 = CandidateSpec {
             dnn: ModelKind::ResNet50,
@@ -845,6 +875,7 @@ mod tests {
             reduced_accuracy: None,
             cascade: None,
             video: None,
+            storage: None,
         };
         let specs = [c444, c420];
         let chosen = planner
@@ -872,6 +903,90 @@ mod tests {
             .plan(&specs, &Constraint::MinAccuracy(0.7516))
             .unwrap();
         assert!(!strict.plan.input.format.is_chroma_subsampled());
+    }
+
+    #[test]
+    fn storage_aware_costing_flips_to_the_materialized_variant() {
+        // The same content twice: an on-the-fly transcode path and a
+        // materialized variant with a hot tensor cache. Equal accuracy,
+        // equal raw preprocessing rate — only the storage terms differ.
+        let on_the_fly = CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input: InputVariant::new("otf sjpg(q=95)", Format::sjpg(95), 480, 360),
+            accuracy: 0.75,
+            preproc_throughput: 500.0,
+            reduced_accuracy: None,
+            cascade: None,
+            video: None,
+            // On-the-fly transcode: every query pays the encode again.
+            storage: Some(StorageProfile {
+                read_throughput: f64::INFINITY,
+                transcode_amortized_s: 1.0 / 250.0,
+                cached_throughput: 0.0,
+                cache_hit_rate: 0.0,
+            }),
+        };
+        let materialized = CandidateSpec {
+            input: InputVariant::new("store sjpg(q=95)", Format::sjpg(95), 480, 360),
+            storage: Some(StorageProfile {
+                read_throughput: 20_000.0,
+                transcode_amortized_s: 0.0,
+                cached_throughput: 5_000.0,
+                cache_hit_rate: 0.95,
+            }),
+            ..on_the_fly.clone()
+        };
+        let specs = [on_the_fly.clone(), materialized];
+        let planner = Planner::default();
+        let chosen = planner
+            .plan(&specs, &Constraint::MaxAccuracyLoss(0.0))
+            .unwrap();
+        assert_eq!(
+            chosen.plan.input.name, "store sjpg(q=95)",
+            "hot storage must beat re-transcoding"
+        );
+        // A cold store (no hits, reads still paid, transcode still owed)
+        // loses to the plain decode path.
+        let cold = CandidateSpec {
+            input: InputVariant::new("cold sjpg(q=95)", Format::sjpg(95), 480, 360),
+            storage: Some(StorageProfile {
+                read_throughput: 1_000.0,
+                transcode_amortized_s: 1.0 / 200.0,
+                cached_throughput: 0.0,
+                cache_hit_rate: 0.0,
+            }),
+            ..on_the_fly.clone()
+        };
+        let plain = CandidateSpec {
+            input: InputVariant::new("plain sjpg(q=95)", Format::sjpg(95), 480, 360),
+            storage: None,
+            ..on_the_fly.clone()
+        };
+        let chosen = planner
+            .plan(
+                &[cold.clone(), plain.clone()],
+                &Constraint::MaxAccuracyLoss(0.0),
+            )
+            .unwrap();
+        assert_eq!(chosen.plan.input.name, "plain sjpg(q=95)");
+        // The "-Storage" lesion prices the storage terms away entirely.
+        let lesioned = Planner::new(PlannerConfig {
+            enable_storage_aware: false,
+            ..Default::default()
+        });
+        let cands = lesioned.enumerate(&[cold, plain]);
+        let tputs = |name: &str| {
+            cands
+                .iter()
+                .filter(|c| c.plan.input.name == name)
+                .map(|c| c.preproc_throughput)
+                .collect::<Vec<_>>()
+        };
+        let (cold_t, plain_t) = (tputs("cold sjpg(q=95)"), tputs("plain sjpg(q=95)"));
+        assert!(!cold_t.is_empty() && cold_t.len() == plain_t.len());
+        for (a, b) in cold_t.iter().zip(&plain_t) {
+            assert!((a - b).abs() < 1e-9, "lesion ignores storage profiles");
+        }
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   codecs) materialized for dataset registration;
 //! * [`stills`] — the class-image generator with controlled frequency
 //!   content (the mechanism behind the §5.2/§5.3 accuracy shapes);
+//! * [`store`] — the persistent physical-representation store: serving
+//!   ladders materialized ahead of time under a content-addressed layout
+//!   (objects named by content fingerprint + a plain-text manifest), so
+//!   repeat sessions read variants instead of re-encoding;
 //! * [`video`] — traffic scenes with ground-truth per-frame counts and
 //!   temporally autocorrelated count series (the mechanism behind §8.4);
 //! * [`gops`] — the traffic scenes encoded through the real `smol_video`
@@ -21,6 +25,7 @@ pub mod catalog;
 pub mod gops;
 pub mod registry;
 pub mod stills;
+pub mod store;
 pub mod video;
 
 pub use catalog::{
@@ -29,4 +34,5 @@ pub use catalog::{
 pub use gops::{gop_corpus, GopCorpus};
 pub use registry::{encode_variant, serving_variants, EncodedVariant};
 pub use stills::{generate_stills, render_instance, throughput_images, StillDataset};
+pub use store::{MaterializeReport, VariantStore};
 pub use video::{count_autocorrelation, generate_video, SyntheticVideo};

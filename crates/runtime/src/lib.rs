@@ -16,6 +16,9 @@
 //! * [`bufferpool`] — bounded recycled staging buffers with backpressure;
 //! * [`workers`] — persistent stage-thread pool, reused across runs (and
 //!   shared with the `smol_serve` multi-query runtime);
+//! * [`tensorcache`] — the bounded decoded-tensor LRU cache with
+//!   single-flight fill: repeat queries over a hot corpus skip decode
+//!   entirely (the in-memory half of the physical-representation store);
 //! * [`profiler`] — preprocessing/decode/execution throughput measurement;
 //! * [`personalities`] — DALI-like and PyTorch-like configurations
 //!   (Figure 10).
@@ -25,6 +28,7 @@ pub mod media;
 pub mod personalities;
 pub mod pipeline;
 pub mod profiler;
+pub mod tensorcache;
 pub mod workers;
 
 pub use bufferpool::{BufferPool, PoolStats, PooledBuffer};
@@ -39,4 +43,5 @@ pub use profiler::{
     measure_decode_throughput, measure_exec_throughput, measure_media_preproc_pipelined,
     measure_preproc_pipelined, measure_preproc_throughput, Profiler,
 };
+pub use tensorcache::{TensorCache, TensorCacheStats};
 pub use workers::WorkerPool;

@@ -22,6 +22,7 @@
 
 use crate::bufferpool::{BufferPool, PoolStats, PooledBuffer};
 use crate::media::{video_decode_params, wrap_images, MediaItem};
+use crate::tensorcache::TensorCache;
 use crate::workers::{self, WorkerPool};
 use crossbeam::channel;
 use parking_lot::Mutex;
@@ -235,11 +236,19 @@ pub struct ProducedItem {
     pub decode_s: f64,
     /// CPU seconds spent preprocessing this item (incl. staging/waits).
     pub preproc_s: f64,
+    /// True when the decode was served from the tensor cache (this item
+    /// paid no decode work; `decode_s` is 0).
+    pub cache_hit: bool,
 }
 
 /// Runs the per-image producer stage: decode per the plan's decode mode,
 /// execute the CPU-placed preprocessing prefix into a pooled staging
 /// buffer, and return the staged work item.
+///
+/// When `cache` is provided, the decode is routed through the
+/// decoded-tensor cache keyed on (content fingerprint, decode mode): a
+/// hit skips decoding entirely (bit-identical pixels, `decode_s = 0`),
+/// and concurrent misses on the same key single-flight into one decode.
 pub fn produce_item(
     ctx: &PlanContext,
     idx: usize,
@@ -247,19 +256,30 @@ pub fn produce_item(
     pool: &BufferPool,
     keep_image: bool,
     extra_cpu_s: f64,
+    cache: Option<&TensorCache>,
 ) -> Result<ProducedItem> {
     let t0 = Instant::now();
-    let decoded = decode_item_opts(
-        enc,
-        ctx.decode,
-        DecodeOptions::with_workers(ctx.decode_workers),
-    )?;
+    let decode = || {
+        decode_item_opts(
+            enc,
+            ctx.decode,
+            DecodeOptions::with_workers(ctx.decode_workers),
+        )
+    };
+    let (decoded, cache_hit) = match cache {
+        Some(cache) => cache.get_or_decode(enc.fingerprint(), ctx.decode, decode)?,
+        None => (Arc::new(decode()?), false),
+    };
     let t1 = Instant::now();
-    let decode_s = (t1 - t0).as_secs_f64();
+    let decode_s = if cache_hit {
+        0.0
+    } else {
+        (t1 - t0).as_secs_f64()
+    };
     let mut buffer = pool.acquire();
-    let image = keep_image.then(|| decoded.clone());
+    let image = keep_image.then(|| (*decoded).clone());
     let (transfer_bytes, accel_ops) =
-        run_cpu_prefix(&ctx.preproc, decoded, &ctx.norm, buffer.as_mut_slice())?;
+        run_cpu_prefix(&ctx.preproc, &decoded, &ctx.norm, buffer.as_mut_slice())?;
     if extra_cpu_s > 0.0 {
         std::thread::sleep(Duration::from_secs_f64(extra_cpu_s));
     }
@@ -271,6 +291,7 @@ pub fn produce_item(
         image,
         decode_s,
         preproc_s: t1.elapsed().as_secs_f64(),
+        cache_hit,
     })
 }
 
@@ -320,7 +341,9 @@ pub fn execute_device_batch(
 /// delegate to [`produce_item`]; GOP items decode once per the plan's
 /// frame selection and stage every selected frame as its own work item
 /// (indices `base_idx..base_idx + fanout`), with the decode time split
-/// evenly across them.
+/// evenly across them. The tensor cache applies to still items only —
+/// GOP decodes are sequential through the reference chain and their
+/// frames fan out, so caching them is a separate (per-frame) problem.
 pub fn produce_media_item(
     ctx: &PlanContext,
     base_idx: usize,
@@ -328,6 +351,7 @@ pub fn produce_media_item(
     pool: &BufferPool,
     keep_image: bool,
     extra_cpu_s: f64,
+    cache: Option<&TensorCache>,
 ) -> Result<Vec<ProducedItem>> {
     let gop = match item {
         MediaItem::Image(enc) => {
@@ -338,6 +362,7 @@ pub fn produce_media_item(
                 pool,
                 keep_image,
                 extra_cpu_s,
+                cache,
             )?])
         }
         MediaItem::Gop(g) => g,
@@ -351,7 +376,7 @@ pub fn produce_media_item(
         let mut buffer = pool.acquire();
         let image = keep_image.then(|| frame.clone());
         let (transfer_bytes, accel_ops) =
-            run_cpu_prefix(&ctx.preproc, frame, &ctx.norm, buffer.as_mut_slice())?;
+            run_cpu_prefix(&ctx.preproc, &frame, &ctx.norm, buffer.as_mut_slice())?;
         if extra_cpu_s > 0.0 {
             std::thread::sleep(Duration::from_secs_f64(extra_cpu_s));
         }
@@ -363,6 +388,7 @@ pub fn produce_media_item(
             image,
             decode_s: decode_share,
             preproc_s: t1.elapsed().as_secs_f64(),
+            cache_hit: false,
         });
     }
     Ok(out)
@@ -432,7 +458,7 @@ fn effective_preproc(plan: &QueryPlan) -> PreprocPlan {
 /// accelerator-side operators.
 fn run_cpu_prefix(
     plan: &PreprocPlan,
-    img: ImageU8,
+    img: &ImageU8,
     norm: &Normalization,
     out: &mut [f32],
 ) -> Result<(usize, f64)> {
@@ -448,37 +474,41 @@ fn run_cpu_prefix(
 
     // Execute geometric CPU ops directly; the elementwise tail (when on
     // CPU) uses the fused kernel writing straight into the pooled buffer.
-    let mut cur = img;
+    // The source image is borrowed (it may be a shared cache entry), so
+    // `owned` holds the intermediates the geometric ops produce.
+    let mut owned: Option<ImageU8> = None;
     let mut wrote_f32 = false;
     for op in &plan.ops[..split] {
+        let cur: &ImageU8 = owned.as_ref().unwrap_or(img);
         match &op.spec {
             OpSpec::ResizeShortEdge { short } => {
-                cur = resize_short_edge_u8(&cur, *short as usize)?;
+                owned = Some(resize_short_edge_u8(cur, *short as usize)?);
             }
             OpSpec::ResizeExact { w, h } => {
-                cur = resize_bilinear_u8(&cur, *w as usize, *h as usize)?;
+                owned = Some(resize_bilinear_u8(cur, *w as usize, *h as usize)?);
             }
             OpSpec::CenterCrop { w, h } => {
-                cur = center_crop_u8(&cur, *w as usize, *h as usize)?;
+                owned = Some(center_crop_u8(cur, *w as usize, *h as usize)?);
             }
             OpSpec::FusedCropResize { short, w, h } => {
                 let scale = cur.short_edge() as f64 / (*short as f64).max(1.0);
                 let cw = (((*w as f64) * scale).round() as usize).clamp(1, cur.width());
                 let ch = (((*h as f64) * scale).round() as usize).clamp(1, cur.height());
-                cur = center_crop_u8(&cur, cw, ch)?;
-                cur = resize_bilinear_u8(&cur, *w as usize, *h as usize)?;
+                let cropped = center_crop_u8(cur, cw, ch)?;
+                owned = Some(resize_bilinear_u8(&cropped, *w as usize, *h as usize)?);
             }
             OpSpec::ConvertF32 | OpSpec::Normalize | OpSpec::ChannelSplit | OpSpec::Fused(_) => {
                 // Elementwise tail on CPU: one fused pass into the buffer,
                 // then stop — any further CPU elementwise ops are part of
                 // the same fused write.
                 let n = cur.width() * cur.height() * 3;
-                fused_convert_normalize_split_into(&cur, norm, &mut out[..n])?;
+                fused_convert_normalize_split_into(cur, norm, &mut out[..n])?;
                 wrote_f32 = true;
                 break;
             }
         }
     }
+    let cur: &ImageU8 = owned.as_ref().unwrap_or(img);
     let elems = cur.width() * cur.height() * 3;
     if wrote_f32 {
         Ok((elems * std::mem::size_of::<f32>(), accel_ops))
@@ -506,7 +536,7 @@ pub fn preproc_only(enc: &EncodedImage, plan: &QueryPlan) -> Result<()> {
     let ctx = PlanContext::new(plan);
     let mut scratch = vec![0.0f32; ctx.buf_len];
     let decoded = decode_item(enc, ctx.decode)?;
-    let (bytes, _) = run_cpu_prefix(&ctx.preproc, decoded, &ctx.norm, &mut scratch)?;
+    let (bytes, _) = run_cpu_prefix(&ctx.preproc, &decoded, &ctx.norm, &mut scratch)?;
     std::hint::black_box(bytes);
     Ok(())
 }
@@ -658,6 +688,7 @@ where
                     &pool,
                     keep_images,
                     opts.extra_cpu_s_per_image,
+                    None,
                 ) {
                     Ok(produced) => produced,
                     Err(e) => {

@@ -45,7 +45,7 @@ use smol_core::{PlacementSignature, QueryPlan};
 use smol_imgproc::ImageU8;
 use smol_runtime::{
     execute_device_batch, produce_media_item, wrap_images, BufferPool, DeviceBatchSpec, MediaItem,
-    PlanContext, ProducedItem, RuntimeOptions,
+    PlanContext, ProducedItem, RuntimeOptions, TensorCache, TensorCacheStats,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -154,6 +154,10 @@ pub struct ServerConfig {
     /// per-lane consumer count (keeps per-query buffer demand within the
     /// staging pool's capacity).
     pub batch_queue: usize,
+    /// Byte budget of the shared decoded-tensor cache ([`smol_runtime`'s
+    /// `TensorCache`]): repeat submissions over the same encoded content
+    /// skip decode entirely. `0` disables the cache (every item decodes).
+    pub tensor_cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -163,6 +167,7 @@ impl Default for ServerConfig {
             runtime,
             max_active_queries: 8,
             batch_queue: runtime.consumers,
+            tensor_cache_bytes: 256 << 20,
         }
     }
 }
@@ -227,6 +232,7 @@ struct QueryState {
     completed: usize,
     latencies: Vec<f64>,
     results: Vec<Option<BoxedPrediction>>,
+    cache_hits: usize,
     decode_cpu_s: f64,
     preproc_cpu_s: f64,
     submitted_at: Instant,
@@ -349,6 +355,9 @@ struct Fleet {
 
 struct Inner {
     cfg: ServerConfig,
+    /// Shared decoded-tensor cache; `None` when `cfg.tensor_cache_bytes`
+    /// is 0 (producers then decode every claim).
+    tensor_cache: Option<Arc<TensorCache>>,
     sched: Mutex<Sched>,
     /// Producers wait here for claimable work.
     work_cv: Condvar,
@@ -467,6 +476,8 @@ impl Server {
         let n_lanes = devices.len();
         let inner = Arc::new(Inner {
             cfg,
+            tensor_cache: (cfg.tensor_cache_bytes > 0)
+                .then(|| Arc::new(TensorCache::new(cfg.tensor_cache_bytes))),
             sched: Mutex::new(Sched {
                 queries: HashMap::new(),
                 rr: Default::default(),
@@ -728,6 +739,7 @@ impl Server {
                 throughput: 0.0,
                 latency_p50_s: 0.0,
                 latency_p95_s: 0.0,
+                cache_hits: 0,
                 decode_cpu_s: 0.0,
                 preproc_cpu_s: 0.0,
                 pool: Default::default(),
@@ -776,6 +788,7 @@ impl Server {
             completed: 0,
             latencies: Vec::with_capacity(total_outputs),
             results: (0..total_outputs).map(|_| None).collect(),
+            cache_hits: 0,
             decode_cpu_s: 0.0,
             preproc_cpu_s: 0.0,
             submitted_at: Instant::now(),
@@ -808,6 +821,17 @@ impl Server {
         let lanes = self.inner.fleet.lock().lanes.len();
         let per_lane = self.inner.cfg.runtime.consumers.max(1);
         lanes * (per_lane + self.inner.cfg.batch_queue.max(1))
+    }
+
+    /// Live decoded-tensor cache counters (all zeros when the cache is
+    /// disabled via `tensor_cache_bytes: 0`). Cheaper than
+    /// [`Server::stats`] — only the cache's own lock is taken.
+    pub fn tensor_cache_stats(&self) -> TensorCacheStats {
+        self.inner
+            .tensor_cache
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
     }
 
     /// Aggregate + per-device serving metrics.
@@ -868,6 +892,7 @@ impl Server {
             deadline_met: agg.deadline_met,
             deadline_misses: agg.deadline_misses,
             steals,
+            tensor_cache: self.tensor_cache_stats(),
             devices,
         }
     }
@@ -1064,6 +1089,7 @@ fn try_finalize(inner: &Inner, sched: &mut Sched, qid: QueryId) {
         },
         latency_p50_s: percentile(&q.latencies, 0.5),
         latency_p95_s: percentile(&q.latencies, 0.95),
+        cache_hits: q.cache_hits,
         decode_cpu_s: q.decode_cpu_s,
         preproc_cpu_s: q.preproc_cpu_s,
         pool: q.pool.stats(),
@@ -1158,6 +1184,7 @@ fn producer_loop(inner: &Inner) {
             &claim.pool,
             claim.keep_image,
             inner.cfg.runtime.extra_cpu_s_per_image,
+            inner.tensor_cache.as_deref(),
         );
 
         let mut emitted: Vec<FormedBatch<BatchItem>> = Vec::new();
@@ -1182,6 +1209,7 @@ fn producer_loop(inner: &Inner) {
                             .queries
                             .get_mut(&claim.query)
                             .expect("query lives until finalize");
+                        q.cache_hits += item.cache_hit as usize;
                         q.decode_cpu_s += item.decode_s;
                         q.preproc_cpu_s += item.preproc_s;
                         if let Some(batch) = sched.former.push(

@@ -52,9 +52,10 @@ use smol_accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
 use smol_codec::EncodedImage;
 use smol_core::{
     pareto_frontier, CandidateSpec, Constraint, ConstraintKey, DecodeMode, InputVariant,
-    PlanCandidate, PlanError, Planner, PlannerConfig, PlannerKey, QueryPlan, VideoFidelity,
+    PlanCandidate, PlanError, Planner, PlannerConfig, PlannerKey, QueryPlan, StorageProfile,
+    VideoFidelity,
 };
-use smol_data::{EncodedVariant, GopCorpus};
+use smol_data::{EncodedVariant, GopCorpus, VariantStore};
 use smol_imgproc::{ops::resize_short_edge_u8, ImageU8};
 use smol_runtime::{wrap_gops, wrap_images, MediaItem, Profiler};
 use smol_video::EncodedGop;
@@ -410,6 +411,11 @@ pub struct Dataset {
     models: Vec<ModelKind>,
     variants: Vec<DatasetVariant>,
     calibration: Calibration,
+    /// Measured verified-read throughput (items/s) of the variant store
+    /// this dataset was materialized into; `None` until
+    /// [`Dataset::materialize`] runs. Feeds the planner's storage-aware
+    /// costing ([`StorageProfile`]).
+    materialized_read: Option<f64>,
 }
 
 impl Dataset {
@@ -421,6 +427,7 @@ impl Dataset {
             models: Vec::new(),
             variants: Vec::new(),
             calibration: Calibration::Table(AccuracyTable::new()),
+            materialized_read: None,
         }
     }
 
@@ -525,6 +532,56 @@ impl Dataset {
         self
     }
 
+    /// Ahead-of-time transcodes this dataset's still-image variants into
+    /// `store` (content-addressed objects + a per-dataset manifest; see
+    /// [`VariantStore::materialize`]) and measures the store's
+    /// verified-read throughput — manifest parse plus a fingerprint check
+    /// of every object, exactly the work a serving node pays to read the
+    /// materialized corpus back. Sessions attach a [`StorageProfile`]
+    /// (zero transcode amortization — the transcode is already paid — and
+    /// the live tensor-cache hit rate) to every still candidate of a
+    /// materialized dataset, so the planner can choose "read the
+    /// materialized variant" when storage + cache beats
+    /// transcode + decode. GOP variants pass through unmaterialized.
+    pub fn materialize(mut self, store: &VariantStore) -> std::io::Result<Self> {
+        let encoded: Vec<EncodedVariant> = self
+            .variants
+            .iter()
+            .filter(|v| !v.input.is_video())
+            .map(|v| EncodedVariant {
+                name: v.input.name.clone(),
+                format: v.input.format,
+                width: v.input.width,
+                height: v.input.height,
+                thumbnail: v.input.is_thumbnail,
+                items: v
+                    .items
+                    .iter()
+                    .filter_map(|m| match m {
+                        MediaItem::Image(i) => Some(i.clone()),
+                        MediaItem::Gop(_) => None,
+                    })
+                    .collect(),
+            })
+            .collect();
+        store.materialize(&self.name, &encoded)?;
+        let start = std::time::Instant::now();
+        let loaded = store.load(&self.name)?;
+        let items: usize = loaded.iter().map(|v| v.items.len()).sum();
+        let secs = start.elapsed().as_secs_f64();
+        self.materialized_read = Some(if secs > 0.0 && items > 0 {
+            items as f64 / secs
+        } else {
+            f64::INFINITY
+        });
+        Ok(self)
+    }
+
+    /// True once [`Dataset::materialize`] has populated a variant store.
+    pub fn is_materialized(&self) -> bool {
+        self.materialized_read.is_some()
+    }
+
     fn variant(&self, name: &str) -> Option<&DatasetVariant> {
         self.variants.iter().find(|v| v.input.name == name)
     }
@@ -580,6 +637,9 @@ impl Dataset {
             }
             Calibration::Measured(m) => m.nonce.hash(&mut h),
         }
+        // Materialization changes the specs a dataset derives (storage
+        // profiles attach), so it must split cache keys too.
+        self.materialized_read.is_some().hash(&mut h);
         h.finish()
     }
 }
@@ -1223,9 +1283,48 @@ impl Session {
                 variant: v.input.name.clone(),
                 planner: self.profile_planner_key(),
             };
+            let decode_key = ProfileKey {
+                variant: format!("{}#decode", v.input.name),
+                ..key.clone()
+            };
             let tput = self
                 .cache
                 .profile_or(key, || self.profiler.media_throughput(&v.items, &probe));
+            // Storage-aware costing for materialized datasets: the store
+            // read rate was measured at materialization, the transcode is
+            // already paid, and the decoded-tensor cache contributes its
+            // *live* hit rate. The cached-path rate is the decode-free
+            // residue of the measured joint throughput (1/t = 1/d + 1/p).
+            // Note the hit rate is sampled at planning time; a cached plan
+            // keeps the rate it was planned with until a new plan key
+            // forces re-planning.
+            let storage = match ds.materialized_read {
+                Some(read_throughput) if !v.input.is_video() => {
+                    let decode_tput = self.cache.profile_or(decode_key, || {
+                        let images: Vec<EncodedImage> = v
+                            .items
+                            .iter()
+                            .filter_map(|m| match m {
+                                MediaItem::Image(i) => Some(i.clone()),
+                                MediaItem::Gop(_) => None,
+                            })
+                            .collect();
+                        self.profiler.decode_throughput(&images, probe.decode)
+                    });
+                    let cached_throughput = if decode_tput > tput && tput > 0.0 {
+                        1.0 / (1.0 / tput - 1.0 / decode_tput)
+                    } else {
+                        0.0
+                    };
+                    Some(StorageProfile {
+                        read_throughput,
+                        transcode_amortized_s: 0.0,
+                        cached_throughput,
+                        cache_hit_rate: self.server.tensor_cache_stats().hit_rate(),
+                    })
+                }
+                _ => None,
+            };
             let reduced_mode = self.planner.reduced_decode_mode(&v.input);
             for &model in &ds.models {
                 let Some(accuracy) = ds.calibration.accuracy(model, &v.input) else {
@@ -1241,6 +1340,7 @@ impl Session {
                     reduced_accuracy,
                     cascade: None,
                     video: ds.calibration.video_fidelity(model, &v.input),
+                    storage,
                 });
             }
         }

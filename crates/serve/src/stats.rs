@@ -1,7 +1,7 @@
 //! Per-query, per-device, and fleet-wide serving metrics.
 
 use smol_accel::DeviceStats;
-use smol_runtime::PoolStats;
+use smol_runtime::{PoolStats, TensorCacheStats};
 use std::any::Any;
 
 /// Boxed per-image inference output (type-erased so one server can host
@@ -31,6 +31,9 @@ pub struct QueryReport {
     pub latency_p50_s: f64,
     /// 95th-percentile per-item latency.
     pub latency_p95_s: f64,
+    /// Items this query served from the decoded-tensor cache (those items
+    /// paid no decode CPU; `cache_hits <= images + failed`).
+    pub cache_hits: usize,
     /// CPU seconds this query spent decoding across producers.
     pub decode_cpu_s: f64,
     /// CPU seconds this query spent in CPU-side preprocessing.
@@ -125,6 +128,9 @@ pub struct ServerStats {
     /// Batches executed by a lane other than the one they were
     /// dispatched to (work stealing events).
     pub steals: u64,
+    /// Decoded-tensor cache counters (hits/misses/evictions/residency).
+    /// All zeros when the cache is disabled (`tensor_cache_bytes == 0`).
+    pub tensor_cache: TensorCacheStats,
     /// Per-device lane breakdown, indexed by lane (device) position.
     pub devices: Vec<DeviceLaneStats>,
 }
@@ -199,6 +205,7 @@ mod tests {
             throughput: 2.0,
             latency_p50_s: 0.0,
             latency_p95_s: 0.0,
+            cache_hits: 0,
             decode_cpu_s: 0.0,
             preproc_cpu_s: 0.0,
             pool: PoolStats::default(),
@@ -244,6 +251,7 @@ mod tests {
             deadline_met: 3,
             deadline_misses: 1,
             steals: 2,
+            tensor_cache: TensorCacheStats::default(),
             devices: vec![lane(1.0, 0.5, 0), lane(3.0, 0.7, 2)],
         };
         let merged = stats.device();

@@ -187,6 +187,7 @@ fn planner_prefers_thumbnails_with_measured_rates() {
             reduced_accuracy: None,
             cascade: None,
             video: None,
+            storage: None,
         },
         smol::core::CandidateSpec {
             dnn: ModelKind::ResNet50,
@@ -196,6 +197,7 @@ fn planner_prefers_thumbnails_with_measured_rates() {
             reduced_accuracy: None,
             cascade: None,
             video: None,
+            storage: None,
         },
     ];
     let frontier = planner.frontier(&specs).unwrap();
@@ -257,6 +259,7 @@ fn session_matches_manual_plan_selection() {
             reduced_accuracy: None,
             cascade: None,
             video: None,
+            storage: None,
         },
         smol::core::CandidateSpec {
             dnn: ModelKind::ResNet50,
@@ -266,6 +269,7 @@ fn session_matches_manual_plan_selection() {
             reduced_accuracy: None,
             cascade: None,
             video: None,
+            storage: None,
         },
         smol::core::CandidateSpec {
             dnn: ModelKind::ResNet34,
@@ -275,6 +279,7 @@ fn session_matches_manual_plan_selection() {
             reduced_accuracy: None,
             cascade: None,
             video: None,
+            storage: None,
         },
     ];
     let frontier = planner.frontier(&specs).unwrap();

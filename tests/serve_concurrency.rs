@@ -76,6 +76,7 @@ fn stress_mixed_plans_from_many_threads() {
             // exercised under contention.
             max_active_queries: 4,
             batch_queue: 2,
+            tensor_cache_bytes: 256 << 20,
         },
     );
     let threads = 4;
@@ -253,6 +254,7 @@ fn admission_queue_applies_backpressure() {
             },
             max_active_queries: 1,
             batch_queue: 1,
+            tensor_cache_bytes: 256 << 20,
         },
     );
     let plan = plan_for(ModelKind::ResNet50, 64, 64, 32, 4);

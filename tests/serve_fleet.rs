@@ -142,6 +142,7 @@ fn skewed_fleet_conserves_work_and_steals() {
         },
         max_active_queries: 4,
         batch_queue: 4,
+        tensor_cache_bytes: 256 << 20,
     };
     let single = serve_fingerprints(
         vec![fast_device(GpuModel::T4)],
@@ -198,6 +199,7 @@ fn degradation_respects_accuracy_floor_under_pressure() {
             },
             max_active_queries: 1,
             batch_queue: 2,
+            tensor_cache_bytes: 256 << 20,
         },
     );
     let plan50 = plan_for(ModelKind::ResNet50, 64, 64, 32, 4);
@@ -266,6 +268,7 @@ fn high_priority_waiter_admitted_first() {
             },
             max_active_queries: 1,
             batch_queue: 2,
+            tensor_cache_bytes: 256 << 20,
         },
     );
     let plan = plan_for(ModelKind::ResNet50, 64, 64, 32, 4);
@@ -415,6 +418,7 @@ fn layout_incompatible_rungs_are_ignored() {
             },
             max_active_queries: 1,
             batch_queue: 2,
+            tensor_cache_bytes: 256 << 20,
         },
     );
     let plan = plan_for(ModelKind::ResNet50, 64, 64, 32, 4);

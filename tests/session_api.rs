@@ -488,6 +488,7 @@ fn throughput_constrained_query_degrades_under_pressure() {
                 },
                 max_active_queries: 1,
                 batch_queue: 2,
+                tensor_cache_bytes: 256 << 20,
             },
             profile_sample: 8,
             ..Default::default()
@@ -631,4 +632,57 @@ proptest! {
             _ => {}
         }
     }
+}
+
+/// A second identical submission is served entirely from the decoded-
+/// tensor cache: every item reports a cache hit and the query does zero
+/// decode work.
+#[test]
+fn repeat_submission_reports_zero_decode_work() {
+    let (session, _profiler, _cache) = shared_session(t4(), SessionConfig::default());
+    session.register(table_dataset("tiny")).unwrap();
+    let q = Query::new("tiny").max_accuracy_loss(0.0);
+
+    let r1 = session.run(&q).unwrap();
+    assert_eq!(r1.images, 12);
+    assert!(
+        r1.decode_cpu_s > 0.0,
+        "a cold cache pays decode: {}",
+        r1.decode_cpu_s
+    );
+
+    let r2 = session.run(&q).unwrap();
+    assert_eq!(r2.images, 12);
+    assert_eq!(r2.cache_hits, r2.images, "every item served from cache");
+    assert_eq!(r2.decode_cpu_s, 0.0, "a warm cache pays no decode");
+
+    let cache = session.stats().tensor_cache;
+    assert_eq!(cache.decodes, 12, "each item decoded exactly once");
+    assert!(cache.hits >= 12);
+    assert_eq!(cache.evictions, 0);
+    session.shutdown();
+}
+
+/// Disabling the cache (`tensor_cache_bytes: 0`) restores decode-per-item
+/// behavior and keeps every counter at zero.
+#[test]
+fn disabled_tensor_cache_decodes_every_submission() {
+    use smol::serve::ServerConfig;
+    let cfg = SessionConfig {
+        server: ServerConfig {
+            tensor_cache_bytes: 0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (session, _profiler, _cache) = shared_session(t4(), cfg);
+    session.register(table_dataset("tiny")).unwrap();
+    let q = Query::new("tiny").max_accuracy_loss(0.0);
+    session.run(&q).unwrap();
+    let r2 = session.run(&q).unwrap();
+    assert_eq!(r2.cache_hits, 0);
+    assert!(r2.decode_cpu_s > 0.0, "no cache ⇒ decode every item");
+    let cache = session.stats().tensor_cache;
+    assert_eq!((cache.hits, cache.misses, cache.decodes), (0, 0, 0));
+    session.shutdown();
 }
