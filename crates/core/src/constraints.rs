@@ -335,6 +335,7 @@ pub struct PlannerKey {
     pub enable_multires: bool,
     pub enable_video: bool,
     pub enable_storage_aware: bool,
+    pub video_stride: u8,
     pub dnn_input: u32,
 }
 
@@ -352,6 +353,7 @@ impl PlannerConfig {
             enable_multires: self.enable_multires,
             enable_video: self.enable_video,
             enable_storage_aware: self.enable_storage_aware,
+            video_stride: self.video_stride,
             dnn_input: self.dnn_input,
         }
     }
@@ -560,6 +562,10 @@ mod tests {
             },
             PlannerConfig {
                 enable_storage_aware: false,
+                ..base
+            },
+            PlannerConfig {
+                video_stride: 3,
                 ..base
             },
             PlannerConfig {

@@ -21,6 +21,9 @@
 //!   (all / keyframe-only / strided) × an in-loop-deblock knob — costed
 //!   per *source* frame with the I-frame amortized over the GOP and
 //!   accuracies discounted through [`planner::VideoFidelity`];
+//! * [`stream`] — live-stream pacing vocabulary: [`stream::PacingPolicy`]
+//!   maps observed lag onto degradation-ladder rungs or GOP drops, the
+//!   deadline-driven counterpart of batch degradation;
 //! * [`rewrite`] — decode-aware plan rewriting: elides or shrinks the
 //!   resize when a partial/reduced decode already produced the needed
 //!   geometry (§6.4), shared by the planner (costing) and runtime
@@ -35,6 +38,7 @@ pub mod placement;
 pub mod plan;
 pub mod planner;
 pub mod rewrite;
+pub mod stream;
 
 pub use constraints::{Constraint, ConstraintKey, PlanError, PlannerKey};
 pub use costmodel::{
@@ -50,3 +54,4 @@ pub use planner::{CandidateSpec, Planner, PlannerConfig, VideoFidelity};
 pub use rewrite::{
     decode_cost_for_mode, idct_edge, rewrite_preproc_for_decode, video_gop_decode_cost,
 };
+pub use stream::{PaceDecision, PacingPolicy};

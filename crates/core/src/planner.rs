@@ -109,6 +109,12 @@ pub struct PlannerConfig {
     /// rate). Off in the "-Storage" lesion, which prices every candidate
     /// as if it decoded from scratch.
     pub enable_storage_aware: bool,
+    /// Also enumerate `FrameSelection::Stride(video_stride)` video decode
+    /// plans — a middle rung between full-GOP and keyframe-only, so
+    /// degradation ladders (and live-stream pacing) can shed fidelity in
+    /// smaller steps. `0` (the default) and `1` disable it: batch corpora
+    /// rarely want the extra candidates, and stride-1 is just `All`.
+    pub video_stride: u8,
     /// DNN input edge (224 in the paper's pipelines).
     pub dnn_input: u32,
 }
@@ -125,6 +131,7 @@ impl Default for PlannerConfig {
             enable_multires: true,
             enable_video: true,
             enable_storage_aware: true,
+            video_stride: 0,
             dnn_input: 224,
         }
     }
@@ -312,9 +319,10 @@ impl Planner {
 
     /// The reduced-fidelity video decode modes enumerated next to a
     /// GOP-structured input's base (full-GOP, in-loop-filtered) plan:
-    /// deblock skipping, keyframe-only selection, and their combination —
-    /// the video analogues of the §6.4 partial-decode ladder. Empty for
-    /// still inputs and under the "-Video" lesion.
+    /// deblock skipping, keyframe-only selection, their combination, and
+    /// (when [`PlannerConfig::video_stride`] ≥ 2) an intermediate strided
+    /// selection — the video analogues of the §6.4 partial-decode ladder.
+    /// Empty for still inputs and under the "-Video" lesion.
     pub fn video_decode_modes(&self, input: &InputVariant) -> Vec<DecodeMode> {
         if !input.is_video() || !self.config.enable_video {
             return Vec::new();
@@ -324,6 +332,17 @@ impl Planner {
             deblock: false,
         }];
         if input.gop_len > 1 {
+            let stride = self.config.video_stride as usize;
+            if stride > 1 && input.gop_len > stride {
+                modes.push(DecodeMode::Video {
+                    selection: FrameSelection::Stride(stride),
+                    deblock: true,
+                });
+                modes.push(DecodeMode::Video {
+                    selection: FrameSelection::Stride(stride),
+                    deblock: false,
+                });
+            }
             modes.push(DecodeMode::Video {
                 selection: FrameSelection::Keyframes,
                 deblock: true,

@@ -19,13 +19,17 @@
 //!   temporally autocorrelated count series (the mechanism behind §8.4);
 //! * [`gops`] — the traffic scenes encoded through the real `smol_video`
 //!   codec and split into per-GOP serving items, for registration through
-//!   the declarative video query path.
+//!   the declarative video query path;
+//! * [`stream`] — the same corpora behind a wall-clock arrival schedule
+//!   ([`stream::StreamFeed`]), the registration unit of live-stream
+//!   queries (`Dataset::stream`).
 
 pub mod catalog;
 pub mod gops;
 pub mod registry;
 pub mod stills;
 pub mod store;
+pub mod stream;
 pub mod video;
 
 pub use catalog::{
@@ -35,4 +39,5 @@ pub use gops::{gop_corpus, GopCorpus};
 pub use registry::{encode_variant, serving_variants, EncodedVariant};
 pub use stills::{generate_stills, render_instance, throughput_images, StillDataset};
 pub use store::{MaterializeReport, VariantStore};
+pub use stream::{timed_stream, StreamFeed};
 pub use video::{count_autocorrelation, generate_video, SyntheticVideo};

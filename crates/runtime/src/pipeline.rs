@@ -28,12 +28,13 @@ use crossbeam::channel;
 use parking_lot::Mutex;
 use smol_accel::{DeviceStats, ModelKind, VirtualDevice};
 use smol_codec::{DecodeOptions, EncodedImage};
-use smol_core::{DecodeMode, QueryPlan};
+use smol_core::{DecodeMode, FrameSelection, QueryPlan};
 use smol_imgproc::dag::{plan_op_costs, OpSpec, Placement, PreprocPlan};
 use smol_imgproc::ops::fused::fused_convert_normalize_split_into;
 use smol_imgproc::ops::normalize::Normalization;
 use smol_imgproc::ops::{center_crop_u8, resize_bilinear_u8, resize_short_edge_u8};
 use smol_imgproc::{ImageU8, Rect};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -338,12 +339,19 @@ pub fn execute_device_batch(
 }
 
 /// Runs the per-item producer stage for any media kind: still images
-/// delegate to [`produce_item`]; GOP items decode once per the plan's
-/// frame selection and stage every selected frame as its own work item
-/// (indices `base_idx..base_idx + fanout`), with the decode time split
-/// evenly across them. The tensor cache applies to still items only —
-/// GOP decodes are sequential through the reference chain and their
-/// frames fan out, so caching them is a separate (per-frame) problem.
+/// delegate to [`produce_item`]; GOP items stage every selected frame as
+/// its own work item (indices `base_idx..base_idx + fanout`).
+///
+/// When `cache` is provided, each *frame* is routed through the
+/// decoded-tensor cache keyed on (GOP fingerprint mixed with the frame's
+/// GOP position, deblock knob). The frame selection is canonicalized out
+/// of the key: a frame's pixels depend only on its payload chain and the
+/// in-loop filter, never on which other frames were selected, so a
+/// keyframe decoded under `FrameSelection::All` hits again when a later
+/// (e.g. downgraded) submission asks for `Keyframes`. Frames that miss
+/// are decoded at most once per call — the GOP's reference chain decodes
+/// sequentially into a local memo, and the first missing frame bears that
+/// chain-decode cost in its `decode_s`.
 pub fn produce_media_item(
     ctx: &PlanContext,
     base_idx: usize,
@@ -367,16 +375,55 @@ pub fn produce_media_item(
         }
         MediaItem::Gop(g) => g,
     };
-    let t0 = Instant::now();
-    let frames = decode_gop_frames(gop, ctx.decode)?;
-    let decode_share = t0.elapsed().as_secs_f64() / frames.len().max(1) as f64;
-    let mut out = Vec::with_capacity(frames.len());
-    for (i, frame) in frames.into_iter().enumerate() {
+    let (selection, opts) = video_decode_params(ctx.decode);
+    let selected: Vec<usize> = (0..gop.n_frames())
+        .filter(|&p| selection.selects(p))
+        .collect();
+    // Cache-key mode with the selection pinned to `All`: pixels are
+    // invariant to the selection, so cross-selection lookups must agree.
+    let canon_mode = DecodeMode::Video {
+        selection: FrameSelection::All,
+        deblock: opts.deblock,
+    };
+    let gop_fp = if cache.is_some() {
+        gop.fingerprint()
+    } else {
+        0
+    };
+    let mut memo: Option<HashMap<usize, ImageU8>> = None;
+    let mut out = Vec::with_capacity(selected.len());
+    for (i, &pos) in selected.iter().enumerate() {
+        let t0 = Instant::now();
+        let decode_frame = |memo: &mut Option<HashMap<usize, ImageU8>>| -> Result<ImageU8> {
+            if memo.is_none() {
+                let (frames, _) = gop.decode_selected(selection, opts)?;
+                *memo = Some(frames.into_iter().map(|f| (f.index, f.image)).collect());
+            }
+            memo.as_ref()
+                .and_then(|m| m.get(&pos))
+                .cloned()
+                .ok_or_else(|| {
+                    RuntimeError::Config(format!("selected frame {pos} missing from GOP decode"))
+                })
+        };
+        let (decoded, cache_hit) = match cache {
+            Some(cache) => {
+                cache.get_or_decode(frame_fingerprint(gop_fp, pos), canon_mode, || {
+                    decode_frame(&mut memo)
+                })?
+            }
+            None => (Arc::new(decode_frame(&mut memo)?), false),
+        };
         let t1 = Instant::now();
+        let decode_s = if cache_hit {
+            0.0
+        } else {
+            (t1 - t0).as_secs_f64()
+        };
         let mut buffer = pool.acquire();
-        let image = keep_image.then(|| frame.clone());
+        let image = keep_image.then(|| (*decoded).clone());
         let (transfer_bytes, accel_ops) =
-            run_cpu_prefix(&ctx.preproc, &frame, &ctx.norm, buffer.as_mut_slice())?;
+            run_cpu_prefix(&ctx.preproc, &decoded, &ctx.norm, buffer.as_mut_slice())?;
         if extra_cpu_s > 0.0 {
             std::thread::sleep(Duration::from_secs_f64(extra_cpu_s));
         }
@@ -386,19 +433,24 @@ pub fn produce_media_item(
             transfer_bytes,
             accel_ops,
             image,
-            decode_s: decode_share,
+            decode_s,
             preproc_s: t1.elapsed().as_secs_f64(),
-            cache_hit: false,
+            cache_hit,
         });
     }
     Ok(out)
 }
 
-/// Decodes a GOP item's selected frames per the plan's decode mode.
-fn decode_gop_frames(gop: &smol_video::EncodedGop, mode: DecodeMode) -> Result<Vec<ImageU8>> {
-    let (selection, opts) = video_decode_params(mode);
-    let (frames, _) = gop.decode_selected(selection, opts)?;
-    Ok(frames.into_iter().map(|f| f.image).collect())
+/// Mixes a frame's GOP position into its GOP's content fingerprint
+/// (FNV-1a continuation), yielding the per-frame tensor-cache key.
+fn frame_fingerprint(gop_fp: u64, frame_pos: usize) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = gop_fp;
+    for &b in &(frame_pos as u64).to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 /// Decodes an item according to the plan's decode mode.

@@ -52,6 +52,6 @@ pub use server::{
 pub use session::{
     AccuracyTable, CacheStats, Calibration, ChosenPlan, Dataset, DatasetVariant, DeviceKey,
     Explanation, MeasuredCalibration, PlanCache, PlanKey, PredictFn, Query, Session, SessionConfig,
-    SessionError,
+    SessionError, StreamLadder,
 };
 pub use stats::{percentile, BoxedPrediction, DeviceLaneStats, QueryReport, ServerStats};

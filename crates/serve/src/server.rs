@@ -243,6 +243,8 @@ struct QueryState {
     /// Remaining rungs (layout-compatible, floor-feasible), cheapest last.
     ladder: VecDeque<Rung>,
     degraded_steps: usize,
+    /// Outputs claimed while running below the originally chosen plan.
+    downgraded_frames: usize,
     accuracy: Option<f64>,
     accuracy_floor: Option<f64>,
     /// Hysteresis: no further degradation before this item index.
@@ -331,6 +333,8 @@ struct Agg {
     cross_query_batches: u64,
     full_batches: u64,
     degradations: u64,
+    dropped_frames: u64,
+    downgraded_frames: u64,
     deadline_met: u64,
     deadline_misses: u64,
 }
@@ -746,6 +750,8 @@ impl Server {
                 error: None,
                 results: Vec::new(),
                 degraded_steps: 0,
+                dropped_frames: 0,
+                downgraded_frames: 0,
                 accuracy: opts.accuracy,
                 accuracy_floor: opts.accuracy_floor,
                 deadline_missed: opts.deadline.map(|_| false),
@@ -797,6 +803,7 @@ impl Server {
             deadline: opts.deadline,
             ladder,
             degraded_steps: 0,
+            downgraded_frames: 0,
             accuracy: opts.accuracy,
             accuracy_floor: opts.accuracy_floor,
             next_degrade_at: 0,
@@ -834,6 +841,17 @@ impl Server {
             .unwrap_or_default()
     }
 
+    /// Records frame loss that happened *outside* any query — e.g. a
+    /// live-stream pacer shedding a whole GOP before submission, or
+    /// choosing a downgraded rung at submit time. These frames fold into
+    /// [`ServerStats::dropped_frames`] / [`ServerStats::downgraded_frames`]
+    /// alongside the per-query counts the scheduler tracks itself.
+    pub fn record_frame_loss(&self, dropped_frames: u64, downgraded_frames: u64) {
+        let mut agg = self.inner.agg.lock();
+        agg.dropped_frames += dropped_frames;
+        agg.downgraded_frames += downgraded_frames;
+    }
+
     /// Aggregate + per-device serving metrics.
     pub fn stats(&self) -> ServerStats {
         let (queue_depth, pending_batch_items, waiting_admission) = {
@@ -855,6 +873,8 @@ impl Server {
                 cross_query_batches: agg.cross_query_batches,
                 full_batches: agg.full_batches,
                 degradations: agg.degradations,
+                dropped_frames: agg.dropped_frames,
+                downgraded_frames: agg.downgraded_frames,
                 deadline_met: agg.deadline_met,
                 deadline_misses: agg.deadline_misses,
             }
@@ -889,6 +909,8 @@ impl Server {
             cross_query_batches: agg.cross_query_batches,
             full_batches: agg.full_batches,
             degradations: agg.degradations,
+            dropped_frames: agg.dropped_frames,
+            downgraded_frames: agg.downgraded_frames,
             deadline_met: agg.deadline_met,
             deadline_misses: agg.deadline_misses,
             steals,
@@ -1014,6 +1036,9 @@ fn claim_next(
             let idx = q.next_item;
             q.next_item += 1;
             q.claims_out += 1;
+            if q.degraded_steps > 0 {
+                q.downgraded_frames += q.count_of(idx);
+            }
             let claim = Claim {
                 query: qid,
                 idx,
@@ -1096,6 +1121,8 @@ fn try_finalize(inner: &Inner, sched: &mut Sched, qid: QueryId) {
         error: q.error,
         results: q.results,
         degraded_steps: q.degraded_steps,
+        dropped_frames: q.failed + q.skipped,
+        downgraded_frames: q.downgraded_frames,
         accuracy: q.accuracy,
         accuracy_floor: q.accuracy_floor,
         deadline_missed,
@@ -1104,6 +1131,8 @@ fn try_finalize(inner: &Inner, sched: &mut Sched, qid: QueryId) {
         let mut agg = inner.agg.lock();
         agg.completed_queries += 1;
         agg.images_done += report.images as u64;
+        agg.dropped_frames += report.dropped_frames as u64;
+        agg.downgraded_frames += report.downgraded_frames as u64;
         match deadline_missed {
             Some(true) => agg.deadline_misses += 1,
             Some(false) => agg.deadline_met += 1,

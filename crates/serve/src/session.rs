@@ -55,7 +55,7 @@ use smol_core::{
     PlanCandidate, PlanError, Planner, PlannerConfig, PlannerKey, QueryPlan, StorageProfile,
     VideoFidelity,
 };
-use smol_data::{EncodedVariant, GopCorpus, VariantStore};
+use smol_data::{EncodedVariant, GopCorpus, StreamFeed, VariantStore};
 use smol_imgproc::{ops::resize_short_edge_u8, ImageU8};
 use smol_runtime::{wrap_gops, wrap_images, MediaItem, Profiler};
 use smol_video::EncodedGop;
@@ -488,6 +488,16 @@ impl Dataset {
         Dataset::new(name).with_gop_variant(input, corpus.gops)
     }
 
+    /// A live-stream dataset over a timed GOP feed: planning, profiling,
+    /// and calibration see exactly the [`Dataset::video`] registration of
+    /// the feed's corpus — arrival *timing* lives in the
+    /// [`StreamFeed`] itself, which a stream
+    /// runner consumes GOP by GOP (see [`Session::stream_ladder`] for the
+    /// per-GOP serving ladder the pacer walks).
+    pub fn stream(name: impl Into<String>, feed: &StreamFeed) -> Self {
+        Dataset::video(name, feed.corpus.clone())
+    }
+
     /// Registers one still-image input variant with its encoded serving
     /// corpus.
     pub fn with_variant(mut self, input: InputVariant, items: Vec<EncodedImage>) -> Self {
@@ -863,6 +873,21 @@ struct ProfileKey {
     fingerprint: u64,
     variant: String,
     planner: PlannerKey,
+}
+
+/// A continuous query's per-GOP serving ladder (see
+/// [`Session::stream_ladder`]): the plans a pacing scheduler may pick
+/// per GOP, most accurate first, all at or above the accuracy floor.
+#[derive(Debug, Clone)]
+pub struct StreamLadder {
+    /// Rung 0 is what an on-time stream runs; deeper rungs trade
+    /// calibrated accuracy for throughput.
+    pub rungs: Vec<DegradeStep>,
+    /// The constraint's accuracy floor (`None` when it bounds no
+    /// accuracy, e.g. throughput/cost constraints).
+    pub accuracy_floor: Option<f64>,
+    /// Input variant every rung reads.
+    pub variant: String,
 }
 
 /// A resolved, cached planning decision.
@@ -1459,6 +1484,61 @@ impl Session {
         Ok(self
             .server
             .submit_media_opts(chosen.candidate.plan.clone(), items, opts)?)
+    }
+
+    /// Derives the per-GOP serving ladder of a *continuous* query: every
+    /// same-variant Pareto rung at or above the constraint's accuracy
+    /// floor, most accurate first.
+    ///
+    /// This inverts the batch selection. A batch query picks the
+    /// *fastest* feasible plan (its ladder is often empty — everything
+    /// cheaper sits below the floor); a live stream instead runs the most
+    /// accurate floor-feasible plan while it keeps up, and pays
+    /// *fidelity* — deeper rungs chosen per GOP by a
+    /// [`PacingPolicy`](smol_core::PacingPolicy), ultimately dropped GOPs
+    /// — when it falls behind. Every rung respects the floor, so floor
+    /// violations are zero by construction no matter how hard the pacer
+    /// degrades.
+    pub fn stream_ladder(&self, query: &Query) -> Result<StreamLadder, SessionError> {
+        let (chosen, _) = self.resolve(query)?;
+        let floor = query.constraint.accuracy_floor(&chosen.frontier);
+        let mut rungs: Vec<DegradeStep> = chosen
+            .frontier
+            .iter()
+            // Rungs re-read the GOPs the runner submits, so only
+            // same-variant plans are eligible (cf. the batch ladder).
+            .filter(|c| c.plan.input.name == chosen.candidate.plan.input.name)
+            .filter(|c| !floor.is_finite() || c.accuracy >= floor)
+            .map(|c| DegradeStep {
+                plan: c.plan.clone(),
+                accuracy: c.accuracy,
+                est_throughput: c.est_throughput,
+            })
+            .collect();
+        rungs.sort_by(|a, b| {
+            b.accuracy
+                .partial_cmp(&a.accuracy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    a.est_throughput
+                        .partial_cmp(&b.est_throughput)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        if rungs.is_empty() {
+            // The chosen plan is always feasible; fall back to it as the
+            // only rung (submit-or-drop pacing).
+            rungs.push(DegradeStep {
+                plan: chosen.candidate.plan.clone(),
+                accuracy: chosen.candidate.accuracy,
+                est_throughput: chosen.candidate.est_throughput,
+            });
+        }
+        Ok(StreamLadder {
+            rungs,
+            accuracy_floor: floor.is_finite().then_some(floor),
+            variant: chosen.variant.clone(),
+        })
     }
 
     /// Plans, submits, and waits: the one-call declarative path.

@@ -43,6 +43,15 @@ pub struct QueryReport {
     /// How many degradation steps the scheduler applied to this query
     /// (0 = it ran its originally chosen plan throughout).
     pub degraded_steps: usize,
+    /// Frame-level loss: outputs admitted for this query that never
+    /// executed (`failed + skipped`). Live-stream pacing also counts
+    /// whole GOPs it sheds pre-submission, via
+    /// `Server::record_frame_loss`, into the aggregate `ServerStats`
+    /// (not here — those frames were never part of any query).
+    pub dropped_frames: usize,
+    /// Outputs claimed while the query was running on a rung below its
+    /// originally chosen plan (0 until the first degradation step).
+    pub downgraded_frames: usize,
     /// Calibrated accuracy of the plan the query *finished* on, when the
     /// submitter supplied one (always `>= accuracy_floor`).
     pub accuracy: Option<f64>,
@@ -121,6 +130,15 @@ pub struct ServerStats {
     /// Degradation steps applied across all queries (each re-plan of one
     /// query to a cheaper frontier rung counts once).
     pub degradations: u64,
+    /// Frames lost across all queries: per-query `failed + skipped` plus
+    /// losses reported out-of-band via [`Server::record_frame_loss`]
+    /// (e.g. whole GOPs a live-stream pacer shed before submission).
+    ///
+    /// [`Server::record_frame_loss`]: crate::Server::record_frame_loss
+    pub dropped_frames: u64,
+    /// Frames executed on a rung below their query's originally chosen
+    /// plan (per-query counts plus out-of-band stream downgrades).
+    pub downgraded_frames: u64,
     /// Completed queries that had a deadline and met it.
     pub deadline_met: u64,
     /// Completed queries that had a deadline and missed it.
@@ -210,6 +228,8 @@ mod tests {
             preproc_cpu_s: 0.0,
             pool: PoolStats::default(),
             degraded_steps: 0,
+            dropped_frames: 0,
+            downgraded_frames: 0,
             accuracy: None,
             accuracy_floor: None,
             deadline_missed: None,
@@ -248,6 +268,8 @@ mod tests {
             cross_query_batches: 0,
             full_batches: 10,
             degradations: 1,
+            dropped_frames: 4,
+            downgraded_frames: 6,
             deadline_met: 3,
             deadline_misses: 1,
             steals: 2,

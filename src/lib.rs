@@ -88,6 +88,9 @@ pub use smol_serve::{
     AccuracyTable, CacheStats, Calibration, Dataset, Explanation, MeasuredCalibration, PlanCache,
     Priority, Query, Session, SessionConfig, SessionError,
 };
+pub use smol_stream::{
+    run_stream, FeedSource, StreamConfig, StreamHandle, StreamSource, StreamStats, WindowResult,
+};
 
 /// The workspace-level error type: everything `Session` operations can
 /// fail with (planning, serving, registration).
@@ -102,4 +105,5 @@ pub use smol_imgproc as imgproc;
 pub use smol_nn as nn;
 pub use smol_runtime as runtime;
 pub use smol_serve as serve;
+pub use smol_stream as stream;
 pub use smol_video as video;

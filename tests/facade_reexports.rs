@@ -13,6 +13,7 @@ use smol::imgproc::dag::{DagOptimizer, PreprocPlan};
 use smol::imgproc::{ImageU8, Layout, Rect, TensorF32};
 use smol::nn::{SmolClassifier, Tier};
 use smol::runtime::{BufferPool, Personality, RuntimeOptions};
+use smol::stream::{PaceDecision, PacingPolicy};
 use smol::video::{EncodedVideo, VideoEncoder};
 use smol::{AccuracyTable, Constraint, Dataset, PlanError, Query, Session, SessionConfig};
 
@@ -67,6 +68,15 @@ fn facade_types_are_constructible() {
     let _: Option<Cascade> = None;
     let _: Option<EncodedVideo> = None;
     let _: Option<VideoEncoder> = None;
+
+    // Live-stream serving: the pacing policy is pure and constructible.
+    let policy = PacingPolicy::default();
+    assert_eq!(policy.decide(0.0, 3), PaceDecision::Submit { rung: 0 });
+    let _: Option<smol::StreamConfig> = None;
+    let _: Option<smol::StreamHandle> = None;
+    let _: Option<smol::StreamStats> = None;
+    let _: Option<smol::WindowResult> = None;
+    let _: Option<smol::FeedSource> = None;
 }
 
 /// The facade modules alias the underlying `smol_*` crates (same types,
