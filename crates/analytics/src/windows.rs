@@ -166,4 +166,62 @@ mod tests {
         assert_eq!(later[0].index, 2);
         assert_eq!(later[0].samples, 0);
     }
+
+    #[test]
+    fn empty_window_closes_between_populated_neighbours() {
+        // Deadline dropping can starve a whole window mid-stream; the gap
+        // must surface as an empty aggregate in sequence, and draining it
+        // must not disturb the accumulation already sitting in the window
+        // after it.
+        let mut r = WindowRollup::new(2);
+        r.push(0, 4.0); // window 0
+        r.push(5, 8.0); // window 2 — window 1 never sees a frame
+        let closed = r.drain_until(2);
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].samples, 1);
+        assert_eq!(closed[1].index, 1);
+        assert_eq!(closed[1].samples, 0);
+        assert_eq!(closed[1].mean, 0.0);
+        assert_eq!((closed[1].start_frame, closed[1].end_frame), (2, 4));
+        // Window 2 kept its value through the drain of the empty gap.
+        let tail = r.drain_until(3);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].samples, 1);
+        assert!((tail[0].mean - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gop_spanning_a_window_boundary_splits_by_frame_position() {
+        // A 4-frame GOP decoded as a unit resolves frames 2..6 together,
+        // but windows are keyed by frame position: the first half belongs
+        // to window 0, the second to window 1, regardless of arrival
+        // order within the GOP.
+        let mut r = WindowRollup::new(4);
+        for &pos in &[5, 2, 4, 3] {
+            r.push(pos, pos as f64);
+        }
+        let closed = r.drain_until(2);
+        assert_eq!(closed[0].samples, 2); // frames 2, 3
+        assert!((closed[0].mean - 2.5).abs() < 1e-12);
+        assert!((closed[0].coverage() - 0.5).abs() < 1e-12);
+        assert_eq!(closed[1].samples, 2); // frames 4, 5
+        assert!((closed[1].mean - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_frames_per_window_clamps_to_one() {
+        // A zero-fps stream config would otherwise divide by zero in
+        // `window_of`; the constructor clamps to one-frame windows.
+        let mut r = WindowRollup::new(0);
+        assert_eq!(r.window_len(), 1);
+        assert_eq!(r.window_of(7), 7);
+        r.push(0, 3.0);
+        r.push(1, 5.0);
+        let closed = r.drain_until(2);
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].samples, 1);
+        assert!((closed[0].mean - 3.0).abs() < 1e-12);
+        assert!((closed[1].mean - 5.0).abs() < 1e-12);
+        assert!((closed[0].coverage() - 1.0).abs() < 1e-12);
+    }
 }

@@ -169,6 +169,7 @@ fn main() {
         preproc_throughput: tput,
         reduced_accuracy: Some(accuracy - 0.05),
         cascade: None,
+        routing: Vec::new(),
         video: None,
         storage: None,
     };

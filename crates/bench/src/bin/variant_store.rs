@@ -283,6 +283,7 @@ fn main() {
         preproc_throughput: joint_tput,
         reduced_accuracy: None,
         cascade: None,
+        routing: Vec::new(),
         video: None,
         storage: Some(StorageProfile {
             read_throughput: f64::INFINITY,

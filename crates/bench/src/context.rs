@@ -285,6 +285,7 @@ pub fn candidate(
         preproc_throughput,
         reduced_accuracy: None,
         cascade: None,
+        routing: Vec::new(),
         video: None,
         storage: None,
     }

@@ -40,11 +40,13 @@ pub mod error;
 pub mod huffman;
 pub mod quant;
 pub mod registry;
+pub mod signal;
 pub mod sjpg;
 pub mod spng;
 
 pub use bytes::Bytes;
 pub use error::{Error, Result};
+pub use signal::DifficultySignal;
 pub use sjpg::{DecodeOptions, DecodeStats, SjpgEncoder};
 use smol_imgproc::{ImageU8, Rect};
 

@@ -570,6 +570,89 @@ pub fn decode_scaled_opts(
     run_bands(&data[header.body_start..], &header, geom, rows, cols, opts)
 }
 
+/// Raw accumulators of a sampled entropy-only difficulty scan (the
+/// bitstream side of `smol_codec::signal`). Everything is in quantized
+/// coefficient units: the scan never dequantizes, never transforms, and
+/// never writes a pixel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct SignalScan {
+    /// Entropy symbols decoded across the sampled rows.
+    pub symbols: u64,
+    /// Luma blocks the scan visited.
+    pub luma_blocks: u64,
+    /// Variance of the sampled luma DC coefficients (quantized units²).
+    pub dc_variance: f64,
+    /// Mean per-luma-block AC energy `Σ c_k²` over the coded prefix
+    /// (quantized units²).
+    pub ac_energy: f64,
+}
+
+/// Entropy-decodes a small, evenly-spread sample of MCU rows (at most
+/// `max_rows`) straight off the encoded bitstream, accumulating the
+/// difficulty accumulators without any dequantization, IDCT, or pixel
+/// writes. The row index makes the seek free; DC prediction resets per
+/// row, so each sampled row is self-contained.
+///
+/// The returned [`DecodeStats`] is the proof of cheapness: only
+/// `symbols_decoded` and `rows_skipped` may move — `blocks_idct`,
+/// `pixels_written`, and `idct_macs` stay zero by construction (pinned
+/// by the workspace proptests).
+pub(crate) fn scan_signal(data: &[u8], max_rows: usize) -> Result<(SignalScan, DecodeStats)> {
+    let header = SjpgHeader::parse(data)?;
+    let n_rows = header.row_offsets.len();
+    let sample = max_rows.clamp(1, n_rows);
+    let mcols = header.width.div_ceil(header.mcu());
+    let body = &data[header.body_start..];
+
+    let mut stats = DecodeStats::default();
+    let mut scan = SignalScan::default();
+    let mut dc_sum = 0.0f64;
+    let mut dc_sumsq = 0.0f64;
+    let mut ac_total = 0.0f64;
+    let mut coefs = [0i16; 64];
+
+    let mut r = BitReader::new(body);
+    for i in 0..sample {
+        // Evenly spread, first row always included; `sample == n_rows`
+        // degenerates to every row.
+        let by = i * n_rows / sample;
+        r.seek_bits(header.row_offsets[by] as u64 * 8)?;
+        let mut dc_pred = [0i16; 3];
+        for bx in 0..mcols {
+            let (sched, n) = mcu_schedule(header.chroma, bx, by);
+            for &(comp, _, _) in &sched[..n] {
+                let k = decode_block(
+                    &mut r,
+                    &header.dc_table,
+                    &header.ac_table,
+                    dc_pred[comp],
+                    &mut coefs,
+                    &mut stats,
+                )?;
+                dc_pred[comp] = coefs[0];
+                if comp == 0 {
+                    scan.luma_blocks += 1;
+                    let dc = coefs[0] as f64;
+                    dc_sum += dc;
+                    dc_sumsq += dc * dc;
+                    for &c in &coefs[1..k] {
+                        ac_total += (c as f64) * (c as f64);
+                    }
+                }
+            }
+        }
+    }
+    stats.rows_skipped += (n_rows - sample) as u64;
+    scan.symbols = stats.symbols_decoded;
+    if scan.luma_blocks > 0 {
+        let n = scan.luma_blocks as f64;
+        let mean = dc_sum / n;
+        scan.dc_variance = (dc_sumsq / n - mean * mean).max(0.0);
+        scan.ac_energy = ac_total / n;
+    }
+    Ok((scan, stats))
+}
+
 // ---------------------------------------------------------------------------
 // Unified band decoder
 // ---------------------------------------------------------------------------

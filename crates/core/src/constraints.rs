@@ -111,6 +111,7 @@ impl std::error::Error for PlanError {}
 ///     exec_throughput: tput,
 ///     est_throughput: tput,
 ///     accuracy,
+///     cascade: None,
 /// };
 /// let ladder = vec![cand(0.70, 1000.0), cand(0.80, 500.0), cand(0.90, 100.0)];
 /// // Floors, not targets: the fastest plan at or above the floor wins.
@@ -264,9 +265,18 @@ impl Constraint {
         chosen: &PlanCandidate,
     ) -> Vec<PlanCandidate> {
         let floor = self.accuracy_floor(candidates);
+        // Cascade candidates never become degradation rungs: a rung swap
+        // happens mid-query under load, and per-item routing state (dual
+        // signature accounting, escalation counters) cannot be spliced
+        // into a query that started uniform. Their *full-rung* plans are
+        // enumerated separately as uniform candidates anyway.
         let mut ladder: Vec<PlanCandidate> = candidates
             .iter()
-            .filter(|c| c.accuracy >= floor && c.est_throughput > chosen.est_throughput)
+            .filter(|c| {
+                c.cascade.is_none()
+                    && c.accuracy >= floor
+                    && c.est_throughput > chosen.est_throughput
+            })
             .cloned()
             .collect();
         ladder.sort_by(|a, b| {
@@ -335,6 +345,7 @@ pub struct PlannerKey {
     pub enable_multires: bool,
     pub enable_video: bool,
     pub enable_storage_aware: bool,
+    pub enable_cascades: bool,
     pub video_stride: u8,
     pub dnn_input: u32,
 }
@@ -353,6 +364,7 @@ impl PlannerConfig {
             enable_multires: self.enable_multires,
             enable_video: self.enable_video,
             enable_storage_aware: self.enable_storage_aware,
+            enable_cascades: self.enable_cascades,
             video_stride: self.video_stride,
             dnn_input: self.dnn_input,
         }
@@ -381,6 +393,7 @@ mod tests {
             exec_throughput: tput,
             est_throughput: tput,
             accuracy: acc,
+            cascade: None,
         }
     }
 
@@ -562,6 +575,10 @@ mod tests {
             },
             PlannerConfig {
                 enable_storage_aware: false,
+                ..base
+            },
+            PlannerConfig {
+                enable_cascades: false,
                 ..base
             },
             PlannerConfig {

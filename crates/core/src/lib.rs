@@ -48,9 +48,10 @@ pub use costmodel::{
 pub use pareto::{max_accuracy_with_throughput, max_throughput_with_accuracy, pareto_frontier};
 pub use placement::{choose_placement, PlacementDecision, PlacementRates};
 pub use plan::{
-    DecodeMode, FrameSelection, InputVariant, PlacementSignature, PlanCandidate, QueryPlan,
+    CascadePlan, DecodeMode, FrameSelection, InputVariant, PlacementSignature, PlanCandidate,
+    QueryPlan,
 };
-pub use planner::{CandidateSpec, Planner, PlannerConfig, VideoFidelity};
+pub use planner::{CandidateSpec, Planner, PlannerConfig, RoutingSpec, VideoFidelity};
 pub use rewrite::{
     decode_cost_for_mode, idct_edge, rewrite_preproc_for_decode, video_gop_decode_cost,
 };

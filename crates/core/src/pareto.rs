@@ -79,6 +79,7 @@ mod tests {
             exec_throughput: tput,
             est_throughput: tput,
             accuracy: acc,
+            cascade: None,
         }
     }
 

@@ -277,6 +277,35 @@ pub struct PlacementSignature {
     pub extra_stages: Vec<(ModelKind, u64)>,
 }
 
+/// An input-adaptive two-rung routing plan (ROADMAP item 3; Tahoma-style
+/// cascades crossed with bitstream-derived difficulty routing).
+///
+/// The carrying [`QueryPlan`] *is* the full rung: a cascade candidate's
+/// `plan` field stays a complete, uniform fallback plan, so every
+/// consumer that ignores cascades (degradation ladders, lesioned
+/// planners, report labels) still sees a valid plan. `stage1` is the
+/// aggressive rung easy items take — same input variant, same output
+/// geometry (its [`PlacementSignature`] differs only in the DNN), but a
+/// cheaper decode mode and a smaller model. Per item, a difficulty score
+/// computed from the encoded bitstream (`smol_codec::signal`) decides
+/// the rung *before any decode happens*: scores above `threshold`
+/// escalate straight to the full rung, so an escalated item's result is
+/// bit-identical to the uniform full plan's by construction.
+#[derive(Debug, Clone)]
+pub struct CascadePlan {
+    /// The aggressive rung (reduced decode + small DNN). Must share the
+    /// carrying plan's input variant and output geometry.
+    pub stage1: QueryPlan,
+    /// Difficulty-score threshold (in `smol_codec::DifficultySignal::score`
+    /// units, calibrated on the score's empirical quantiles): items
+    /// scoring strictly above it escalate to the full rung, as do items
+    /// whose bitstream yields no signal at all.
+    pub threshold: f64,
+    /// Calibrated fraction of items expected to escalate (drives the
+    /// `stage1 + rate × stage2` cost estimate and accuracy accounting).
+    pub escalation_rate: f64,
+}
+
 /// A plan candidate with its resource estimates (the planner's unit of
 /// comparison and the Pareto frontier's element type).
 #[derive(Debug, Clone)]
@@ -290,6 +319,10 @@ pub struct PlanCandidate {
     pub est_throughput: f64,
     /// Estimated accuracy in [0, 1] (from the calibration set).
     pub accuracy: f64,
+    /// Input-adaptive routing attached to this candidate: `plan` is the
+    /// full rung and `cascade.stage1` the easy-item rung. `None` for
+    /// uniform plans.
+    pub cascade: Option<CascadePlan>,
 }
 
 #[cfg(test)]

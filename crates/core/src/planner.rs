@@ -7,7 +7,9 @@ use crate::costmodel::{
     estimate_throughput, storage_adjusted_preproc, CascadeStage, CostModelKind, StorageProfile,
 };
 use crate::pareto;
-use crate::plan::{DecodeMode, FrameSelection, InputVariant, PlanCandidate, QueryPlan};
+use crate::plan::{
+    CascadePlan, DecodeMode, FrameSelection, InputVariant, PlanCandidate, QueryPlan,
+};
 use crate::rewrite::{
     decode_cost_for_mode_subsampled, rewrite_preproc_for_decode, video_gop_decode_cost,
 };
@@ -44,6 +46,41 @@ pub struct CandidateSpec {
     /// into the preprocessing estimate ([`storage_adjusted_preproc`]).
     /// `None` for a purely on-the-fly variant.
     pub storage: Option<StorageProfile>,
+    /// Calibrated per-item routing options for this candidate: each entry
+    /// describes a cheap stage-1 rung plus the measured escalation rate
+    /// and end-to-end routed accuracy at one difficulty threshold. The
+    /// planner turns each into a cascade candidate whose full rung is
+    /// this spec's `(dnn, input)`. Empty when no routing was calibrated
+    /// (proxy calibration, non-sjpg inputs, video).
+    pub routing: Vec<RoutingSpec>,
+}
+
+/// One calibrated routing option of a [`CandidateSpec`]: the stage-1
+/// rung, the difficulty threshold, and the quantities measured on the
+/// calibration set at that threshold (Tahoma-style cascades with
+/// bitstream-derived routing; ROADMAP item 3). Produced by
+/// `Calibration::Measured` — the escalation rate and routed accuracy are
+/// *measured*, not modeled, which is what lets `MaxAccuracyLoss` /
+/// `MinAccuracy` constraints keep holding end to end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingSpec {
+    /// Stage-1 model (must be cheaper than the spec's full `dnn`; the
+    /// planner drops specs whose rungs would share a placement
+    /// signature, i.e. the same model).
+    pub stage1_dnn: ModelKind,
+    /// Stage-1 decode mode (typically the factor-8 reduced decode).
+    pub stage1_decode: DecodeMode,
+    /// Difficulty-score threshold items must exceed to escalate.
+    pub threshold: f64,
+    /// Measured fraction of calibration items escalating at `threshold`.
+    pub escalation_rate: f64,
+    /// Measured end-to-end accuracy of the routed pipeline (stage-1
+    /// answers below the threshold, full-rung answers above it).
+    pub accuracy: f64,
+    /// Measured throughput of the difficulty-signal scan itself, items/s
+    /// (every item pays it, easy or hard). Non-finite or non-positive
+    /// means "free".
+    pub signal_throughput: f64,
 }
 
 /// Per-knob calibrated accuracies for reduced-fidelity video decoding
@@ -109,6 +146,11 @@ pub struct PlannerConfig {
     /// rate). Off in the "-Storage" lesion, which prices every candidate
     /// as if it decoded from scratch.
     pub enable_storage_aware: bool,
+    /// Enumerate input-adaptive cascade candidates from
+    /// [`CandidateSpec::routing`] calibrations (per-item plan routing on
+    /// bitstream difficulty signals). Off in the "-Cascade" lesion,
+    /// which leaves only uniform plans.
+    pub enable_cascades: bool,
     /// Also enumerate `FrameSelection::Stride(video_stride)` video decode
     /// plans — a middle rung between full-GOP and keyframe-only, so
     /// degradation ladders (and live-stream pacing) can shed fidelity in
@@ -131,6 +173,7 @@ impl Default for PlannerConfig {
             enable_multires: true,
             enable_video: true,
             enable_storage_aware: true,
+            enable_cascades: true,
             video_stride: 0,
             dnn_input: 224,
         }
@@ -314,7 +357,98 @@ impl Planner {
             exec_throughput: exec,
             est_throughput: est,
             accuracy,
+            cascade: None,
         }
+    }
+
+    /// Builds one cascade candidate from a calibrated [`RoutingSpec`]:
+    /// full rung = the spec's `(dnn, input)` under `base` decode, easy
+    /// rung = `(stage1_dnn, stage1_decode)` over the same input and
+    /// preprocessing. Costing follows the issue's contract,
+    /// `stage1_cost + escalation_rate × stage2_cost`, on both axes:
+    ///
+    /// * **CPU**: every item pays the signal scan, every item pays its
+    ///   routed decode — `1/pc = 1/signal + (1−r)/p1 + r/p2` (the
+    ///   routing happens *before* any decode, so the two rungs'
+    ///   preprocessing costs blend exactly, not additively);
+    /// * **device**: `[CascadeStage(t1, 1), CascadeStage(t2, r)]` — the
+    ///   classic Tahoma accounting. It slightly overestimates cost for
+    ///   this runtime (escalated items skip stage 1 entirely, so `1−r`
+    ///   would be exact), which errs on the safe side: a cascade is
+    ///   selected only when it wins even under the conservative bill.
+    ///
+    /// Accuracy is the calibration's *measured* routed accuracy, not a
+    /// blend of per-rung numbers.
+    fn cascade_candidate(
+        &self,
+        s: &CandidateSpec,
+        base: DecodeMode,
+        preproc: &PreprocPlan,
+        r: &RoutingSpec,
+    ) -> Option<PlanCandidate> {
+        let rate = r.escalation_rate.clamp(0.0, 1.0);
+        let p1 = self.scaled_preproc_throughput(
+            s.preproc_throughput,
+            preproc,
+            base,
+            r.stage1_decode,
+            s.input.width,
+            s.input.height,
+            s.input.format.is_chroma_subsampled(),
+        );
+        let per_item = |t: f64| {
+            if t.is_finite() && t > 0.0 {
+                1.0 / t
+            } else {
+                0.0
+            }
+        };
+        let t = per_item(r.signal_throughput)
+            + (1.0 - rate) * per_item(p1)
+            + rate * per_item(s.preproc_throughput);
+        if t <= 0.0 {
+            return None;
+        }
+        let mut pc = 1.0 / t;
+        if let (Some(storage), true) = (&s.storage, self.config.enable_storage_aware) {
+            pc = storage_adjusted_preproc(pc, storage);
+        }
+        let dev = |dnn| throughput(dnn, self.config.device, self.config.env, self.config.batch);
+        let stages = [
+            CascadeStage::new(dev(r.stage1_dnn), 1.0),
+            CascadeStage::new(dev(s.dnn), rate),
+        ];
+        let full = QueryPlan {
+            dnn: s.dnn,
+            input: s.input.clone(),
+            preproc: preproc.clone(),
+            decode: base,
+            batch: self.config.batch,
+            extra_stages: Vec::new(),
+        };
+        let stage1 = QueryPlan {
+            dnn: r.stage1_dnn,
+            decode: r.stage1_decode,
+            ..full.clone()
+        };
+        // The serving layer batches the two rungs separately; equal
+        // placement signatures would merge their accounting, so such a
+        // pairing is not a cascade at all.
+        if stage1.placement_signature() == full.placement_signature() {
+            return None;
+        }
+        Some(PlanCandidate {
+            plan: full,
+            preproc_throughput: pc,
+            exec_throughput: crate::costmodel::cascade_exec_throughput(&stages),
+            est_throughput: estimate_throughput(self.config.cost_model, pc, &stages),
+            accuracy: r.accuracy,
+            cascade: Some(CascadePlan {
+                stage1,
+                threshold: r.threshold,
+                escalation_rate: rate,
+            }),
+        })
     }
 
     /// The reduced-fidelity video decode modes enumerated next to a
@@ -427,8 +561,8 @@ impl Planner {
                 continue;
             }
             out.push(self.candidate(s, base, s.preproc_throughput, s.accuracy, 1.0));
+            let preproc = self.build_preproc(&s.input);
             if let Some(reduced) = self.reduced_decode_mode(&s.input) {
-                let preproc = self.build_preproc(&s.input);
                 let tput = self.scaled_preproc_throughput(
                     s.preproc_throughput,
                     &preproc,
@@ -440,6 +574,13 @@ impl Planner {
                 );
                 let acc = s.reduced_accuracy.unwrap_or(s.accuracy);
                 out.push(self.candidate(s, reduced, tput, acc, 1.0));
+            }
+            if self.config.enable_cascades {
+                out.extend(
+                    s.routing
+                        .iter()
+                        .filter_map(|r| self.cascade_candidate(s, base, &preproc, r)),
+                );
             }
         }
         out
@@ -527,6 +668,7 @@ mod tests {
                 cascade: None,
                 video: None,
                 storage: None,
+                routing: Vec::new(),
             },
             CandidateSpec {
                 dnn: ModelKind::ResNet34,
@@ -537,6 +679,7 @@ mod tests {
                 cascade: None,
                 video: None,
                 storage: None,
+                routing: Vec::new(),
             },
             CandidateSpec {
                 dnn: ModelKind::ResNet50,
@@ -547,6 +690,7 @@ mod tests {
                 cascade: None,
                 video: None,
                 storage: None,
+                routing: Vec::new(),
             },
             CandidateSpec {
                 dnn: ModelKind::ResNet34,
@@ -557,6 +701,7 @@ mod tests {
                 cascade: None,
                 video: None,
                 storage: None,
+                routing: Vec::new(),
             },
         ]
     }
@@ -655,6 +800,7 @@ mod tests {
             cascade: None,
             video: None,
             storage: None,
+            routing: Vec::new(),
         }
     }
 
@@ -749,6 +895,7 @@ mod tests {
             cascade: None,
             video,
             storage: None,
+            routing: Vec::new(),
         }
     }
 
@@ -885,6 +1032,7 @@ mod tests {
             cascade: None,
             video: None,
             storage: None,
+            routing: Vec::new(),
         };
         let c420 = CandidateSpec {
             dnn: ModelKind::ResNet50,
@@ -895,6 +1043,7 @@ mod tests {
             cascade: None,
             video: None,
             storage: None,
+            routing: Vec::new(),
         };
         let specs = [c444, c420];
         let chosen = planner
@@ -937,6 +1086,7 @@ mod tests {
             reduced_accuracy: None,
             cascade: None,
             video: None,
+            routing: Vec::new(),
             // On-the-fly transcode: every query pays the encode again.
             storage: Some(StorageProfile {
                 read_throughput: f64::INFINITY,
@@ -1005,6 +1155,97 @@ mod tests {
         assert!(!cold_t.is_empty() && cold_t.len() == plain_t.len());
         for (a, b) in cold_t.iter().zip(&plain_t) {
             assert!((a - b).abs() < 1e-9, "lesion ignores storage profiles");
+        }
+    }
+
+    fn routed_spec() -> CandidateSpec {
+        CandidateSpec {
+            routing: vec![RoutingSpec {
+                stage1_dnn: ModelKind::ResNet18,
+                stage1_decode: DecodeMode::ReducedResolution { factor: 8 },
+                threshold: 10.0,
+                escalation_rate: 0.25,
+                accuracy: 0.74,
+                signal_throughput: 50_000.0,
+            }],
+            ..big_spec(0.75, None)
+        }
+    }
+
+    #[test]
+    fn cascade_enumeration_costs_stage1_plus_escalations() {
+        let planner = Planner::default();
+        let cands = planner.enumerate(&[routed_spec()]);
+        let cascade = cands
+            .iter()
+            .find(|c| c.cascade.is_some())
+            .expect("cascade candidate");
+        let base = cands
+            .iter()
+            .find(|c| c.cascade.is_none() && c.plan.decode == planner.decode_mode(&big_full_res()))
+            .unwrap();
+        // The full rung keeps the spec's model and base decode; the easy
+        // rung carries the calibrated stage-1 pair.
+        assert_eq!(cascade.plan.dnn, ModelKind::ResNet50);
+        let cp = cascade.cascade.as_ref().unwrap();
+        assert_eq!(cp.stage1.dnn, ModelKind::ResNet18);
+        assert_eq!(
+            cp.stage1.decode,
+            DecodeMode::ReducedResolution { factor: 8 }
+        );
+        assert!((cp.escalation_rate - 0.25).abs() < 1e-12);
+        assert_ne!(
+            cp.stage1.placement_signature(),
+            cascade.plan.placement_signature()
+        );
+        // Mostly-cheap routing must beat the uniform full plan on both
+        // estimated axes, and carry the *measured* routed accuracy.
+        assert!(cascade.preproc_throughput > base.preproc_throughput);
+        assert!(cascade.est_throughput > base.est_throughput);
+        assert!((cascade.accuracy - 0.74).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascade_lesion_and_signature_guard() {
+        let lesioned = Planner::new(PlannerConfig {
+            enable_cascades: false,
+            ..Default::default()
+        });
+        assert!(lesioned
+            .enumerate(&[routed_spec()])
+            .iter()
+            .all(|c| c.cascade.is_none()));
+        // A stage-1 rung that shares the full rung's placement signature
+        // (same model) is dropped rather than enumerated as a fake cascade.
+        let mut same = routed_spec();
+        same.routing[0].stage1_dnn = ModelKind::ResNet50;
+        assert!(Planner::default()
+            .enumerate(&[same])
+            .iter()
+            .all(|c| c.cascade.is_none()));
+    }
+
+    #[test]
+    fn cascade_cost_is_monotone_in_escalation_rate() {
+        let planner = Planner::default();
+        let est_at = |rate: f64| {
+            let mut s = routed_spec();
+            s.routing[0].escalation_rate = rate;
+            planner
+                .enumerate(&[s])
+                .into_iter()
+                .find(|c| c.cascade.is_some())
+                .expect("cascade candidate")
+                .est_throughput
+        };
+        let mut prev = f64::INFINITY;
+        for i in 0..=10 {
+            let est = est_at(i as f64 / 10.0);
+            assert!(
+                est <= prev + 1e-9,
+                "estimate must not rise with escalation rate"
+            );
+            prev = est;
         }
     }
 

@@ -41,11 +41,12 @@ use crossbeam::channel;
 use parking_lot::{Condvar, Mutex};
 use smol_accel::VirtualDevice;
 use smol_codec::EncodedImage;
-use smol_core::{PlacementSignature, QueryPlan};
+use smol_core::{CascadePlan, PlacementSignature, QueryPlan};
 use smol_imgproc::ImageU8;
 use smol_runtime::{
-    execute_device_batch, produce_media_item, wrap_images, BufferPool, DeviceBatchSpec, MediaItem,
-    PlanContext, ProducedItem, RuntimeOptions, TensorCache, TensorCacheStats,
+    execute_device_batch, produce_media_item, produce_routed_item, wrap_images, BufferPool,
+    DeviceBatchSpec, MediaItem, PlanContext, ProducedItem, RuntimeOptions, TensorCache,
+    TensorCacheStats,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -139,6 +140,12 @@ pub struct SubmitOptions {
     /// The query's accuracy floor (from its constraint); recorded in the
     /// report so callers can audit that degraded accuracy ≥ floor.
     pub accuracy_floor: Option<f64>,
+    /// Per-item cascade routing: when set, each item's bitstream-derived
+    /// difficulty signal routes it to the cascade's aggressive stage-1
+    /// rung or escalates it to the submitted (full) plan. Cascade queries
+    /// ignore `ladder` — per-item routing and whole-query degradation
+    /// would fight over the same signature accounting.
+    pub cascade: Option<CascadePlan>,
 }
 
 /// Serving configuration.
@@ -192,6 +199,21 @@ struct Claim {
     pool: BufferPool,
     keep_image: bool,
     claimed_at: Instant,
+    /// Cascade routing payload: the producer decides the rung *after*
+    /// claiming, from the item's bitstream signal.
+    cascade: Option<Arc<CascadeState>>,
+}
+
+/// A cascade's aggressive stage-1 rung compiled to runtime form, shared
+/// by the query state and every claim of that query. Until an item is
+/// routed, its signature counters are tracked under **both** the stage-1
+/// and the full signature (either batch could still receive it); routing
+/// resolves it to exactly one.
+struct CascadeState {
+    sig: Arc<PlacementSignature>,
+    ctx: Arc<PlanContext>,
+    /// Difficulty-score threshold: items scoring above it escalate.
+    threshold: f64,
 }
 
 /// A degradation rung resolved at submission: the rung's plan compiled to
@@ -249,6 +271,13 @@ struct QueryState {
     accuracy_floor: Option<f64>,
     /// Hysteresis: no further degradation before this item index.
     next_degrade_at: usize,
+    // --- cascade routing state ---
+    /// Stage-1 rung + threshold (None for uniform queries).
+    cascade: Option<Arc<CascadeState>>,
+    /// Items whose signal escalated them to the full rung.
+    escalated_items: usize,
+    /// Outputs staged per stage (`[0]` aggressive, `[1]` full).
+    stage_counts: [usize; 2],
 }
 
 impl QueryState {
@@ -666,6 +695,21 @@ impl Server {
         let inner = &self.inner;
         let ctx = Arc::new(PlanContext::new(&plan));
         let sig = Arc::new(plan.placement_signature());
+        // Compile the cascade's aggressive rung. Dropped when it collapses
+        // onto the full rung (identical signature — the planner guards
+        // this too, but submitters can hand-build plans) or when its
+        // staging geometry diverges (one pool must serve both rungs).
+        let cascade: Option<Arc<CascadeState>> = opts.cascade.as_ref().and_then(|c| {
+            let s1_ctx = Arc::new(PlanContext::new(&c.stage1));
+            let s1_sig = Arc::new(c.stage1.placement_signature());
+            (*s1_sig != *sig && s1_ctx.buf_len == ctx.buf_len).then(|| {
+                Arc::new(CascadeState {
+                    sig: s1_sig,
+                    ctx: s1_ctx,
+                    threshold: c.threshold,
+                })
+            })
+        });
         let (done_tx, done_rx) = channel::bounded::<QueryReport>(1);
         let n = items.len();
         // Output (tensor) accounting: GOP items fan out per the plan's
@@ -678,8 +722,10 @@ impl Server {
         // results are indexed by output slot, which must survive a
         // mid-query re-plan. (Stills always qualify; video rungs must
         // keep the frame selection.)
-        let ladder: VecDeque<Rung> = opts
-            .ladder
+        // Cascade queries route per item instead of degrading per query;
+        // the two would fight over the same signature accounting.
+        let opts_ladder: &[DegradeStep] = if cascade.is_some() { &[] } else { &opts.ladder };
+        let ladder: VecDeque<Rung> = opts_ladder
             .iter()
             .filter(|step| {
                 opts.accuracy_floor
@@ -752,6 +798,8 @@ impl Server {
                 degraded_steps: 0,
                 dropped_frames: 0,
                 downgraded_frames: 0,
+                escalated_items: 0,
+                stage_histogram: Vec::new(),
                 accuracy: opts.accuracy,
                 accuracy_floor: opts.accuracy_floor,
                 deadline_missed: opts.deadline.map(|_| false),
@@ -807,10 +855,19 @@ impl Server {
             accuracy: opts.accuracy,
             accuracy_floor: opts.accuracy_floor,
             next_degrade_at: 0,
+            cascade: cascade.clone(),
+            escalated_items: 0,
+            stage_counts: [0; 2],
         };
         sched.queries.insert(id, state);
         sched.rr[opts.priority.index()].push_back(id);
         sched.sigs.entry(sig).or_default().unclaimed += n;
+        // Until routed, each cascade item is tracked under *both*
+        // signatures: a stage-1 partial batch must not flush while an
+        // unrouted item could still land in it (and vice versa).
+        if let Some(cs) = &cascade {
+            sched.sigs.entry(Arc::clone(&cs.sig)).or_default().unclaimed += n;
+        }
         sched.active += 1;
         drop(sched);
         inner.work_cv.notify_all();
@@ -1049,6 +1106,7 @@ fn claim_next(
                 pool: q.pool.clone(),
                 keep_image: q.infer.is_some(),
                 claimed_at: Instant::now(),
+                cascade: q.cascade.clone(),
             };
             let still_has_work = q.next_item < q.claim_end;
             let count = sched
@@ -1057,6 +1115,14 @@ fn claim_next(
                 .expect("signature registered at admission");
             count.unclaimed -= 1;
             count.producing += 1;
+            if let Some(cs) = &claim.cascade {
+                let count = sched
+                    .sigs
+                    .get_mut(&cs.sig)
+                    .expect("cascade signature registered at admission");
+                count.unclaimed -= 1;
+                count.producing += 1;
+            }
             if still_has_work {
                 sched.rr[prio].push_back(qid);
             }
@@ -1123,6 +1189,12 @@ fn try_finalize(inner: &Inner, sched: &mut Sched, qid: QueryId) {
         degraded_steps: q.degraded_steps,
         dropped_frames: q.failed + q.skipped,
         downgraded_frames: q.downgraded_frames,
+        escalated_items: q.escalated_items,
+        stage_histogram: if q.cascade.is_some() {
+            q.stage_counts.to_vec()
+        } else {
+            Vec::new()
+        },
         accuracy: q.accuracy,
         accuracy_floor: q.accuracy_floor,
         deadline_missed,
@@ -1205,16 +1277,31 @@ fn producer_loop(inner: &Inner) {
         };
 
         // The slow part runs without the scheduler lock. A GOP item fans
-        // out into one staged work item per selected frame.
-        let produced = produce_media_item(
-            &claim.ctx,
-            claim.offsets[claim.idx],
-            &claim.items[claim.idx],
-            &claim.pool,
-            claim.keep_image,
-            inner.cfg.runtime.extra_cpu_s_per_image,
-            inner.tensor_cache.as_deref(),
-        );
+        // out into one staged work item per selected frame. Cascade
+        // claims route first: the item's bitstream signal picks the
+        // stage-1 or full rung before any decode work happens.
+        let produced = match claim.cascade.as_deref() {
+            Some(cs) => produce_routed_item(
+                &cs.ctx,
+                &claim.ctx,
+                cs.threshold,
+                claim.offsets[claim.idx],
+                &claim.items[claim.idx],
+                &claim.pool,
+                claim.keep_image,
+                inner.cfg.runtime.extra_cpu_s_per_image,
+                inner.tensor_cache.as_deref(),
+            ),
+            None => produce_media_item(
+                &claim.ctx,
+                claim.offsets[claim.idx],
+                &claim.items[claim.idx],
+                &claim.pool,
+                claim.keep_image,
+                inner.cfg.runtime.extra_cpu_s_per_image,
+                inner.tensor_cache.as_deref(),
+            ),
+        };
 
         let mut emitted: Vec<FormedBatch<BatchItem>> = Vec::new();
         {
@@ -1228,11 +1315,32 @@ fn producer_loop(inner: &Inner) {
             match produced {
                 Ok(staged) => {
                     q.produced += staged.len();
+                    // Routing resolved: the item's outputs batch under
+                    // exactly one signature (all outputs of one claim
+                    // share a stage).
+                    let stage = staged.first().map_or(0, |i| i.stage).min(1);
+                    let routed_sig = match (&claim.cascade, stage) {
+                        (Some(cs), 0) => Arc::clone(&cs.sig),
+                        _ => Arc::clone(&claim.sig),
+                    };
+                    if claim.cascade.is_some() {
+                        q.stage_counts[stage] += staged.len();
+                        if stage == 1 {
+                            q.escalated_items += 1;
+                        }
+                    }
                     let count = sched
                         .sigs
                         .get_mut(&claim.sig)
                         .expect("signature registered at admission");
                     count.producing -= 1;
+                    if let Some(cs) = &claim.cascade {
+                        sched
+                            .sigs
+                            .get_mut(&cs.sig)
+                            .expect("cascade signature registered at admission")
+                            .producing -= 1;
+                    }
                     for item in staged {
                         let q = sched
                             .queries
@@ -1242,7 +1350,7 @@ fn producer_loop(inner: &Inner) {
                         q.decode_cpu_s += item.decode_s;
                         q.preproc_cpu_s += item.preproc_s;
                         if let Some(batch) = sched.former.push(
-                            &claim.sig,
+                            &routed_sig,
                             BatchItem {
                                 query: claim.query,
                                 item,
@@ -1253,6 +1361,9 @@ fn producer_loop(inner: &Inner) {
                         }
                     }
                     flush_if_drained(sched, &claim.sig, &mut emitted);
+                    if let Some(cs) = &claim.cascade {
+                        flush_if_drained(sched, &cs.sig, &mut emitted);
+                    }
                     // An item can legally stage zero outputs (an empty
                     // GOP): the query may already be finishable.
                     try_finalize(inner, sched, claim.query);
@@ -1284,6 +1395,17 @@ fn producer_loop(inner: &Inner) {
                         .get_mut(&claim.sig)
                         .expect("signature registered at admission")
                         .producing -= 1;
+                    // A cascade query's items were registered under both
+                    // signatures; drop and release the stage-1 side too.
+                    if let Some(cs) = &claim.cascade {
+                        let count = sched
+                            .sigs
+                            .get_mut(&cs.sig)
+                            .expect("cascade signature registered at admission");
+                        count.unclaimed -= dropped_items;
+                        count.producing -= 1;
+                        flush_if_drained(sched, &cs.sig, &mut emitted);
+                    }
                     flush_if_drained(sched, &claim.sig, &mut emitted);
                     if *q_sig != *claim.sig {
                         flush_if_drained(sched, &q_sig, &mut emitted);

@@ -49,11 +49,11 @@ use crate::server::{
 use crate::stats::QueryReport;
 use parking_lot::{Condvar, Mutex};
 use smol_accel::{ExecutionEnv, GpuModel, ModelKind, VirtualDevice};
-use smol_codec::EncodedImage;
+use smol_codec::{EncodedImage, Format};
 use smol_core::{
     pareto_frontier, CandidateSpec, Constraint, ConstraintKey, DecodeMode, InputVariant,
-    PlanCandidate, PlanError, Planner, PlannerConfig, PlannerKey, QueryPlan, StorageProfile,
-    VideoFidelity,
+    PlanCandidate, PlanError, Planner, PlannerConfig, PlannerKey, QueryPlan, RoutingSpec,
+    StorageProfile, VideoFidelity,
 };
 use smol_data::{EncodedVariant, GopCorpus, StreamFeed, VariantStore};
 use smol_imgproc::{ops::resize_short_edge_u8, ImageU8};
@@ -324,11 +324,28 @@ impl AccuracyTable {
 /// Memo key: (model, variant name, reduced-decode factor).
 type MeasureKey = (ModelKind, String, Option<u8>);
 
+/// Memo key for cascade calibration: (stage-1 DNN, full DNN, variant
+/// name, stage-1 reduced-decode factor).
+type CascadeKey = (ModelKind, ModelKind, String, u8);
+
+/// One calibrated cascade operating point: routing items whose
+/// bitstream-difficulty score exceeds `threshold` to the full rung
+/// yields this escalation rate and end-to-end accuracy.
+#[derive(Debug, Clone, Copy)]
+struct CascadePoint {
+    threshold: f64,
+    escalation_rate: f64,
+    accuracy: f64,
+    /// Measured signal-computation throughput (items/s).
+    signal_throughput: f64,
+}
+
 pub struct MeasuredCalibration {
     images: Vec<ImageU8>,
     labels: Vec<usize>,
     predictors: HashMap<ModelKind, PredictFn>,
     memo: Mutex<HashMap<MeasureKey, f64>>,
+    cascade_memo: Mutex<HashMap<CascadeKey, Vec<CascadePoint>>>,
     /// Predictors are opaque closures, so measured calibrations can't be
     /// compared structurally; each instance gets a unique identity for
     /// dataset fingerprinting instead.
@@ -347,6 +364,7 @@ impl MeasuredCalibration {
             labels,
             predictors: HashMap::new(),
             memo: Mutex::new(HashMap::new()),
+            cascade_memo: Mutex::new(HashMap::new()),
             nonce: MEASURED_NONCE.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -393,6 +411,93 @@ impl MeasuredCalibration {
         let acc = correct as f64 / self.images.len() as f64;
         self.memo.lock().insert(key, acc);
         Some(acc)
+    }
+
+    /// Calibrates a (small-on-reduced-decode, big-on-full-decode) cascade
+    /// over `input`: per calibration image, the bitstream difficulty
+    /// signal is computed (and timed) on the *encoded* bytes, the small
+    /// DNN is scored on the stage-1 reduced decode, and the big DNN on
+    /// the full decode. Candidate thresholds are score quantiles
+    /// (0.5 / 0.75 / 0.9); each yields an operating point (threshold,
+    /// escalation rate, routed accuracy). Images without a signal (e.g.
+    /// non-sjpg) always escalate — exactly the runtime's routing rule.
+    fn measure_cascade(
+        &self,
+        small: ModelKind,
+        big: ModelKind,
+        input: &InputVariant,
+        factor: u8,
+    ) -> Option<Vec<CascadePoint>> {
+        let small_p = self.predictors.get(&small)?;
+        let big_p = self.predictors.get(&big)?;
+        if self.images.is_empty() {
+            return None;
+        }
+        let key = (small, big, input.name.clone(), factor);
+        if let Some(points) = self.cascade_memo.lock().get(&key) {
+            return Some(points.clone());
+        }
+        let short = input.width.min(input.height);
+        let n = self.images.len();
+        let mut scores = Vec::with_capacity(n);
+        let mut small_ok = Vec::with_capacity(n);
+        let mut big_ok = Vec::with_capacity(n);
+        let mut signal_s = 0.0f64;
+        for (img, &label) in self.images.iter().zip(&self.labels) {
+            let staged;
+            let variant_img = if input.is_thumbnail && img.width().min(img.height()) != short {
+                staged = resize_short_edge_u8(img, short).expect("calibration resize");
+                &staged
+            } else {
+                img
+            };
+            let enc = EncodedImage::encode(variant_img, input.format).expect("calibration encode");
+            let t0 = std::time::Instant::now();
+            let sig = smol_codec::signal::image_signal(&enc);
+            signal_s += t0.elapsed().as_secs_f64();
+            // No signal ⇒ +inf score ⇒ the item escalates at any
+            // threshold (the runtime routes missing signals the same way).
+            scores.push(sig.map_or(f64::INFINITY, |s| s.score()));
+            let reduced = enc
+                .decode_scaled(factor as usize)
+                .expect("calibration decode")
+                .0;
+            small_ok.push(small_p(&reduced) == label);
+            big_ok.push(big_p(&enc.decode().expect("calibration decode")) == label);
+        }
+        let signal_throughput = if signal_s > 0.0 {
+            n as f64 / signal_s
+        } else {
+            f64::INFINITY
+        };
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mut points: Vec<CascadePoint> = Vec::new();
+        for q in [0.5, 0.75, 0.9] {
+            let rank = ((q * (n - 1) as f64).round() as usize).min(n - 1);
+            let threshold = sorted[rank];
+            if !threshold.is_finite() || points.iter().any(|p| p.threshold == threshold) {
+                continue;
+            }
+            let mut escalated = 0usize;
+            let mut correct = 0usize;
+            for i in 0..n {
+                if scores[i] > threshold {
+                    escalated += 1;
+                    correct += big_ok[i] as usize;
+                } else {
+                    correct += small_ok[i] as usize;
+                }
+            }
+            points.push(CascadePoint {
+                threshold,
+                escalation_rate: escalated as f64 / n as f64,
+                accuracy: correct as f64 / n as f64,
+                signal_throughput,
+            });
+        }
+        self.cascade_memo.lock().insert(key, points.clone());
+        Some(points)
     }
 }
 
@@ -1357,6 +1462,37 @@ impl Session {
                 };
                 let reduced_accuracy = reduced_mode
                     .and_then(|mode| ds.calibration.reduced_accuracy(model, &v.input, mode));
+                // Cascade routing specs: pair this (full-rung) DNN with
+                // every other registered DNN as the aggressive stage-1
+                // rung on the reduced decode. Needs measured calibration
+                // (per-image joint scoring) and a signal-bearing format.
+                let routing: Vec<RoutingSpec> = match (&ds.calibration, reduced_mode) {
+                    (
+                        Calibration::Measured(m),
+                        Some(mode @ DecodeMode::ReducedResolution { factor }),
+                    ) if matches!(v.input.format, Format::Sjpg { .. }) => {
+                        let mut routing = Vec::new();
+                        for &small in &ds.models {
+                            if small == model {
+                                continue;
+                            }
+                            let Some(points) = m.measure_cascade(small, model, &v.input, factor)
+                            else {
+                                continue;
+                            };
+                            routing.extend(points.into_iter().map(|p| RoutingSpec {
+                                stage1_dnn: small,
+                                stage1_decode: mode,
+                                threshold: p.threshold,
+                                escalation_rate: p.escalation_rate,
+                                accuracy: p.accuracy,
+                                signal_throughput: p.signal_throughput,
+                            }));
+                        }
+                        routing
+                    }
+                    _ => Vec::new(),
+                };
                 specs.push(CandidateSpec {
                     dnn: model,
                     input: v.input.clone(),
@@ -1364,6 +1500,7 @@ impl Session {
                     preproc_throughput: tput,
                     reduced_accuracy,
                     cascade: None,
+                    routing,
                     video: ds.calibration.video_fidelity(model, &v.input),
                     storage,
                 });
@@ -1480,6 +1617,9 @@ impl Session {
             ladder,
             accuracy: Some(chosen.candidate.accuracy),
             accuracy_floor: floor.is_finite().then_some(floor),
+            // A chosen cascade candidate carries its routing plan into
+            // serving (the server ignores the ladder for cascades).
+            cascade: chosen.candidate.cascade.clone(),
         };
         Ok(self
             .server
@@ -1507,7 +1647,11 @@ impl Session {
             .iter()
             // Rungs re-read the GOPs the runner submits, so only
             // same-variant plans are eligible (cf. the batch ladder).
+            // Cascade candidates are excluded: a rung resubmits its bare
+            // plan, which would drop the routing the cascade was costed
+            // with.
             .filter(|c| c.plan.input.name == chosen.candidate.plan.input.name)
+            .filter(|c| c.cascade.is_none())
             .filter(|c| !floor.is_finite() || c.accuracy >= floor)
             .map(|c| DegradeStep {
                 plan: c.plan.clone(),

@@ -52,6 +52,13 @@ pub struct QueryReport {
     /// Outputs claimed while the query was running on a rung below its
     /// originally chosen plan (0 until the first degradation step).
     pub downgraded_frames: usize,
+    /// Items of a cascade query whose difficulty signal routed them to
+    /// the full rung (0 for uniform queries and unrouted items).
+    pub escalated_items: usize,
+    /// Per-stage produced-item counts of a cascade query
+    /// (`stage_histogram[0]` = aggressive rung, `[1]` = full rung).
+    /// Empty for uniform queries.
+    pub stage_histogram: Vec<usize>,
     /// Calibrated accuracy of the plan the query *finished* on, when the
     /// submitter supplied one (always `>= accuracy_floor`).
     pub accuracy: Option<f64>,
@@ -230,6 +237,8 @@ mod tests {
             degraded_steps: 0,
             dropped_frames: 0,
             downgraded_frames: 0,
+            escalated_items: 0,
+            stage_histogram: Vec::new(),
             accuracy: None,
             accuracy_floor: None,
             deadline_missed: None,

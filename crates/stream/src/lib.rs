@@ -508,6 +508,7 @@ impl Driver {
             ladder: Vec::new(),
             accuracy: Some(step.accuracy),
             accuracy_floor: self.ladder.accuracy_floor,
+            cascade: None,
         };
         let submitted = self.session.server().submit_media_opts_with_infer(
             step.plan.clone(),

@@ -1,0 +1,166 @@
+//! Property tests for the cascade routing machinery: difficulty signals
+//! are decode-free and decode-invariant, routing is threshold-monotone,
+//! and the planner's cascade cost model is monotone in escalation rate.
+
+use proptest::prelude::*;
+use smol::accel::ModelKind;
+use smol::codec::{
+    signal::{image_signal, sjpg_signal},
+    Chroma, DecodeOptions, EncodedImage, Format,
+};
+use smol::core::{
+    CandidateSpec, Constraint, DecodeMode, InputVariant, Planner, PlannerConfig, RoutingSpec,
+};
+use smol::imgproc::ImageU8;
+use smol::runtime::{route_stage, MediaItem};
+
+/// Deterministic textured image: `amplitude` sweeps smooth → noisy.
+fn textured(w: usize, h: usize, amplitude: u8, seed: u64) -> ImageU8 {
+    let mut img = ImageU8::zeros(w, h, 3);
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    for (j, v) in img.data_mut().iter_mut().enumerate() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let base = ((j / 7) % 128 + 64) as u8;
+        let jitter = (state & 0xff) as u8 % amplitude.max(1);
+        *v = base.saturating_add(jitter);
+    }
+    img
+}
+
+fn arb_encoded() -> impl Strategy<Value = EncodedImage> {
+    (
+        16usize..80,
+        16usize..80,
+        1u8..=255,
+        any::<u64>(),
+        30u8..=95,
+        any::<bool>(),
+    )
+        .prop_map(|(w, h, amplitude, seed, quality, chroma420)| {
+            let img = textured(w, h, amplitude, seed);
+            let fmt = Format::Sjpg {
+                quality,
+                chroma: if chroma420 {
+                    Chroma::C420
+                } else {
+                    Chroma::C444
+                },
+            };
+            EncodedImage::encode(&img, fmt).expect("encode")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The signal scan never runs an inverse transform or writes a pixel:
+    /// its `DecodeStats` show entropy work only. And since it reads only
+    /// the encoded bytes, decoding the same image under any
+    /// `DecodeOptions` (band parallelism, scalar kernels, reduced
+    /// resolution) neither perturbs it nor is perturbed by it: the signal
+    /// is bitwise identical before and after.
+    #[test]
+    fn signal_is_decode_free_and_decode_invariant(
+        enc in arb_encoded(),
+        workers in 0usize..4,
+        scalar in any::<bool>(),
+        factor_idx in 0usize..3,
+    ) {
+        let (before, stats) = sjpg_signal(&enc.bytes).expect("signal");
+        prop_assert_eq!(stats.blocks_idct, 0, "signal must not IDCT");
+        prop_assert_eq!(stats.pixels_written, 0, "signal must not write pixels");
+        prop_assert_eq!(stats.idct_macs, 0, "signal must not spend IDCT MACs");
+        prop_assert!(stats.symbols_decoded > 0, "signal reads entropy symbols");
+
+        let opts = DecodeOptions { workers, scalar_kernels: scalar };
+        enc.decode_with_opts(opts).expect("full decode");
+        let factor = [2usize, 4, 8][factor_idx];
+        enc.decode_scaled_opts(factor, opts).expect("scaled decode");
+
+        let (after, _) = sjpg_signal(&enc.bytes).expect("signal");
+        prop_assert_eq!(before, after, "signal must not depend on decode activity");
+        // The facade helper agrees with the raw entry point.
+        prop_assert_eq!(image_signal(&enc), Some(after));
+    }
+
+    /// Routing is monotone in the threshold: raising the threshold can
+    /// only move an item from the full rung to the aggressive rung, never
+    /// the other way.
+    #[test]
+    fn routing_is_threshold_monotone(
+        enc in arb_encoded(),
+        a in 0.0f64..40.0,
+        b in 0.0f64..40.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let item = MediaItem::Image(enc);
+        let stage_lo = route_stage(&item, lo);
+        let stage_hi = route_stage(&item, hi);
+        prop_assert!(
+            stage_lo >= stage_hi,
+            "lower thresholds escalate at least as much (t={lo} -> {stage_lo}, t={hi} -> {stage_hi})"
+        );
+        // Degenerate thresholds pin both ends.
+        prop_assert_eq!(route_stage(&item, f64::NEG_INFINITY), 1);
+        prop_assert_eq!(route_stage(&item, f64::INFINITY), 0);
+    }
+
+    /// The planner's cascade cost model is monotone in the calibrated
+    /// escalation rate: with everything else equal, a routing point that
+    /// escalates more items is estimated no faster.
+    #[test]
+    fn cascade_cost_is_monotone_in_escalation_rate(
+        r1 in 0.01f64..0.99,
+        r2 in 0.01f64..0.99,
+        preproc in 500.0f64..50_000.0,
+        signal in 5_000.0f64..500_000.0,
+    ) {
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        let input = InputVariant::new("mixed sjpg", Format::sjpg(85), 256, 256);
+        let routed = |threshold: f64, rate: f64| RoutingSpec {
+            stage1_dnn: ModelKind::ResNet18,
+            stage1_decode: DecodeMode::reduced(8).unwrap(),
+            threshold,
+            escalation_rate: rate,
+            accuracy: 0.9,
+            signal_throughput: signal,
+        };
+        let spec = CandidateSpec {
+            dnn: ModelKind::ResNet50,
+            input,
+            accuracy: 1.0,
+            preproc_throughput: preproc,
+            reduced_accuracy: Some(0.8),
+            cascade: None,
+            routing: vec![routed(10.0, lo), routed(20.0, hi)],
+            video: None,
+            storage: None,
+        };
+        let planner = Planner::new(PlannerConfig {
+            dnn_input: 32,
+            ..Default::default()
+        });
+        let candidates = planner.enumerate(&[spec]);
+        let tput_at = |threshold: f64| -> f64 {
+            candidates
+                .iter()
+                .find(|c| {
+                    c.cascade
+                        .as_ref()
+                        .is_some_and(|cp| (cp.threshold - threshold).abs() < 1e-9)
+                })
+                .expect("cascade candidate enumerated")
+                .est_throughput
+        };
+        prop_assert!(
+            tput_at(10.0) >= tput_at(20.0) - 1e-9,
+            "escalating more items (rate {hi} vs {lo}) must not raise estimated throughput"
+        );
+        // Feasibility survives selection: the constraint-driven path sees
+        // the cascade candidates too (sanity that enumeration wired in).
+        let chosen = Constraint::MaxAccuracyLoss(0.5).select(&candidates);
+        prop_assert!(chosen.is_ok());
+    }
+}

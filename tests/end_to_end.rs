@@ -186,6 +186,7 @@ fn planner_prefers_thumbnails_with_measured_rates() {
             preproc_throughput: full_rate,
             reduced_accuracy: None,
             cascade: None,
+            routing: Vec::new(),
             video: None,
             storage: None,
         },
@@ -196,6 +197,7 @@ fn planner_prefers_thumbnails_with_measured_rates() {
             preproc_throughput: thumb_rate,
             reduced_accuracy: None,
             cascade: None,
+            routing: Vec::new(),
             video: None,
             storage: None,
         },
@@ -258,6 +260,7 @@ fn session_matches_manual_plan_selection() {
             preproc_throughput: full_rate,
             reduced_accuracy: None,
             cascade: None,
+            routing: Vec::new(),
             video: None,
             storage: None,
         },
@@ -268,6 +271,7 @@ fn session_matches_manual_plan_selection() {
             preproc_throughput: thumb_rate,
             reduced_accuracy: None,
             cascade: None,
+            routing: Vec::new(),
             video: None,
             storage: None,
         },
@@ -278,6 +282,7 @@ fn session_matches_manual_plan_selection() {
             preproc_throughput: full_rate,
             reduced_accuracy: None,
             cascade: None,
+            routing: Vec::new(),
             video: None,
             storage: None,
         },

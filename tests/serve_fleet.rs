@@ -470,6 +470,7 @@ fn candidate(accuracy: f64, est_throughput: f64) -> PlanCandidate {
         exec_throughput: est_throughput,
         est_throughput,
         accuracy,
+        cascade: None,
     }
 }
 

@@ -583,6 +583,7 @@ fn cand(acc: f64, tput: f64) -> PlanCandidate {
         exec_throughput: tput,
         est_throughput: tput,
         accuracy: acc,
+        cascade: None,
     }
 }
 
